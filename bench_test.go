@@ -1,0 +1,47 @@
+// Root benchmark harness: one testing.B benchmark per evaluation table
+// (E1-E11, A1-A3). Each benchmark executes the same code path as
+// `cmd/experiments -run <ID>` in quick mode, so `go test -bench=.` at the
+// repository root regenerates every experiment under the benchmark clock.
+//
+// Per-operation micro-benchmarks (update throughput, recovery latency) live
+// next to their packages under internal/.
+package streamsample_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	cfg := experiments.Config{Seed: 1, Quick: true}
+	for i := 0; i < b.N; i++ {
+		tbl, ok := experiments.Run(id, cfg)
+		if !ok {
+			b.Fatalf("unknown experiment %s", id)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+		if i == 0 && testing.Verbose() {
+			tbl.Render(io.Discard)
+		}
+	}
+}
+
+func BenchmarkE1LpSamplerTV(b *testing.B)         { benchExperiment(b, "E1") }
+func BenchmarkE2SpaceScaling(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3L0Sampler(b *testing.B)           { benchExperiment(b, "E3") }
+func BenchmarkE4Duplicates(b *testing.B)          { benchExperiment(b, "E4") }
+func BenchmarkE5DuplicatesShort(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE6DuplicatesLong(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7LowerBoundPipeline(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8HeavyHitters(b *testing.B)        { benchExperiment(b, "E8") }
+func BenchmarkE9CountSketchTail(b *testing.B)     { benchExperiment(b, "E9") }
+func BenchmarkE10NormEstimation(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkE11URProtocol(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkE12Extensions(b *testing.B)         { benchExperiment(b, "E12") }
+func BenchmarkA1ScalingIndependence(b *testing.B) { benchExperiment(b, "A1") }
+func BenchmarkA2STest(b *testing.B)               { benchExperiment(b, "A2") }
+func BenchmarkA3SketchWidth(b *testing.B)         { benchExperiment(b, "A3") }

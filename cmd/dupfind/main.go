@@ -1,0 +1,67 @@
+// Command dupfind finds a duplicated letter in a stream of items over the
+// alphabet {0, ..., n-1} using the Theorem 3 sketch (O(log² n) bits).
+//
+// Input: one item per line on stdin. The classical guarantee covers streams
+// of length n+1 (pigeonhole: a duplicate always exists); longer streams work
+// too, shorter ones may legitimately FAIL when no duplicate exists.
+//
+//	$ seq 0 99 | { cat; echo 55; } | dupfind -n 100
+//	duplicate=55
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	streamsample "repro"
+)
+
+func main() {
+	n := flag.Int("n", 0, "alphabet size (required)")
+	delta := flag.Float64("delta", 0.05, "failure probability")
+	seed := flag.Uint64("seed", 0, "seed (0 = nondeterministic)")
+	flag.Parse()
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "dupfind: -n is required and must be positive")
+		os.Exit(2)
+	}
+	opts := []streamsample.Option{streamsample.WithDelta(*delta)}
+	if *seed != 0 {
+		opts = append(opts, streamsample.WithSeed(*seed))
+	}
+	f := streamsample.NewDuplicateFinder(*n, opts...)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line, count := 0, 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		var item int
+		if _, err := fmt.Sscanf(text, "%d", &item); err != nil {
+			fmt.Fprintf(os.Stderr, "dupfind: line %d: %q: %v\n", line, text, err)
+			os.Exit(2)
+		}
+		if item < 0 || item >= *n {
+			fmt.Fprintf(os.Stderr, "dupfind: line %d: item %d out of [0,%d)\n", line, item, *n)
+			os.Exit(2)
+		}
+		f.Observe(item)
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "dupfind: %v\n", err)
+		os.Exit(2)
+	}
+	if letter, ok := f.Find(); ok {
+		fmt.Printf("duplicate=%d\n", letter)
+		return
+	}
+	fmt.Println("FAIL")
+	os.Exit(1)
+}

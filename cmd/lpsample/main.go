@@ -1,0 +1,91 @@
+// Command lpsample runs a one-pass Lp sampler over a textual update stream.
+//
+// Input: one update per line on stdin, "index delta" (0-based index,
+// integer delta, negative allowed). Output: the sampled index and the
+// ε-relative-error estimate of its value, or FAIL.
+//
+//	$ printf '0 5\n1 -3\n2 10\n' | lpsample -n 3 -p 1
+//	index=2 estimate=10.0
+//
+// Use -p 0 for the zero relative error L0 sampler (uniform over the support,
+// exact values).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	streamsample "repro"
+)
+
+func main() {
+	n := flag.Int("n", 0, "vector dimension (required)")
+	p := flag.Float64("p", 1, "sampling exponent p: 0 for L0, (0,2) for Lp")
+	eps := flag.Float64("eps", 0.25, "relative error (Lp only)")
+	delta := flag.Float64("delta", 0.1, "failure probability")
+	seed := flag.Uint64("seed", 0, "seed (0 = nondeterministic)")
+	flag.Parse()
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "lpsample: -n is required and must be positive")
+		os.Exit(2)
+	}
+	opts := []streamsample.Option{streamsample.WithEps(*eps), streamsample.WithDelta(*delta)}
+	if *seed != 0 {
+		opts = append(opts, streamsample.WithSeed(*seed))
+	}
+
+	var feed func(i int, d int64)
+	var report func()
+	if *p == 0 {
+		s := streamsample.NewL0Sampler(*n, opts...)
+		feed = s.Update
+		report = func() {
+			if idx, val, ok := s.Sample(); ok {
+				fmt.Printf("index=%d value=%d\n", idx, val)
+			} else {
+				fmt.Println("FAIL")
+				os.Exit(1)
+			}
+		}
+	} else {
+		s := streamsample.NewLpSampler(*p, *n, opts...)
+		feed = s.Update
+		report = func() {
+			if idx, est, ok := s.Sample(); ok {
+				fmt.Printf("index=%d estimate=%.1f\n", idx, est)
+			} else {
+				fmt.Println("FAIL")
+				os.Exit(1)
+			}
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var i int
+		var d int64
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if _, err := fmt.Sscanf(text, "%d %d", &i, &d); err != nil {
+			fmt.Fprintf(os.Stderr, "lpsample: line %d: %q: %v\n", line, text, err)
+			os.Exit(2)
+		}
+		if i < 0 || i >= *n {
+			fmt.Fprintf(os.Stderr, "lpsample: line %d: index %d out of [0,%d)\n", line, i, *n)
+			os.Exit(2)
+		}
+		feed(i, d)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "lpsample: %v\n", err)
+		os.Exit(2)
+	}
+	report()
+}

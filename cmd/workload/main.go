@@ -1,0 +1,61 @@
+// Command workload generates the benchmark workloads of the experiments as
+// text streams, for piping into cmd/lpsample and cmd/dupfind or into other
+// systems under comparison.
+//
+//	workload -kind turnstile -n 1000 -len 5000      # "index delta" lines
+//	workload -kind zipf -n 1000 -alpha 1.1          # skewed signed vector
+//	workload -kind sparse -n 1000 -support 20       # exact support with churn
+//	workload -kind strict -n 1000 -len 5000         # strict turnstile
+//	workload -kind duplicates -n 1000               # n+1 items, one per line
+//
+// Update kinds print "index delta" lines; the duplicates kind prints one
+// item per line (feed to dupfind).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"repro/internal/stream"
+)
+
+func main() {
+	kind := flag.String("kind", "turnstile", "turnstile | zipf | sparse | strict | duplicates")
+	n := flag.Int("n", 1024, "vector dimension / alphabet size")
+	length := flag.Int("len", 4096, "stream length (turnstile, strict)")
+	maxAbs := flag.Int64("max", 100, "maximum update magnitude")
+	alpha := flag.Float64("alpha", 1.0, "zipf exponent")
+	support := flag.Int("support", 16, "support size (sparse)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	r := rand.New(rand.NewPCG(*seed, *seed^0xD1B54A32D192ED03))
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var st stream.Stream
+	switch *kind {
+	case "turnstile":
+		st = stream.RandomTurnstile(*n, *length, *maxAbs, r)
+	case "zipf":
+		st = stream.ZipfSigned(*n, *alpha, *maxAbs, r)
+	case "sparse":
+		st = stream.SparseVector(*n, *support, *maxAbs, r)
+	case "strict":
+		st = stream.StrictTurnstile(*n, *length, *maxAbs, r)
+	case "duplicates":
+		for _, it := range stream.DuplicateItems(*n, -1, r) {
+			fmt.Fprintln(w, it)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "workload: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	for _, u := range st {
+		fmt.Fprintf(w, "%d %d\n", u.Index, u.Delta)
+	}
+}

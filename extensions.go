@@ -1,0 +1,76 @@
+package streamsample
+
+import (
+	"repro/internal/core"
+	"repro/internal/moments"
+	"repro/internal/stream"
+)
+
+// TwoPassL0Sampler is the two-pass variant of the L0 sampler from the
+// paper's appendix remark: a first pass estimates the support size, letting
+// the second pass maintain a single exact-recovery level instead of ⌊log n⌋
+// of them. Use it when the stream can be replayed (stored logs, two-phase
+// pipelines) and space matters more than pass count.
+//
+// Protocol: feed the whole stream, call EndPass1, feed the whole stream
+// again, then Sample.
+type TwoPassL0Sampler struct {
+	inner *core.TwoPassL0Sampler
+}
+
+// NewTwoPassL0Sampler creates the sampler for dimension n.
+func NewTwoPassL0Sampler(n int, opts ...Option) *TwoPassL0Sampler {
+	o := buildOptions(opts)
+	return &TwoPassL0Sampler{inner: core.NewTwoPassL0Sampler(n, o.delta, o.rng())}
+}
+
+// Update applies x[i] += delta in the current pass.
+func (s *TwoPassL0Sampler) Update(i int, delta int64) {
+	s.inner.Process(stream.Update{Index: i, Delta: delta})
+}
+
+// Process implements the stream.Sink interface.
+func (s *TwoPassL0Sampler) Process(u Update) { s.inner.Process(u) }
+
+// EndPass1 commits the subsampling level; call exactly once between the two
+// replays of the stream.
+func (s *TwoPassL0Sampler) EndPass1() { s.inner.EndPass1() }
+
+// Sample returns a uniform support element with its exact value.
+func (s *TwoPassL0Sampler) Sample() (index int, value int64, ok bool) {
+	out, ok := s.inner.Sample()
+	return out.Index, int64(out.Estimate), ok
+}
+
+// SpaceBits reports the sketch size.
+func (s *TwoPassL0Sampler) SpaceBits() int64 { return s.inner.SpaceBits() }
+
+// FpEstimator estimates the frequency moment F_p = Σ|x_i|^p for p > 2 by
+// importance sampling over L1 samples — the [23] application the paper's
+// samplers were designed to speed up.
+type FpEstimator struct {
+	inner *moments.FpEstimator
+}
+
+// NewFpEstimator creates an estimator for exponent p > 2 over dimension n,
+// with the given number of independent samplers (the accuracy knob; a few
+// dozen give constant-factor estimates on moderately skewed data).
+func NewFpEstimator(p float64, n, samples int, opts ...Option) *FpEstimator {
+	o := buildOptions(opts)
+	return &FpEstimator{inner: moments.NewFp(p, n, samples, o.rng())}
+}
+
+// Update applies x[i] += delta.
+func (e *FpEstimator) Update(i int, delta int64) {
+	e.inner.Process(stream.Update{Index: i, Delta: delta})
+}
+
+// Process implements the stream.Sink interface.
+func (e *FpEstimator) Process(u Update) { e.inner.Process(u) }
+
+// Estimate returns the F_p estimate; ok is false when the vector is zero or
+// every sampler failed.
+func (e *FpEstimator) Estimate() (float64, bool) { return e.inner.Estimate() }
+
+// SpaceBits reports the sketch size.
+func (e *FpEstimator) SpaceBits() int64 { return e.inner.SpaceBits() }

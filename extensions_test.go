@@ -1,0 +1,51 @@
+package streamsample
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicTwoPassL0Sampler(t *testing.T) {
+	s := NewTwoPassL0Sampler(256, WithSeed(5), WithDelta(0.2))
+	feed := func() {
+		for i := 0; i < 256; i += 8 {
+			s.Update(i, int64(i+1))
+		}
+	}
+	feed()
+	s.EndPass1()
+	feed()
+	idx, val, ok := s.Sample()
+	if !ok {
+		t.Fatal("two-pass sampler failed")
+	}
+	if idx%8 != 0 || val != int64(idx+1) {
+		t.Fatalf("sample (%d,%d) inconsistent with the planted support", idx, val)
+	}
+}
+
+func TestPublicFpEstimator(t *testing.T) {
+	e := NewFpEstimator(3, 128, 12, WithSeed(9))
+	for i := 0; i < 128; i++ {
+		e.Update(i, 2)
+	}
+	e.Update(40, 998) // x_40 = 1000
+	got, ok := e.Estimate()
+	if !ok {
+		t.Fatal("estimator failed")
+	}
+	truth := math.Pow(1000, 3) + 127*math.Pow(2, 3)
+	if got < truth/4 || got > truth*4 {
+		t.Fatalf("F3 = %.3g, truth %.3g", got, truth)
+	}
+	if e.SpaceBits() <= 0 {
+		t.Error("SpaceBits must be positive")
+	}
+}
+
+func TestPublicFpEstimatorZero(t *testing.T) {
+	e := NewFpEstimator(4, 32, 4, WithSeed(10))
+	if _, ok := e.Estimate(); ok {
+		t.Fatal("zero vector must not estimate")
+	}
+}

@@ -1,0 +1,278 @@
+// Package integration exercises cross-module compositions end to end: the
+// public API over the full workload matrix, sketch linearity across
+// serialization boundaries, samplers against exact ground truth, and the
+// applications against their oracles. Everything here goes through at least
+// two internal subsystems; single-module behaviour is covered next to each
+// package.
+package integration
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	streamsample "repro"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/distinct"
+	"repro/internal/duplicates"
+	"repro/internal/heavyhitters"
+	"repro/internal/moments"
+	"repro/internal/stream"
+)
+
+// workloadMatrix enumerates the stream shapes every sampler must survive.
+func workloadMatrix(n int, r *rand.Rand) map[string]stream.Stream {
+	return map[string]stream.Stream{
+		"turnstile":  stream.RandomTurnstile(n, 4*n, 50, r),
+		"zipf":       stream.ZipfSigned(n, 1.0, 10000, r),
+		"sparse":     stream.SparseVector(n, n/16, 100, r),
+		"plusminus1": stream.ZeroPlusMinusOne(n, n/4, n/4, r),
+		"strict":     stream.StrictTurnstile(n, 4*n, 20, r),
+	}
+}
+
+func TestLpSamplerAcrossWorkloadMatrix(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 256
+	for name, st := range workloadMatrix(n, r) {
+		name, st := name, st
+		t.Run(name, func(t *testing.T) {
+			truth := st.Apply(n)
+			if truth.L0() == 0 {
+				t.Skip("workload cancelled to zero")
+			}
+			produced, badIndex := 0, 0
+			for trial := 0; trial < 10; trial++ {
+				s := core.NewLpSampler(core.LpConfig{P: 1, N: n, Eps: 0.3, Delta: 0.2}, r)
+				st.Feed(s)
+				out, ok := s.Sample()
+				if !ok {
+					continue
+				}
+				produced++
+				if truth.Get(out.Index) == 0 {
+					badIndex++
+				}
+			}
+			if produced < 5 {
+				t.Errorf("only %d/10 trials produced output", produced)
+			}
+			if badIndex > 1 {
+				t.Errorf("%d/%d samples landed on zero coordinates", badIndex, produced)
+			}
+		})
+	}
+}
+
+func TestL0SamplerAcrossWorkloadMatrix(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 2))
+	const n = 256
+	for name, st := range workloadMatrix(n, r) {
+		name, st := name, st
+		t.Run(name, func(t *testing.T) {
+			truth := st.Apply(n)
+			if truth.L0() == 0 {
+				t.Skip("workload cancelled to zero")
+			}
+			for trial := 0; trial < 5; trial++ {
+				s := core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, r)
+				st.Feed(s)
+				out, ok := s.Sample()
+				if !ok {
+					continue
+				}
+				if got := truth.Get(out.Index); got == 0 || float64(got) != out.Estimate {
+					t.Fatalf("trial %d: sample (%d,%v) vs truth %d", trial, out.Index, out.Estimate, got)
+				}
+			}
+		})
+	}
+}
+
+func TestSamplerAgreesWithDistinctEstimator(t *testing.T) {
+	// Two independent subsystems, one ground truth: the rough L0 estimate
+	// and repeated L0 samples must tell a consistent story about support.
+	r := rand.New(rand.NewPCG(3, 3))
+	const n = 512
+	st := stream.SparseVector(n, 40, 100, r)
+	truth := st.Apply(n)
+
+	est := distinct.New(n, 12, r)
+	st.Feed(est)
+	l0hat := est.Estimate()
+	if l0hat < int64(truth.L0())/8 || l0hat > int64(truth.L0())*32 {
+		t.Fatalf("estimator says %d, truth %d", l0hat, truth.L0())
+	}
+	seen := map[int]bool{}
+	for trial := 0; trial < 30; trial++ {
+		s := core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, r)
+		st.Feed(s)
+		if out, ok := s.Sample(); ok {
+			seen[out.Index] = true
+		}
+	}
+	// Repeated sampling must touch a decent chunk of the support and never
+	// leave it.
+	for i := range seen {
+		if truth.Get(i) == 0 {
+			t.Fatalf("sampled outside the support: %d", i)
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("30 samples touched only %d distinct support elements", len(seen))
+	}
+}
+
+func TestDuplicatesAgainstBitmapOracle(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	const n = 512
+	agree, produced := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		items := stream.DuplicateItems(n, -1, r)
+		oracle := baseline.NewBitmap(n)
+		fd := duplicates.NewFinder(n, 0.1, r)
+		for _, it := range items {
+			oracle.ProcessItem(it)
+			fd.ProcessItem(it)
+		}
+		if _, ok := oracle.Duplicate(); !ok {
+			t.Fatal("oracle found no duplicate in a pigeonhole stream")
+		}
+		res := fd.Find()
+		if res.Kind != duplicates.Duplicate {
+			continue
+		}
+		produced++
+		count := 0
+		for _, it := range items {
+			if it == res.Index {
+				count++
+			}
+		}
+		if count >= 2 {
+			agree++
+		}
+	}
+	if produced < 14 {
+		t.Fatalf("finder produced output only %d/20 times", produced)
+	}
+	if agree != produced {
+		t.Errorf("finder disagreed with ground truth %d times", produced-agree)
+	}
+}
+
+func TestHeavyHittersConsistentWithLpSampler(t *testing.T) {
+	// A φ-heavy coordinate must both appear in the heavy-hitter set and
+	// dominate Lp samples.
+	r := rand.New(rand.NewPCG(5, 5))
+	const n = 256
+	var st stream.Stream
+	for i := 0; i < n; i++ {
+		st = append(st, stream.Update{Index: i, Delta: 2})
+	}
+	st = append(st, stream.Update{Index: 42, Delta: 10000})
+
+	hh := heavyhitters.New(heavyhitters.Config{P: 1, Phi: 0.3, N: n}, r)
+	st.Feed(hh)
+	inSet := false
+	for _, i := range hh.HeavyHitters() {
+		if i == 42 {
+			inSet = true
+		}
+	}
+	if !inSet {
+		t.Fatal("heavy hitter set misses the dominant coordinate")
+	}
+	hits, produced := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		s := core.NewLpSampler(core.LpConfig{P: 1, N: n, Eps: 0.3, Delta: 0.2}, r)
+		st.Feed(s)
+		if out, ok := s.Sample(); ok {
+			produced++
+			if out.Index == 42 {
+				hits++
+			}
+		}
+	}
+	if produced < 5 || hits < produced*7/10 {
+		t.Errorf("sampler hit the heavy coordinate %d/%d times", hits, produced)
+	}
+}
+
+func TestPublicAPIMergePartition(t *testing.T) {
+	// Merging sketches of a partition must equal the sketch of the whole —
+	// over the public API, with three parts.
+	const n = 300
+	whole := streamsample.NewL0Sampler(n, streamsample.WithSeed(99))
+	parts := make([]*streamsample.L0Sampler, 3)
+	for i := range parts {
+		parts[i] = streamsample.NewL0Sampler(n, streamsample.WithSeed(99))
+	}
+	r := rand.New(rand.NewPCG(6, 6))
+	for i := 0; i < n; i++ {
+		d := r.Int64N(41) - 20
+		if d == 0 {
+			d = 1
+		}
+		whole.Update(i, d)
+		parts[i%3].Update(i, d)
+	}
+	parts[0].Merge(parts[1])
+	parts[0].Merge(parts[2])
+	wi, wv, wok := whole.Sample()
+	pi, pv, pok := parts[0].Sample()
+	if wok != pok || wi != pi || wv != pv {
+		t.Fatalf("merged partition (%d,%d,%v) != whole (%d,%d,%v)", pi, pv, pok, wi, wv, wok)
+	}
+}
+
+func TestTwoPassMatchesOnePassSupport(t *testing.T) {
+	// One-pass and two-pass L0 samplers on the same stream must both land
+	// in the support with exact values.
+	r := rand.New(rand.NewPCG(7, 7))
+	const n = 512
+	st := stream.SparseVector(n, 60, 50, r)
+	truth := st.Apply(n)
+	for trial := 0; trial < 10; trial++ {
+		one := core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, r)
+		st.Feed(one)
+		two := core.NewTwoPassL0Sampler(n, 0.2, r)
+		st.Feed(two)
+		two.EndPass1()
+		st.Feed(two)
+		for name, res := range map[string]func() (core.Sample, bool){
+			"one-pass": one.Sample,
+			"two-pass": two.Sample,
+		} {
+			out, ok := res()
+			if !ok {
+				continue
+			}
+			if got := truth.Get(out.Index); got == 0 || float64(got) != out.Estimate {
+				t.Fatalf("%s: sample (%d,%v) vs truth %d", name, out.Index, out.Estimate, got)
+			}
+		}
+	}
+}
+
+func TestMomentsUsesSamplerEstimates(t *testing.T) {
+	// moments -> core -> countsketch/norm, with ground truth from vector.
+	r := rand.New(rand.NewPCG(8, 8))
+	const n = 128
+	st := stream.ZipfSigned(n, 1.3, 500, r)
+	truthVec := st.Apply(n)
+	var truth float64
+	for _, v := range truthVec.Coords() {
+		truth += math.Pow(math.Abs(float64(v)), 3)
+	}
+	e := moments.NewFp(3, n, 16, r)
+	st.Feed(e)
+	got, ok := e.Estimate()
+	if !ok {
+		t.Fatal("moments estimator failed")
+	}
+	if got < truth/5 || got > truth*5 {
+		t.Errorf("F3 = %.3g, truth %.3g (want within 5x)", got, truth)
+	}
+}

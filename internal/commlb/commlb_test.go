@@ -1,0 +1,302 @@
+package commlb
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestRandomURInstance(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	inst := RandomUR(100, 7, r)
+	d := 0
+	for i := range inst.X {
+		if inst.X[i] != inst.Y[i] {
+			d++
+		}
+	}
+	if d != 7 {
+		t.Fatalf("Hamming distance %d, want 7", d)
+	}
+}
+
+func TestRandomizeURPreservesDifferences(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 2))
+	inst := RandomUR(64, 5, r)
+	tr, perm := RandomizeUR(inst, r)
+	for i := range inst.X {
+		origDiff := inst.X[i] != inst.Y[i]
+		trDiff := tr.X[perm[i]] != tr.Y[perm[i]]
+		if origDiff != trDiff {
+			t.Fatalf("difference structure broken at %d", i)
+		}
+	}
+}
+
+func TestOneRoundURCorrectness(t *testing.T) {
+	// Proposition 5: one message of O(log² n) bits solves UR with
+	// probability >= 1 - δ; the output must be a genuine differing index.
+	r := rand.New(rand.NewPCG(3, 3))
+	const n = 256
+	for _, dist := range []int{1, 2, 16, 128, 256} {
+		okCount, wrong := 0, 0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			inst := RandomUR(n, dist, r)
+			res := OneRoundUR(inst, 0.1, r)
+			if !res.OK {
+				continue
+			}
+			okCount++
+			if !inst.Differs(res.Output) {
+				wrong++
+			}
+		}
+		if wrong > 0 {
+			t.Errorf("dist=%d: %d wrong outputs (low probability event)", dist, wrong)
+		}
+		if okCount < trials*3/4 {
+			t.Errorf("dist=%d: only %d/%d successes", dist, okCount, trials)
+		}
+	}
+}
+
+func TestOneRoundURMessageGrowsPolylog(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	small := OneRoundUR(RandomUR(1<<8, 4, r), 0.2, r)
+	big := OneRoundUR(RandomUR(1<<14, 4, r), 0.2, r)
+	if big.MessageBits <= small.MessageBits {
+		t.Error("message must grow with log n")
+	}
+	// 64x dimension growth, message should grow well under 8x (log factor).
+	if big.MessageBits > 8*small.MessageBits {
+		t.Errorf("message not polylog: %d -> %d bits", small.MessageBits, big.MessageBits)
+	}
+}
+
+func TestAIVectorsStructure(t *testing.T) {
+	inst := AIInstance{S: 3, T: 2, Z: []int{1, 3, 0}, I: 1}
+	u, v := aiVectors(inst)
+	if len(u) != ((1<<3)-1)<<2 {
+		t.Fatalf("dimension %d, want 28", len(u))
+	}
+	// Block 0: 4 copies of e_1, positions 0*4+1, 1*4+1, 2*4+1, 3*4+1.
+	for c := 0; c < 4; c++ {
+		if u[c*4+1] != 1 {
+			t.Fatalf("u missing copy %d of block 0", c)
+		}
+		if v[c*4+1] != 1 {
+			t.Fatalf("v must contain block 0 (j < I)")
+		}
+	}
+	// Block 1 (2 copies of e_3 at offset 16): in u, not in v (j >= I).
+	for c := 0; c < 2; c++ {
+		pos := 16 + c*4 + 3
+		if u[pos] != 1 || v[pos] != 0 {
+			t.Fatalf("block 1 copy %d wrong: u=%d v=%d", c, u[pos], v[pos])
+		}
+	}
+	// Decode: index in block 1 reveals digit 3.
+	if j, z := decodeAIIndex(inst, 16+3); j != 1 || z != 3 {
+		t.Fatalf("decode = (%d,%d), want (1,3)", j, z)
+	}
+	if j, z := decodeAIIndex(inst, 24+0); j != 2 || z != 0 {
+		t.Fatalf("decode = (%d,%d), want (2,0)", j, z)
+	}
+}
+
+func TestAIviaURBeatsChance(t *testing.T) {
+	// Theorem 6 pipeline: success must be well above the 2^-t guessing rate
+	// (the proof promises > 1/2 conditioned on UR success).
+	r := rand.New(rand.NewPCG(5, 5))
+	const s, tt = 5, 5
+	correct, produced := 0, 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		inst := RandomAI(s, tt, r)
+		res := AIviaUR(inst, 0.1, r)
+		if !res.OK {
+			continue
+		}
+		produced++
+		if res.Output == inst.Z[inst.I] {
+			correct++
+		}
+	}
+	if produced < trials*3/4 {
+		t.Fatalf("UR layer failed too often: %d/%d", produced, trials)
+	}
+	// Chance would be 1/32; the reduction gives > 1/2 of produced.
+	if correct < produced*2/5 {
+		t.Errorf("AI decoded correctly %d/%d (chance=1/32)", correct, produced)
+	}
+}
+
+func TestAIviaURLastIndexDeterministicBlock(t *testing.T) {
+	// With I = s-1 only block s-1 differs, so every successful UR sample
+	// decodes the right digit.
+	r := rand.New(rand.NewPCG(6, 6))
+	const s, tt = 4, 4
+	correct, produced := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		inst := RandomAI(s, tt, r)
+		inst.I = s - 1
+		res := AIviaUR(inst, 0.1, r)
+		if !res.OK {
+			continue
+		}
+		produced++
+		if res.Output == inst.Z[inst.I] {
+			correct++
+		}
+	}
+	if produced < 20 {
+		t.Fatalf("only %d/30 produced output", produced)
+	}
+	if correct < produced*9/10 {
+		t.Errorf("last-block AI: %d/%d correct, want ~all", correct, produced)
+	}
+}
+
+func TestURviaDuplicatesCorrectness(t *testing.T) {
+	// Theorem 7 pipeline: when it answers, the index must differ; the
+	// success rate must be a positive constant.
+	r := rand.New(rand.NewPCG(7, 7))
+	const n = 128
+	okCount, wrong := 0, 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		inst := RandomUR(n, 1+r.IntN(n/2), r)
+		res := URviaDuplicates(inst, 0.1, r)
+		if !res.OK {
+			continue
+		}
+		okCount++
+		if !inst.Differs(res.Output) {
+			wrong++
+		}
+	}
+	if wrong > okCount/10 {
+		t.Errorf("%d/%d wrong outputs", wrong, okCount)
+	}
+	// Theory promises >= 1/8 * (1-δ)-ish; empirically much better because
+	// random instances have many duplicates.
+	if okCount < trials/6 {
+		t.Errorf("success %d/%d below constant rate", okCount, trials)
+	}
+}
+
+func TestAIviaHeavyHittersHighAccuracy(t *testing.T) {
+	// Theorem 9: the protocol errs only if the heavy hitters sketch errs.
+	r := rand.New(rand.NewPCG(8, 8))
+	const s, tt = 6, 4
+	correct := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		inst := RandomAI(s, tt, r)
+		res := AIviaHeavyHitters(inst, 1, 0.25, r)
+		if res.OK && res.Output == inst.Z[inst.I] {
+			correct++
+		}
+	}
+	if correct < trials*8/10 {
+		t.Errorf("AI via heavy hitters correct %d/%d", correct, trials)
+	}
+}
+
+func TestAIviaHeavyHittersPhiRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for phi >= 1/2")
+		}
+	}()
+	r := rand.New(rand.NewPCG(9, 9))
+	AIviaHeavyHitters(RandomAI(3, 3, r), 1, 0.5, r)
+}
+
+func TestMessageBitsTrackLog2N(t *testing.T) {
+	// The headline Θ(log² n) shape of Theorem 6/8: message bits per log²n
+	// should stay within a narrow constant band as n grows.
+	r := rand.New(rand.NewPCG(10, 10))
+	ratios := make([]float64, 0, 3)
+	for _, n := range []int{1 << 8, 1 << 11, 1 << 14} {
+		res := OneRoundUR(RandomUR(n, 3, r), 0.2, r)
+		logn := float64(0)
+		for m := n; m > 1; m >>= 1 {
+			logn++
+		}
+		ratios = append(ratios, float64(res.MessageBits)/(logn*logn))
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] > 4*ratios[0] || ratios[i] < ratios[0]/4 {
+			t.Errorf("message/log²n ratios drift: %v", ratios)
+		}
+	}
+}
+
+func BenchmarkOneRoundUR(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	inst := RandomUR(1<<10, 5, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OneRoundUR(inst, 0.2, r)
+	}
+}
+
+func TestTwoRoundURCorrectness(t *testing.T) {
+	// Proposition 5, second claim: two rounds suffice with a much smaller
+	// second message; outputs must be genuine differing indices.
+	r := rand.New(rand.NewPCG(20, 20))
+	const n = 1024
+	for _, dist := range []int{1, 8, 64, 512} {
+		okCount, wrong := 0, 0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			inst := RandomUR(n, dist, r)
+			res := TwoRoundUR(inst, 0.1, r)
+			if !res.OK {
+				continue
+			}
+			okCount++
+			if !inst.Differs(res.Output) {
+				wrong++
+			}
+		}
+		if wrong > 0 {
+			t.Errorf("dist=%d: %d wrong outputs", dist, wrong)
+		}
+		if okCount < trials*3/4 {
+			t.Errorf("dist=%d: only %d/%d successes", dist, okCount, trials)
+		}
+	}
+}
+
+func TestTwoRoundSecondMessageSmall(t *testing.T) {
+	// The second round must be far below the one-round message: it carries
+	// only one O(log 1/δ)-sparse recoverer instead of log n levels of them.
+	r := rand.New(rand.NewPCG(21, 21))
+	const n = 4096
+	inst := RandomUR(n, 100, r)
+	one := OneRoundUR(inst, 0.1, r)
+	two := TwoRoundUR(inst, 0.1, r)
+	if !two.OK || two.Round2Bits == 0 {
+		t.Fatal("two-round protocol did not complete")
+	}
+	if two.Round2Bits*4 > one.MessageBits {
+		t.Errorf("round-2 message %d bits not far below one-round %d bits",
+			two.Round2Bits, one.MessageBits)
+	}
+}
+
+func TestTwoRoundURIdenticalStringsFail(t *testing.T) {
+	// Violating the x != y promise must yield a clean failure, not a bogus
+	// index.
+	r := rand.New(rand.NewPCG(22, 22))
+	x := make([]int, 128)
+	for i := range x {
+		x[i] = i % 2
+	}
+	inst := URInstance{X: x, Y: append([]int(nil), x...)}
+	if res := TwoRoundUR(inst, 0.1, r); res.OK {
+		t.Fatalf("equal strings produced output %d", res.Output)
+	}
+}

@@ -1,0 +1,176 @@
+package commlb
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyAIVectorsDifferExactlyOnSuffixBlocks: u and v agree on blocks
+// j < I and differ exactly on the unit positions of blocks j >= I —
+// the structural invariant Theorem 6's counting argument rests on.
+func TestPropertyAIVectorsDifferExactlyOnSuffixBlocks(t *testing.T) {
+	f := func(seed uint64, sRaw, tRaw uint8) bool {
+		s := 2 + int(sRaw)%5
+		tt := 1 + int(tRaw)%5
+		r := rand.New(rand.NewPCG(seed, 3))
+		inst := RandomAI(s, tt, r)
+		u, v := aiVectors(inst)
+		diffs := 0
+		for idx := range u {
+			if u[idx] != v[idx] {
+				j, z := decodeAIIndex(inst, idx)
+				if j < inst.I {
+					return false // prefix blocks must agree
+				}
+				if z != inst.Z[j] {
+					return false // differing index must decode the digit
+				}
+				diffs++
+			}
+		}
+		// Total differing positions: sum over j >= I of 2^{s-1-j} copies.
+		want := 0
+		for j := inst.I; j < s; j++ {
+			want += 1 << (s - 1 - j)
+		}
+		return diffs == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMajorityOfDiffsInBlockI: more than half of the differing
+// indices decode block I's digit — the exact fact that lets Bob answer by
+// trusting a uniform differing index.
+func TestPropertyMajorityOfDiffsInBlockI(t *testing.T) {
+	f := func(seed uint64, sRaw uint8) bool {
+		s := 2 + int(sRaw)%6
+		r := rand.New(rand.NewPCG(seed, 5))
+		inst := RandomAI(s, 3, r)
+		u, v := aiVectors(inst)
+		inBlockI, total := 0, 0
+		for idx := range u {
+			if u[idx] != v[idx] {
+				total++
+				if j, _ := decodeAIIndex(inst, idx); j == inst.I {
+					inBlockI++
+				}
+			}
+		}
+		return 2*inBlockI > total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTheorem7SetEncoding: the S and T sets of the Theorem 7
+// reduction intersect exactly at the positions where x and y differ.
+func TestPropertyTheorem7SetEncoding(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, dRaw uint8) bool {
+		n := 4 + int(nRaw)%120
+		d := 1 + int(dRaw)%n
+		r := rand.New(rand.NewPCG(seed, 7))
+		inst := RandomUR(n, d, r)
+		sSet := map[int]bool{}
+		for i := 0; i < n; i++ {
+			sSet[2*(i+1)-1+inst.X[i]] = true
+		}
+		inter := 0
+		for i := 0; i < n; i++ {
+			a := 2*(i+1) - inst.Y[i]
+			if sSet[a] {
+				// a in S∩T must mean x_i != y_i
+				if inst.X[i] == inst.Y[i] {
+					return false
+				}
+				inter++
+			}
+		}
+		return inter == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRandomizeURRoundTrip: mapping an index of the transformed
+// instance back through the permutation always lands on an original
+// differing index iff it was a differing index of the transform.
+func TestPropertyRandomizeURRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := 4 + int(nRaw)%100
+		d := 1 + int(dRaw)%n
+		r := rand.New(rand.NewPCG(seed, 9))
+		inst := RandomUR(n, d, r)
+		tr, perm := RandomizeUR(inst, r)
+		inv := make([]int, n)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		for i := 0; i < n; i++ {
+			if tr.Differs(i) != inst.Differs(inv[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTheorem9MagnitudesAreHeavy: the geometric magnitudes of the
+// Theorem 9 reduction make the first live digit a φ-heavy hitter of
+// x = u - v — the inequality chain in the proof, checked numerically.
+func TestPropertyTheorem9MagnitudesAreHeavy(t *testing.T) {
+	f := func(seed uint64, sRaw, iRaw uint8) bool {
+		s := 2 + int(sRaw)%8
+		r := rand.New(rand.NewPCG(seed, 11))
+		inst := RandomAI(s, 3, r)
+		inst.I = int(iRaw) % s
+		const p = 1.0
+		const phi = 0.25
+		b := 1 / (1 - pow(2*phi, p))
+		// ||x||_p^p over the surviving blocks j >= I and the first value.
+		var normP float64
+		var first float64
+		for j := inst.I; j < s; j++ {
+			mag := ceilPow(b, s-1-j)
+			normP += pow(mag, p)
+			if j == inst.I {
+				first = mag
+			}
+		}
+		return pow(first, p) >= pow(phi, p)*normP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pow(x, p float64) float64 {
+	if p == 1 {
+		return x
+	}
+	res := 1.0
+	for i := 0; i < int(p); i++ {
+		res *= x
+	}
+	return res
+}
+
+func ceilPow(b float64, e int) float64 {
+	v := 1.0
+	for i := 0; i < e; i++ {
+		v *= b
+	}
+	// ceil
+	iv := float64(int64(v))
+	if iv < v {
+		iv++
+	}
+	return iv
+}

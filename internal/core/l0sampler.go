@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/prng"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+)
+
+// L0Config configures the zero relative error L0 sampler of Theorem 2.
+type L0Config struct {
+	// N is the dimension of the underlying vector.
+	N int
+	// Delta is the failure probability bound.
+	Delta float64
+	// SOverride forces the per-level sparse-recovery budget s
+	// (default ⌈4 log₂(1/δ)⌉ as in the proof of Theorem 2).
+	SOverride int
+}
+
+// L0Sampler samples a uniformly random element of the support of x, together
+// with the exact value x_i (sparse recovery is exact, hence "zero relative
+// error"). Structure, following §2.1:
+//
+//   - subsets I_k ⊆ [n] for k = 1..⌊log n⌋ with E|I_k| = 2^k, plus I_0 = [n];
+//   - an exact s-sparse recoverer (Lemma 5) on x restricted to each I_k;
+//   - the sample is a uniformly random nonzero coordinate of the first level
+//     that recovers a nonzero s-sparse vector.
+//
+// All membership bits and the final uniform choice are drawn from Nisan's
+// PRG with an O(log² n)-bit seed, exactly as the derandomization step of
+// Theorem 2 prescribes (membership is i.i.d. per (level, coordinate) —
+// substitution #2 in DESIGN.md).
+type L0Sampler struct {
+	n      int
+	s      int
+	levels []*sparse.Recoverer
+	gen    *prng.Nisan
+}
+
+// NewL0Sampler constructs the sampler, drawing the PRG seed and the
+// sparse-recovery verification points from r.
+func NewL0Sampler(cfg L0Config, r *rand.Rand) *L0Sampler {
+	if cfg.N < 1 {
+		panic("core: n must be positive")
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		cfg.Delta = 0.25
+	}
+	s := cfg.SOverride
+	if s <= 0 {
+		s = int(math.Ceil(4 * math.Log2(1/cfg.Delta)))
+		if s < 4 {
+			s = 4
+		}
+	}
+	numLevels := 1
+	for 1<<numLevels < cfg.N {
+		numLevels++
+	}
+	numLevels++ // levels 0..⌊log n⌋
+	l := &L0Sampler{
+		n:      cfg.N,
+		s:      s,
+		levels: make([]*sparse.Recoverer, numLevels),
+		// One membership block per (level, coordinate) pair for levels
+		// >= 1, plus one block for the final uniform choice.
+		gen: prng.New(uint64(numLevels)*uint64(cfg.N)*prng.BlockBits+prng.BlockBits, r),
+	}
+	for k := range l.levels {
+		l.levels[k] = sparse.New(cfg.N, s, r)
+	}
+	return l
+}
+
+// S returns the per-level sparsity budget.
+func (l *L0Sampler) S() int { return l.s }
+
+// Levels returns the number of subsampling levels (⌊log n⌋ + 1).
+func (l *L0Sampler) Levels() int { return len(l.levels) }
+
+// member reports whether coordinate i belongs to I_k. Level 0 is all of [n];
+// level k >= 1 includes i with probability 2^k/n, decided by one PRG block.
+func (l *L0Sampler) member(k, i int) bool {
+	if k == 0 {
+		return true
+	}
+	q := float64(uint64(1)<<k) / float64(l.n)
+	if q >= 1 {
+		return true
+	}
+	return l.gen.Float64At(uint64(k-1)*uint64(l.n)+uint64(i)) < q
+}
+
+// Process implements stream.Sink: the update reaches the recoverer of every
+// level whose subset contains the coordinate.
+func (l *L0Sampler) Process(u stream.Update) {
+	for k := range l.levels {
+		if l.member(k, u.Index) {
+			l.levels[k].Process(u)
+		}
+	}
+}
+
+// Sample returns a uniform sample from the support of x together with the
+// exact value x_i. ok is false when every level fails — probability at most
+// δ + O(n^{-c}) (Theorem 2), and always for the zero vector.
+func (l *L0Sampler) Sample() (Sample, bool) {
+	for k := range l.levels {
+		rec, ok := l.levels[k].Recover()
+		if !ok || len(rec) == 0 || len(rec) > l.s {
+			continue
+		}
+		// Uniform choice among the recovered support, randomness from the
+		// PRG's reserved final block.
+		support := make([]int, 0, len(rec))
+		for i := range rec {
+			support = append(support, i)
+		}
+		sort.Ints(support)
+		u := l.gen.Float64At(uint64(len(l.levels)-1) * uint64(l.n))
+		idx := support[int(u*float64(len(support)))%len(support)]
+		return Sample{Index: idx, Estimate: float64(rec[idx])}, true
+	}
+	return Sample{}, false
+}
+
+// Merge adds the linear state of another sampler built with the same
+// dimension and the same randomness source position (i.e. constructed from
+// an identically seeded *rand.Rand), so that the merged sampler summarizes
+// the sum of the two underlying vectors. Linearity is what downstream
+// applications like graph connectivity sketches rely on. It panics on
+// incompatible samplers.
+func (l *L0Sampler) Merge(other *L0Sampler) {
+	if l.n != other.n || l.s != other.s || len(l.levels) != len(other.levels) {
+		panic("core: merging incompatible L0 samplers")
+	}
+	for k := range l.levels {
+		l.levels[k].Merge(other.levels[k])
+	}
+}
+
+// SpaceBits reports the streaming state: per-level syndromes plus the PRG
+// seed — the O(log² n log(1/δ)) bits of Theorem 2. (The PRG output is
+// recomputed on demand and is not stored.)
+func (l *L0Sampler) SpaceBits() int64 {
+	var bits int64
+	for _, lv := range l.levels {
+		bits += lv.SpaceBits()
+	}
+	return bits + l.gen.SpaceBits()
+}
+
+// StateBits reports the linear-measurement contents only — the message a
+// player sends in the public-coin protocols of §4.1 (Proposition 5), where
+// the PRG seed and verification points are shared randomness.
+func (l *L0Sampler) StateBits() int64 {
+	var bits int64
+	for _, lv := range l.levels {
+		bits += lv.StateBits()
+	}
+	return bits
+}
+
+// ExportState serializes all levels' linear measurements — the concrete
+// one-round message of Proposition 5. len(result)*8 == StateBits().
+func (l *L0Sampler) ExportState() []byte {
+	var out []byte
+	for _, lv := range l.levels {
+		out = append(out, lv.ExportState()...)
+	}
+	return out
+}
+
+// ImportState replaces the sampler's measurements with exported ones. The
+// receiver must be a same-seed, same-configuration instance.
+func (l *L0Sampler) ImportState(data []byte) error {
+	per := int(l.levels[0].StateBits() / 8)
+	if len(data) != per*len(l.levels) {
+		return fmt.Errorf("core: state is %d bytes, want %d", len(data), per*len(l.levels))
+	}
+	for k, lv := range l.levels {
+		if err := lv.ImportState(data[k*per : (k+1)*per]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

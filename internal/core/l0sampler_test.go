@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/vector"
+)
+
+func TestL0SamplerZeroVector(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	s := NewL0Sampler(L0Config{N: 128, Delta: 0.2}, r)
+	if _, ok := s.Sample(); ok {
+		t.Fatal("L0 sampler must fail on the zero vector")
+	}
+}
+
+func TestL0SamplerSmallSupportNeverFails(t *testing.T) {
+	// |J| <= s: level 0 recovers x exactly, failure is impossible
+	// (Theorem 2 proof: "for |J| <= s failure is not possible").
+	r := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 30; trial++ {
+		s := NewL0Sampler(L0Config{N: 512, Delta: 0.25}, r)
+		support := 1 + trial%s.S()
+		st := stream.SparseVector(512, support, 1000, r)
+		truth := st.Apply(512)
+		st.Feed(s)
+		out, ok := s.Sample()
+		if !ok {
+			t.Fatalf("trial %d: failed on %d-sparse vector (s=%d)", trial, support, s.S())
+		}
+		if truth.Get(out.Index) == 0 {
+			t.Fatalf("trial %d: sampled zero coordinate %d", trial, out.Index)
+		}
+		if out.Estimate != float64(truth.Get(out.Index)) {
+			t.Fatalf("trial %d: value %v != exact %d (zero relative error violated)",
+				trial, out.Estimate, truth.Get(out.Index))
+		}
+	}
+}
+
+func TestL0SamplerLargeSupportSuccessRate(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	const n = 512
+	fails := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		s := NewL0Sampler(L0Config{N: n, Delta: 0.1}, r)
+		// Dense support: every coordinate nonzero.
+		for i := 0; i < n; i++ {
+			s.Process(stream.Update{Index: i, Delta: int64(1 + i%7)})
+		}
+		out, ok := s.Sample()
+		if !ok {
+			fails++
+			continue
+		}
+		if out.Index < 0 || out.Index >= n {
+			t.Fatalf("index %d out of range", out.Index)
+		}
+	}
+	if fails > trials/5 {
+		t.Errorf("failed %d/%d times, want <= δ=0.1 + slack", fails, trials)
+	}
+}
+
+func TestL0SamplerUniformity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	r := rand.New(rand.NewPCG(4, 4))
+	const n = 256
+	// Support of 6 coordinates with very different magnitudes: the L0
+	// distribution ignores magnitudes entirely.
+	values := map[int]int64{5: 1, 50: -1000000, 100: 3, 150: 77, 200: -2, 250: 999}
+	var st stream.Stream
+	for i, v := range values {
+		st = append(st, stream.Update{Index: i, Delta: v})
+	}
+	truth := st.Apply(n)
+	target := truth.LpDistribution(0)
+
+	counts := map[int]int{}
+	got := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		s := NewL0Sampler(L0Config{N: n, Delta: 0.2}, r)
+		st.Feed(s)
+		out, ok := s.Sample()
+		if !ok {
+			continue
+		}
+		counts[out.Index]++
+		got++
+	}
+	if got < trials*9/10 {
+		t.Fatalf("only %d/%d trials succeeded on 6-sparse input", got, trials)
+	}
+	tv := vector.EmpiricalTV(counts, target, got)
+	// 6 atoms at ~400 samples: sampling noise ~ 0.07; uniformity error must
+	// not push beyond this by much (zero relative error claim).
+	if tv > 0.12 {
+		t.Errorf("TV from uniform = %.3f too large", tv)
+	}
+}
+
+func TestL0SamplerMidSupportValuesExact(t *testing.T) {
+	// Support > s: recovery happens at a subsampled level; returned values
+	// must still be exactly x_i.
+	r := rand.New(rand.NewPCG(5, 5))
+	const n = 1024
+	st := stream.SparseVector(n, 100, 500, r)
+	truth := st.Apply(n)
+	okCount := 0
+	for trial := 0; trial < 20; trial++ {
+		s := NewL0Sampler(L0Config{N: n, Delta: 0.2}, r)
+		st.Feed(s)
+		out, ok := s.Sample()
+		if !ok {
+			continue
+		}
+		okCount++
+		if float64(truth.Get(out.Index)) != out.Estimate {
+			t.Fatalf("value %v != exact %d", out.Estimate, truth.Get(out.Index))
+		}
+	}
+	if okCount < 14 {
+		t.Errorf("only %d/20 trials succeeded", okCount)
+	}
+}
+
+func TestL0SamplerAfterChurn(t *testing.T) {
+	// Insert everything, delete all but 3: sampler must land on survivors.
+	r := rand.New(rand.NewPCG(6, 6))
+	const n = 300
+	s := NewL0Sampler(L0Config{N: n, Delta: 0.1}, r)
+	for i := 0; i < n; i++ {
+		s.Process(stream.Update{Index: i, Delta: 9})
+	}
+	survivors := map[int]bool{10: true, 150: true, 299: true}
+	for i := 0; i < n; i++ {
+		if !survivors[i] {
+			s.Process(stream.Update{Index: i, Delta: -9})
+		}
+	}
+	out, ok := s.Sample()
+	if !ok {
+		t.Fatal("sampler failed on 3-sparse post-churn vector")
+	}
+	if !survivors[out.Index] || out.Estimate != 9 {
+		t.Fatalf("sampled (%d, %v), want a survivor with value 9", out.Index, out.Estimate)
+	}
+}
+
+func TestL0SamplerSpacePolylog(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	small := NewL0Sampler(L0Config{N: 1 << 8, Delta: 0.2}, r)
+	big := NewL0Sampler(L0Config{N: 1 << 16, Delta: 0.2}, r)
+	if big.SpaceBits() <= small.SpaceBits() {
+		t.Error("space must grow with log n")
+	}
+	if big.SpaceBits() > 8*small.SpaceBits() {
+		t.Errorf("space not polylog: %d -> %d for 256x dimension", small.SpaceBits(), big.SpaceBits())
+	}
+	// s grows with log(1/δ).
+	loose := NewL0Sampler(L0Config{N: 1 << 10, Delta: 0.4}, r)
+	tight := NewL0Sampler(L0Config{N: 1 << 10, Delta: 0.01}, r)
+	if tight.S() <= loose.S() {
+		t.Error("s must grow with log(1/δ)")
+	}
+}
+
+func TestL0SamplerConfigValidation(t *testing.T) {
+	r := rand.New(rand.NewPCG(8, 8))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for N=0")
+		}
+	}()
+	NewL0Sampler(L0Config{N: 0, Delta: 0.2}, r)
+}
+
+func TestL0SamplerSOverride(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 9))
+	s := NewL0Sampler(L0Config{N: 128, Delta: 0.2, SOverride: 17}, r)
+	if s.S() != 17 {
+		t.Errorf("SOverride ignored: s=%d", s.S())
+	}
+}
+
+func BenchmarkL0SamplerProcess(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	s := NewL0Sampler(L0Config{N: 1 << 16, Delta: 0.2}, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(stream.Update{Index: i % (1 << 16), Delta: 1})
+	}
+}
+
+func BenchmarkL0SamplerSample(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 1 << 12
+	s := NewL0Sampler(L0Config{N: n, Delta: 0.2}, r)
+	st := stream.SparseVector(n, 64, 100, r)
+	st.Feed(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}

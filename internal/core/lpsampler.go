@@ -1,0 +1,295 @@
+// Package core implements the paper's primary contributions: the
+// O(ε^{-max(1,p)} log² n)-space approximate Lp sampler for p in (0,2)
+// (Figure 1 / Theorem 1) and the O(log² n)-bit zero relative error L0
+// sampler (Theorem 2).
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/countsketch"
+	"repro/internal/hash"
+	"repro/internal/norm"
+	"repro/internal/stream"
+)
+
+// LpConfig configures an Lp sampler. Zero values select the paper's
+// parameters (with empirically calibrated constants).
+type LpConfig struct {
+	// P is the sampling exponent, in (0,2). (p = 0 is L0Sampler; p = 2 is
+	// not achievable by this method in O(log² n) space, see §2.)
+	P float64
+	// N is the dimension of the underlying vector.
+	N int
+	// Eps is the relative-error / success-rate parameter ε of Figure 1.
+	Eps float64
+	// Delta is the failure probability after repetition (Theorem 1).
+	Delta float64
+
+	// Rows overrides the count-sketch depth l = O(log n).
+	Rows int
+	// MFactor scales the count-sketch parameter m ("large enough constant").
+	MFactor float64
+	// Copies overrides the repetition count v = O(log(1/δ)/ε).
+	Copies int
+	// NormCounters overrides the size of the shared ||x||_p estimator.
+	NormCounters int
+
+	// KOverride forces the independence of the scaling factors t_i
+	// (ablation A1; the paper uses k = 10⌈1/|p-1|⌉, and k = O(log 1/ε)
+	// for p = 1).
+	KOverride int
+	// DisableSTest turns off the recovery-stage abort on s > βm^{1/2}r
+	// (ablation A2 — the conditioning fix of Lemma 3).
+	DisableSTest bool
+}
+
+// Sample is a successful Lp-sampler output: the sampled index and the
+// (1±ε)-relative-error estimate of x_i (footnote 1 of the paper: the
+// algorithm approximates x_i itself, not |x_i|^p/||x||_p^p).
+type Sample struct {
+	Index    int
+	Estimate float64
+}
+
+// Diagnostics reports, per SampleAll call, how each repetition resolved —
+// the empirical counterpart of the event probabilities in Lemmas 3 and 4.
+type Diagnostics struct {
+	// Emitted repetitions produced a sample.
+	Emitted int
+	// STestAborts failed on s > βm^{1/2}r (the Lemma 3 event).
+	STestAborts int
+	// ThresholdFails had no coordinate reaching ε^{-1/p} r (the common,
+	// by-design outcome: per-round success is only Θ(ε)).
+	ThresholdFails int
+	// Guarded tripped the t_i < n^{-c} guard during processing.
+	Guarded int
+}
+
+// LpSampler is a one-pass streaming Lp sampler: v parallel repetitions of the
+// Figure 1 round, sharing a single ||x||_p estimator (Lemma 4 conditions on a
+// fixed r, so sharing r across repetitions is faithful to the analysis).
+type LpSampler struct {
+	cfg    LpConfig
+	k      int     // independence of the scaling factors
+	m      int     // count-sketch parameter
+	beta   float64 // β = ε^{1-1/p}
+	tMin   float64 // abort guard: fail a copy if some t_i < tMin (= n^{-c})
+	copies []*lpCopy
+	rNorm  *norm.Stable // shared sketch estimating ||x||_p
+	diag   Diagnostics
+}
+
+// Diagnostics returns the per-repetition outcome counts of the most recent
+// SampleAll (or Sample) call.
+func (s *LpSampler) Diagnostics() Diagnostics { return s.diag }
+
+// lpCopy is one independent repetition of the Figure 1 round.
+type lpCopy struct {
+	t       *hash.KWise         // k-wise scaling factors t_i ∈ (0,1]
+	cs      *countsketch.Sketch // count-sketch of z, z_i = x_i t_i^{-1/p}
+	ams     *norm.AMS           // L2 sketch of z for s ≈ ||z - ẑ||₂
+	guarded bool                // true once some t_i fell below tMin
+}
+
+// NewLpSampler constructs the sampler. It panics if p is outside (0,2) or
+// eps/delta are not in (0,1).
+func NewLpSampler(cfg LpConfig, r *rand.Rand) *LpSampler {
+	if cfg.P <= 0 || cfg.P >= 2 {
+		panic("core: LpSampler requires p in (0,2); use L0Sampler for p=0")
+	}
+	if cfg.Eps <= 0 || cfg.Eps >= 1 {
+		panic("core: eps must be in (0,1)")
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		cfg.Delta = 0.25
+	}
+	if cfg.N < 1 {
+		panic("core: n must be positive")
+	}
+	p, eps := cfg.P, cfg.Eps
+
+	// Initialization stage of Figure 1.
+	k := cfg.KOverride
+	if k <= 0 {
+		if p == 1 {
+			k = int(math.Ceil(4 * math.Log2(1/eps)))
+		} else {
+			k = 10 * int(math.Ceil(1/math.Abs(p-1)))
+		}
+		if k < 2 {
+			k = 2
+		}
+	}
+	mf := cfg.MFactor
+	if mf <= 0 {
+		mf = 16
+	}
+	var m int
+	if p == 1 {
+		m = int(math.Ceil(mf * math.Max(1, math.Log2(1/eps))))
+	} else {
+		m = int(math.Ceil(mf * math.Pow(eps, -math.Max(0, p-1))))
+	}
+	if m < 2 {
+		m = 2
+	}
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = int(math.Ceil(math.Log2(float64(cfg.N)))) + 4
+		if rows < 7 {
+			rows = 7
+		}
+	}
+	normCounters := cfg.NormCounters
+	if normCounters <= 0 {
+		normCounters = 80
+		if p < 0.75 {
+			normCounters = 140
+		}
+	}
+	copies := cfg.Copies
+	if copies <= 0 {
+		// Per-round success is at least ~ε/2^p (Theorem 1 proof).
+		perRound := eps / math.Pow(2, p)
+		copies = int(math.Ceil(math.Log(1/cfg.Delta) / perRound))
+		if copies < 1 {
+			copies = 1
+		}
+	}
+
+	s := &LpSampler{
+		cfg:    cfg,
+		k:      k,
+		m:      m,
+		beta:   math.Pow(eps, 1-1/p),
+		tMin:   math.Pow(float64(cfg.N), -2) / 16,
+		copies: make([]*lpCopy, copies),
+		rNorm:  norm.NewStable(p, normCounters, r),
+	}
+	for c := range s.copies {
+		s.copies[c] = &lpCopy{
+			t:   hash.NewKWise(k, r),
+			cs:  countsketch.New(m, rows, r),
+			ams: norm.NewAMS(9, 6, r),
+		}
+	}
+	return s
+}
+
+// K returns the independence parameter in use for the scaling factors.
+func (s *LpSampler) K() int { return s.k }
+
+// M returns the count-sketch parameter m in use.
+func (s *LpSampler) M() int { return s.m }
+
+// Copies returns the number of parallel repetitions v.
+func (s *LpSampler) Copies() int { return len(s.copies) }
+
+// Process implements stream.Sink: it feeds the update to every repetition
+// (scaled by t_i^{-1/p}) and to the shared norm sketch.
+func (s *LpSampler) Process(u stream.Update) {
+	i := uint64(u.Index)
+	d := float64(u.Delta)
+	s.rNorm.Process(u)
+	invP := 1 / s.cfg.P
+	for _, c := range s.copies {
+		ti := c.t.Float64(i)
+		if ti < s.tMin {
+			// Paper, Theorem 1 proof: "we can safely declare failure if
+			// t_i^{-1} > n^c for some i" — a low-probability event.
+			c.guarded = true
+			continue
+		}
+		scale := math.Pow(ti, -invP)
+		zd := d * scale
+		c.cs.Add(i, zd)
+		c.ams.AddFloat(i, zd)
+	}
+}
+
+// Sample runs the recovery stage of Figure 1 on each repetition in turn and
+// returns the first non-FAIL output. ok is false when every repetition fails
+// (probability at most δ, plus the always-fail case of the zero vector).
+func (s *LpSampler) Sample() (Sample, bool) {
+	all := s.SampleAll()
+	if len(all) == 0 {
+		return Sample{}, false
+	}
+	return all[0], true
+}
+
+// SampleAll runs the recovery stage on every repetition and returns each
+// non-FAIL output in repetition order. Consumers that filter outputs further
+// — e.g. the duplicates reduction of Theorem 3, which accepts the first
+// sample whose estimate is positive — need the full list rather than just
+// the first success.
+func (s *LpSampler) SampleAll() []Sample {
+	s.diag = Diagnostics{}
+	r := s.rNorm.UpperEstimate(nil)
+	if r == 0 {
+		return nil
+	}
+	p := s.cfg.P
+	invP := 1 / p
+	threshold := math.Pow(s.cfg.Eps, -invP) * r
+	sBound := s.beta * math.Sqrt(float64(s.m)) * r
+	var out []Sample
+	for _, c := range s.copies {
+		if c.guarded {
+			s.diag.Guarded++
+			continue
+		}
+		// z* and its best m-sparse approximation ẑ.
+		top := c.cs.Top(s.cfg.N, s.m)
+		if len(top) == 0 {
+			s.diag.ThresholdFails++
+			continue
+		}
+		zhat := make(map[uint64]float64, len(top))
+		for _, e := range top {
+			zhat[uint64(e.Index)] = e.Estimate
+		}
+		if !s.cfg.DisableSTest {
+			sEst := c.ams.UpperEstimate(zhat)
+			if sEst > sBound {
+				s.diag.STestAborts++
+				continue // FAIL: tail too heavy (Lemma 3 event)
+			}
+		}
+		best := top[0] // Top sorts by decreasing |z*_i|
+		if math.Abs(best.Estimate) < threshold {
+			s.diag.ThresholdFails++
+			continue // FAIL: no coordinate passed the ε^{-1/p} r limit
+		}
+		s.diag.Emitted++
+		ti := c.t.Float64(uint64(best.Index))
+		out = append(out, Sample{
+			Index:    best.Index,
+			Estimate: best.Estimate * math.Pow(ti, invP),
+		})
+	}
+	return out
+}
+
+// SpaceBits accounts one repetition as count-sketch + AMS + scaling seed,
+// plus the shared norm sketch — the O(vm log² n) bits of Theorem 1.
+func (s *LpSampler) SpaceBits() int64 {
+	var bits int64
+	for _, c := range s.copies {
+		bits += c.cs.SpaceBits() + c.ams.SpaceBits() + c.t.SpaceBits()
+	}
+	return bits + s.rNorm.SpaceBits()
+}
+
+// StateBits reports the linear-measurement contents only (counters, no
+// seeds) — the message size when the sampler state is shipped in a
+// public-coin protocol, as in the reductions of §4.
+func (s *LpSampler) StateBits() int64 {
+	var bits int64
+	for _, c := range s.copies {
+		bits += c.cs.StateBits() + c.ams.StateBits()
+	}
+	return bits + s.rNorm.StateBits()
+}

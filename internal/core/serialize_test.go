@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestL0ExportImportRoundTrip(t *testing.T) {
+	r1 := rand.New(rand.NewPCG(1, 2))
+	r2 := rand.New(rand.NewPCG(1, 2))
+	alice := NewL0Sampler(L0Config{N: 256, Delta: 0.2}, r1)
+	bob := NewL0Sampler(L0Config{N: 256, Delta: 0.2}, r2)
+
+	// Alice feeds x.
+	for i := 0; i < 50; i++ {
+		alice.Process(stream.Update{Index: i, Delta: int64(i + 1)})
+	}
+	msg := alice.ExportState()
+	if int64(len(msg))*8 != alice.StateBits() {
+		t.Fatalf("exported %d bytes, StateBits says %d bits", len(msg), alice.StateBits())
+	}
+	// Bob imports and subtracts y (= x except coordinate 7): the handoff of
+	// Proposition 5's one-round protocol, over real bytes.
+	if err := bob.ImportState(msg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if i == 7 {
+			continue
+		}
+		bob.Process(stream.Update{Index: i, Delta: -int64(i + 1)})
+	}
+	out, ok := bob.Sample()
+	if !ok {
+		t.Fatal("handoff sampler failed")
+	}
+	if out.Index != 7 || out.Estimate != 8 {
+		t.Fatalf("sampled (%d,%v), want (7,8)", out.Index, out.Estimate)
+	}
+}
+
+func TestL0ImportRejectsWrongSize(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	s := NewL0Sampler(L0Config{N: 128, Delta: 0.2}, r)
+	if err := s.ImportState(make([]byte, 7)); err == nil {
+		t.Fatal("short state must be rejected")
+	}
+}
+
+func TestL0ImportOverwrites(t *testing.T) {
+	r1 := rand.New(rand.NewPCG(4, 4))
+	r2 := rand.New(rand.NewPCG(4, 4))
+	a := NewL0Sampler(L0Config{N: 64, Delta: 0.2}, r1)
+	b := NewL0Sampler(L0Config{N: 64, Delta: 0.2}, r2)
+	a.Process(stream.Update{Index: 5, Delta: 9})
+	b.Process(stream.Update{Index: 33, Delta: 1}) // will be overwritten
+	if err := b.ImportState(a.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := b.Sample()
+	if !ok || out.Index != 5 || out.Estimate != 9 {
+		t.Fatalf("import did not replace state: %+v ok=%v", out, ok)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/distinct"
+	"repro/internal/prng"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+)
+
+// TwoPassL0Sampler implements the paper's appendix remark after
+// Proposition 5: "along similar lines one can find an
+// O(log n log log n log 1/δ) space two-pass zero relative error L0-sampling
+// algorithm, by estimating L0 of the vector defined by the stream in the
+// first pass".
+//
+// Pass 1 runs the rough L0 estimator (internal/distinct, the [17]-style
+// level tester). Between passes, the sampler commits to a single
+// subsampling probability q ≈ s/(2·L̂0), sized so the expected number of
+// surviving support elements is s/2 ∈ [1, s]. Pass 2 maintains one exact
+// s-sparse recoverer (Lemma 5) over that single level — instead of the
+// ⌊log n⌋ levels the one-pass Theorem 2 sampler must carry, because it
+// cannot know L0 in advance. The sample is a uniformly random element of
+// the recovered support with its exact value.
+//
+// Space: O(log n log(1/δ)) words for pass 1 plus O(log(1/δ)) words for
+// pass 2 — asymptotically below the one-pass sampler's O(log² n) bits,
+// which is the point of the remark.
+type TwoPassL0Sampler struct {
+	n    int
+	s    int
+	est  *distinct.Estimator
+	gen  *prng.Nisan
+	rec  *sparse.Recoverer
+	q    float64 // pass-2 subsampling probability
+	pass int     // 1 or 2
+}
+
+// NewTwoPassL0Sampler constructs the sampler for dimension n and failure
+// probability delta.
+func NewTwoPassL0Sampler(n int, delta float64, r *rand.Rand) *TwoPassL0Sampler {
+	if n < 1 {
+		panic("core: n must be positive")
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = 0.25
+	}
+	s := 4
+	for 1<<s < int(4/delta) { // s = Θ(log 1/δ) with the Theorem 2 constant
+		s++
+	}
+	s = 4 * s
+	return &TwoPassL0Sampler{
+		n:    n,
+		s:    s,
+		est:  distinct.New(n, 12, r),
+		gen:  prng.New(uint64(n)*prng.BlockBits+prng.BlockBits, r),
+		rec:  sparse.New(n, s, r),
+		pass: 1,
+	}
+}
+
+// S returns the pass-2 sparse recovery budget.
+func (tp *TwoPassL0Sampler) S() int { return tp.s }
+
+// Process implements stream.Sink for the current pass.
+func (tp *TwoPassL0Sampler) Process(u stream.Update) {
+	if tp.pass == 1 {
+		tp.est.Process(u)
+		return
+	}
+	if tp.member(u.Index) {
+		tp.rec.Process(u)
+	}
+}
+
+// member decides pass-2 membership from the PRG (consistent per index).
+func (tp *TwoPassL0Sampler) member(i int) bool {
+	if tp.q >= 1 {
+		return true
+	}
+	return tp.gen.Float64At(uint64(i)) < tp.q
+}
+
+// EndPass1 commits the subsampling level from the pass-1 estimate. It must
+// be called exactly once, after the full stream has been processed in pass 1
+// and before any pass-2 update.
+func (tp *TwoPassL0Sampler) EndPass1() {
+	l0 := tp.est.Estimate()
+	if l0 <= int64(tp.s)/2 {
+		tp.q = 1 // small support: recover the whole vector
+	} else {
+		tp.q = float64(tp.s) / (2 * float64(l0))
+	}
+	tp.pass = 2
+}
+
+// Sample returns a uniform support element with its exact value. ok is
+// false when the pass-2 recovery fails (probability ≤ δ) or the vector is
+// zero. It must be called after the stream was replayed through pass 2.
+func (tp *TwoPassL0Sampler) Sample() (Sample, bool) {
+	if tp.pass != 2 {
+		return Sample{}, false
+	}
+	rec, ok := tp.rec.Recover()
+	if !ok || len(rec) == 0 {
+		return Sample{}, false
+	}
+	support := make([]int, 0, len(rec))
+	for i := range rec {
+		support = append(support, i)
+	}
+	sort.Ints(support)
+	u := tp.gen.Float64At(uint64(tp.n)) // reserved final block
+	idx := support[int(u*float64(len(support)))%len(support)]
+	return Sample{Index: idx, Estimate: float64(rec[idx])}, true
+}
+
+// SpaceBits reports pass-1 estimator plus pass-2 recoverer plus PRG seed.
+// Only one pass is active at a time, but we report the sum (the conservative
+// accounting; the estimator could be freed before pass 2).
+func (tp *TwoPassL0Sampler) SpaceBits() int64 {
+	return tp.est.SpaceBits() + tp.rec.SpaceBits() + tp.gen.SpaceBits()
+}

@@ -1,0 +1,148 @@
+package countmin
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestQueryMinUpperBound(t *testing.T) {
+	// In the strict turnstile model count-min never underestimates.
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 200
+	st := stream.StrictTurnstile(n, 3000, 10, r)
+	truth := st.Apply(n)
+	s := New(64, 5, r)
+	st.Feed(s)
+	for i := 0; i < n; i++ {
+		if got := s.QueryMin(uint64(i)); got < truth.Get(i) {
+			t.Fatalf("count-min underestimated x_%d: %d < %d", i, got, truth.Get(i))
+		}
+	}
+}
+
+func TestQueryMinErrorBound(t *testing.T) {
+	// Overestimate should stay below eps*||x||_1 for most coordinates with
+	// width e/eps.
+	r := rand.New(rand.NewPCG(2, 2))
+	const n = 500
+	st := stream.StrictTurnstile(n, 4000, 10, r)
+	truth := st.Apply(n)
+	l1 := int64(0)
+	for _, v := range truth.Coords() {
+		l1 += v
+	}
+	eps := 0.02
+	s := NewForGuarantee(eps, 0.01, r)
+	st.Feed(s)
+	bad := 0
+	for i := 0; i < n; i++ {
+		if float64(s.QueryMin(uint64(i))-truth.Get(i)) > eps*float64(l1) {
+			bad++
+		}
+	}
+	if bad > n/20 {
+		t.Errorf("%d/%d coordinates exceed the eps*L1 error bound", bad, n)
+	}
+}
+
+func TestQueryMedianGeneralUpdates(t *testing.T) {
+	// Median estimator works with negative coordinates.
+	r := rand.New(rand.NewPCG(3, 3))
+	const n = 300
+	st := stream.RandomTurnstile(n, 2000, 5, r)
+	truth := st.Apply(n)
+	s := New(128, 9, r)
+	st.Feed(s)
+	var l1 float64
+	for _, v := range truth.Coords() {
+		if v < 0 {
+			l1 -= float64(v)
+		} else {
+			l1 += float64(v)
+		}
+	}
+	bad := 0
+	for i := 0; i < n; i++ {
+		diff := float64(s.QueryMedian(uint64(i)) - truth.Get(i))
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05*l1 {
+			bad++
+		}
+	}
+	if bad > n/10 {
+		t.Errorf("%d/%d median estimates outside 5%% of L1", bad, n)
+	}
+}
+
+func TestHeavyHittersContainsTruth(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	const n = 256
+	s := New(128, 7, r)
+	// light noise + two heavies
+	var updates stream.Stream
+	for i := 0; i < n; i++ {
+		updates = append(updates, stream.Update{Index: i, Delta: 1})
+	}
+	updates = append(updates, stream.Update{Index: 3, Delta: 500}, stream.Update{Index: 77, Delta: 400})
+	updates.Feed(s)
+	l1 := s.L1()
+	hh := s.HeavyHitters(n, 0.2, l1)
+	found3, found77 := false, false
+	for _, i := range hh {
+		if i == 3 {
+			found3 = true
+		}
+		if i == 77 {
+			found77 = true
+		}
+	}
+	if !found3 || !found77 {
+		t.Fatalf("heavy hitters missing: %v", hh)
+	}
+	// Nothing with x_i <= phi/2 * L1 should appear (w.h.p.) — here every
+	// non-heavy coordinate has x_i = 1, far below the threshold band.
+	for _, i := range hh {
+		if i != 3 && i != 77 {
+			t.Errorf("spurious heavy hitter %d", i)
+		}
+	}
+}
+
+func TestL1RowSum(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	s := New(32, 3, r)
+	s.Add(1, 10)
+	s.Add(2, 5)
+	s.Add(1, -3)
+	if got := s.L1(); got != 12 {
+		t.Fatalf("L1 = %d, want 12", got)
+	}
+}
+
+func TestSpaceBits(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	s := New(32, 4, r)
+	if s.SpaceBits() < 32*4*64 {
+		t.Error("space accounting too small")
+	}
+}
+
+func TestClampedParams(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	s := New(0, 0, r)
+	s.Add(0, 3)
+	if s.QueryMin(0) != 3 {
+		t.Error("1x1 sketch must hold the exact sum")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(512, 5, rand.New(rand.NewPCG(1, 1)))
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i), 1)
+	}
+}

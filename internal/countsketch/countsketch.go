@@ -1,0 +1,163 @@
+// Package countsketch implements the count-sketch of Charikar, Chen and
+// Farach-Colton exactly as defined in §2 of the paper: for parameter m it
+// keeps l = O(log n) rows of 6m buckets; row j stores
+//
+//	y_{k,j} = sum_{i: h_j(i)=k} g_j(i) * x_i
+//
+// with pairwise independent h_j: [n] -> [6m] and g_j: [n] -> {-1,+1}, and the
+// estimate of x_i is the median over rows of g_j(i) * y_{h_j(i),j}.
+//
+// Lemma 1 (the guarantee the Lp sampler of Figure 1 builds on): with high
+// probability |x_i - x*_i| <= Err^m_2(x)/sqrt(m) for all i, and the best
+// m-sparse approximation xhat of the output satisfies
+// Err^m_2(x) <= ||x - xhat||_2 <= 10*Err^m_2(x).
+//
+// The sketch stores float64 cells because the Lp sampler feeds it the
+// randomly scaled vector z (z_i = x_i / t_i^{1/p}); for space accounting each
+// cell counts as one O(log n)-bit word, the paper's convention after its
+// (omitted) discretization step.
+package countsketch
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/stream"
+)
+
+// BucketFactor is the paper's constant: a sketch of parameter m uses 6m
+// buckets per row.
+const BucketFactor = 6
+
+// Sketch is a count-sketch instance.
+type Sketch struct {
+	m       int
+	rows    int
+	buckets uint64
+	h       []*hash.KWise
+	g       []*hash.KWise
+	cells   [][]float64
+}
+
+// New creates a count-sketch with parameter m and the given number of rows
+// (the paper's l = O(log n); callers pass c*log2(n)).
+func New(m, rows int, r *rand.Rand) *Sketch {
+	if m < 1 {
+		m = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	s := &Sketch{
+		m:       m,
+		rows:    rows,
+		buckets: uint64(BucketFactor * m),
+		h:       hash.Family(rows, 2, r),
+		g:       hash.Family(rows, 2, r),
+		cells:   make([][]float64, rows),
+	}
+	for j := range s.cells {
+		s.cells[j] = make([]float64, s.buckets)
+	}
+	return s
+}
+
+// M returns the sketch parameter m.
+func (s *Sketch) M() int { return s.m }
+
+// Rows returns the number of rows l.
+func (s *Sketch) Rows() int { return s.rows }
+
+// Add applies the update x_i += delta for real-valued delta.
+func (s *Sketch) Add(i uint64, delta float64) {
+	for j := 0; j < s.rows; j++ {
+		k := s.h[j].Bucket(i, s.buckets)
+		s.cells[j][k] += float64(s.g[j].Sign(i)) * delta
+	}
+}
+
+// Process implements stream.Sink for integer turnstile updates.
+func (s *Sketch) Process(u stream.Update) {
+	s.Add(uint64(u.Index), float64(u.Delta))
+}
+
+// Estimate returns x*_i, the median-of-rows estimate of coordinate i.
+func (s *Sketch) Estimate(i uint64) float64 {
+	ests := make([]float64, s.rows)
+	for j := 0; j < s.rows; j++ {
+		k := s.h[j].Bucket(i, s.buckets)
+		ests[j] = float64(s.g[j].Sign(i)) * s.cells[j][k]
+	}
+	return median(ests)
+}
+
+// Decode returns the full estimate vector x* for coordinates [0, n).
+func (s *Sketch) Decode(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Estimate(uint64(i))
+	}
+	return out
+}
+
+// TopEntry is one coordinate of a sparse approximation.
+type TopEntry struct {
+	Index    int
+	Estimate float64
+}
+
+// Top returns the entries of the best m-sparse approximation xhat of the
+// decoded vector: the m coordinates of largest |x*_i| (all of them if fewer
+// than m are nonzero), sorted by decreasing magnitude.
+func (s *Sketch) Top(n, m int) []TopEntry {
+	ests := s.Decode(n)
+	entries := make([]TopEntry, 0, n)
+	for i, e := range ests {
+		if e != 0 {
+			entries = append(entries, TopEntry{i, e})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		ea, eb := entries[a].Estimate, entries[b].Estimate
+		if ea < 0 {
+			ea = -ea
+		}
+		if eb < 0 {
+			eb = -eb
+		}
+		if ea != eb {
+			return ea > eb
+		}
+		return entries[a].Index < entries[b].Index
+	})
+	if len(entries) > m {
+		entries = entries[:m]
+	}
+	return entries
+}
+
+// SpaceBits reports cells plus hash seeds at 64 bits per word, matching the
+// paper's O(m log n)-counters => O(m log^2 n)-bits accounting.
+func (s *Sketch) SpaceBits() int64 {
+	bits := int64(s.rows) * int64(s.buckets) * 64
+	for j := 0; j < s.rows; j++ {
+		bits += s.h[j].SpaceBits() + s.g[j].SpaceBits()
+	}
+	return bits
+}
+
+// StateBits reports only the cell contents — the transmissible part in a
+// public-coin communication protocol.
+func (s *Sketch) StateBits() int64 {
+	return int64(s.rows) * int64(s.buckets) * 64
+}
+
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return (v[n/2-1] + v[n/2]) / 2
+}

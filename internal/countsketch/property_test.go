@@ -1,0 +1,156 @@
+package countsketch
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+// TestPropertyCellLinearity: the sketch cells are a linear map — the cells
+// of Sketch(A;B) equal the cell-wise sum of same-seed Sketch(A) and
+// Sketch(B). (The median ESTIMATOR on top is deliberately nonlinear; only
+// the measurement is linear, which is what streaming composition uses.)
+func TestPropertyCellLinearity(t *testing.T) {
+	f := func(seed uint64, rawA, rawB []int16) bool {
+		const n = 64
+		mkUpdates := func(raw []int16) stream.Stream {
+			var st stream.Stream
+			for k, v := range raw {
+				if v == 0 {
+					continue
+				}
+				st = append(st, stream.Update{Index: k % n, Delta: int64(v)})
+			}
+			return st
+		}
+		a, b := mkUpdates(rawA), mkUpdates(rawB)
+		mk := func() *Sketch {
+			return New(8, 7, rand.New(rand.NewPCG(seed, seed^1)))
+		}
+		combined := mk()
+		a.Feed(combined)
+		b.Feed(combined)
+		separateA, separateB := mk(), mk()
+		a.Feed(separateA)
+		b.Feed(separateB)
+		for j := range combined.cells {
+			for k := range combined.cells[j] {
+				if combined.cells[j][k] != separateA.cells[j][k]+separateB.cells[j][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPermutationInvariance: estimates do not depend on the order
+// updates arrive in.
+func TestPropertyPermutationInvariance(t *testing.T) {
+	f := func(seed uint64, raw []int16) bool {
+		const n = 32
+		var st stream.Stream
+		for k, v := range raw {
+			if v != 0 {
+				st = append(st, stream.Update{Index: k % n, Delta: int64(v)})
+			}
+		}
+		mk := func() *Sketch { return New(4, 5, rand.New(rand.NewPCG(seed, 7))) }
+		fwd, rev := mk(), mk()
+		st.Feed(fwd)
+		for i := len(st) - 1; i >= 0; i-- {
+			rev.Process(st[i])
+		}
+		for i := uint64(0); i < n; i++ {
+			if fwd.Estimate(i) != rev.Estimate(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySparseExactness: when at most one coordinate per row-bucket is
+// occupied (n distinct coordinates <= buckets and no collision), estimates
+// are exact. We use the weaker but testable form: a single occupied
+// coordinate is always estimated exactly, whatever its value.
+func TestPropertySparseExactness(t *testing.T) {
+	f := func(seed uint64, idx uint16, val int32) bool {
+		if val == 0 {
+			return true
+		}
+		s := New(4, 6, rand.New(rand.NewPCG(seed, 13)))
+		s.Add(uint64(idx), float64(val))
+		return s.Estimate(uint64(idx)) == float64(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDecodeMatchesEstimate: Decode is exactly per-coordinate
+// Estimate.
+func TestPropertyDecodeMatchesEstimate(t *testing.T) {
+	f := func(seed uint64, raw []int16) bool {
+		const n = 48
+		s := New(4, 5, rand.New(rand.NewPCG(seed, 17)))
+		for k, v := range raw {
+			if v != 0 {
+				s.Add(uint64(k%n), float64(v))
+			}
+		}
+		dec := s.Decode(n)
+		for i := 0; i < n; i++ {
+			if dec[i] != s.Estimate(uint64(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTopMagnitudeSorted: Top always returns entries by
+// non-increasing magnitude and never more than requested.
+func TestPropertyTopMagnitudeSorted(t *testing.T) {
+	f := func(seed uint64, raw []int16, mRaw uint8) bool {
+		const n = 48
+		m := int(mRaw%16) + 1
+		s := New(8, 5, rand.New(rand.NewPCG(seed, 23)))
+		for k, v := range raw {
+			if v != 0 {
+				s.Add(uint64(k%n), float64(v))
+			}
+		}
+		top := s.Top(n, m)
+		if len(top) > m {
+			return false
+		}
+		for i := 1; i < len(top); i++ {
+			a, b := top[i-1].Estimate, top[i].Estimate
+			if a < 0 {
+				a = -a
+			}
+			if b < 0 {
+				b = -b
+			}
+			if a < b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package countsketch
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestTrackerFindsPlantedHeavies(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 4096
+	sk := New(16, 11, r)
+	tr := NewTopTracker(sk, 4)
+	heavies := map[int]float64{100: 50000, 2000: -40000, 3999: 30000}
+	for i := 0; i < n; i++ {
+		tr.Add(uint64(i), float64(r.IntN(21)-10))
+	}
+	for i, v := range heavies {
+		tr.Add(uint64(i), v)
+	}
+	top := tr.Top()
+	found := map[int]bool{}
+	for _, e := range top {
+		found[e.Index] = true
+	}
+	for i := range heavies {
+		if !found[i] {
+			t.Fatalf("tracker missed planted heavy %d: %+v", i, top)
+		}
+	}
+}
+
+func TestTrackerMatchesScanOnInsertOnly(t *testing.T) {
+	// Insert-dominated zipf stream: tracker and scan decoder must agree on
+	// the top set.
+	r := rand.New(rand.NewPCG(2, 2))
+	const n = 1024
+	const m = 8
+	sk := New(32, 11, r)
+	tr := NewTopTracker(sk, m)
+	st := stream.ZipfSigned(n, 1.2, 100000, r)
+	for _, u := range st {
+		tr.Process(u)
+	}
+	scan := sk.Top(n, m)
+	tracked := tr.Top()
+	scanSet := map[int]bool{}
+	for _, e := range scan {
+		scanSet[e.Index] = true
+	}
+	misses := 0
+	for _, e := range tracked {
+		if !scanSet[e.Index] {
+			misses++
+		}
+	}
+	if len(tracked) < m/2 {
+		t.Fatalf("tracker returned only %d entries", len(tracked))
+	}
+	if misses > m/4 {
+		t.Errorf("tracker disagrees with scan on %d of %d entries", misses, len(tracked))
+	}
+}
+
+func TestTrackerSurvivesChurnOnTouchedCoordinates(t *testing.T) {
+	// Deletions that touch the heavy coordinate keep it tracked; its
+	// estimate follows the net value.
+	r := rand.New(rand.NewPCG(3, 3))
+	sk := New(8, 9, r)
+	tr := NewTopTracker(sk, 2)
+	tr.Add(7, 1000)
+	tr.Add(7, -400)
+	top := tr.Top()
+	if len(top) == 0 || top[0].Index != 7 || top[0].Estimate != 600 {
+		t.Fatalf("tracker lost churned coordinate: %+v", top)
+	}
+	// Full cancellation drops it from the set (estimate 0).
+	tr.Add(7, -600)
+	for _, e := range tr.Top() {
+		if e.Index == 7 {
+			t.Fatalf("cancelled coordinate still reported: %+v", e)
+		}
+	}
+}
+
+func TestTrackerPruneBoundsCandidates(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	sk := New(4, 7, r)
+	tr := NewTopTracker(sk, 4)
+	for i := 0; i < 100000; i++ {
+		tr.Add(uint64(i%50000), 1)
+	}
+	if len(tr.candidates) > 8*4 {
+		t.Fatalf("candidate set grew to %d, bound is %d", len(tr.candidates), 8*4)
+	}
+}
+
+func TestTrackerQueryCostIndependentOfN(t *testing.T) {
+	// Structural check: Top never touches coordinates outside the candidate
+	// set, so its output size is bounded by m regardless of n.
+	r := rand.New(rand.NewPCG(5, 5))
+	sk := New(4, 7, r)
+	tr := NewTopTracker(sk, 3)
+	for i := 0; i < 1000; i++ {
+		tr.Add(uint64(i), float64(i))
+	}
+	if got := len(tr.Top()); got > 3 {
+		t.Fatalf("Top returned %d entries, cap is 3", got)
+	}
+}
+
+func BenchmarkTrackerAdd(b *testing.B) {
+	sk := New(64, 15, rand.New(rand.NewPCG(1, 1)))
+	tr := NewTopTracker(sk, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Add(uint64(i%100000), 1)
+	}
+}
+
+func BenchmarkTrackerTopVsScanN65536(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 1 << 16
+	sk := New(32, 13, r)
+	tr := NewTopTracker(sk, 8)
+	for i := 0; i < n; i++ {
+		tr.Add(uint64(i), float64(r.IntN(100)))
+	}
+	b.Run("tracker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Top()
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sk.Top(n, 8)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package distinct
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestZeroVector(t *testing.T) {
+	e := New(256, 8, rand.New(rand.NewPCG(1, 1)))
+	if got := e.Estimate(); got != 0 {
+		t.Fatalf("zero vector estimate = %d, want 0", got)
+	}
+}
+
+func TestCancellationToZero(t *testing.T) {
+	e := New(256, 8, rand.New(rand.NewPCG(2, 2)))
+	for i := 0; i < 256; i++ {
+		e.Process(stream.Update{Index: i, Delta: 7})
+	}
+	for i := 0; i < 256; i++ {
+		e.Process(stream.Update{Index: i, Delta: -7})
+	}
+	if got := e.Estimate(); got != 0 {
+		t.Fatalf("cancelled vector estimate = %d, want 0", got)
+	}
+}
+
+func TestConstantFactorAccuracy(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	const n = 4096
+	for _, l0 := range []int{1, 4, 16, 100, 1000, 4096} {
+		good := 0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			e := New(n, 12, r)
+			st := stream.SparseVector(n, l0, 50, r)
+			st.Feed(e)
+			est := e.Estimate()
+			// Constant-factor window: [L0/8, 32*L0] is what the level
+			// argument guarantees with comfortable slack.
+			if est >= int64(l0)/8 && est <= 32*int64(l0) {
+				good++
+			}
+		}
+		if good < trials-2 {
+			t.Errorf("L0=%d: constant-factor estimate only %d/%d times", l0, good, trials)
+		}
+	}
+}
+
+func TestSingleCoordinate(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	for trial := 0; trial < 10; trial++ {
+		e := New(1024, 12, r)
+		e.Process(stream.Update{Index: trial * 100, Delta: -3})
+		est := e.Estimate()
+		if est < 1 || est > 16 {
+			t.Fatalf("singleton estimate = %d, want small constant", est)
+		}
+	}
+}
+
+func TestNegativeValuesCount(t *testing.T) {
+	// L0 counts support regardless of sign.
+	r := rand.New(rand.NewPCG(5, 5))
+	e := New(512, 12, r)
+	for i := 0; i < 200; i++ {
+		e.Process(stream.Update{Index: i, Delta: -int64(i + 1)})
+	}
+	est := e.Estimate()
+	if est < 25 || est > 6400 {
+		t.Fatalf("estimate %d far from 200", est)
+	}
+}
+
+func TestSpaceBitsGrowth(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	small := New(1<<8, 8, r)
+	big := New(1<<16, 8, r)
+	if big.SpaceBits() <= small.SpaceBits() {
+		t.Error("space must grow with log n")
+	}
+	if big.SpaceBits() > 4*small.SpaceBits() {
+		t.Error("space must stay logarithmic in n")
+	}
+	if small.StateBits() >= small.SpaceBits() {
+		t.Error("StateBits must exclude seeds")
+	}
+}
+
+func TestPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 8, rand.New(rand.NewPCG(7, 7)))
+}
+
+func BenchmarkProcess(b *testing.B) {
+	e := New(1<<16, 12, rand.New(rand.NewPCG(1, 1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Process(stream.Update{Index: i % (1 << 16), Delta: 1})
+	}
+}

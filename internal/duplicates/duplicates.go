@@ -1,0 +1,272 @@
+// Package duplicates implements §3 of the paper: finding a repeated letter
+// in a stream over the alphabet [n].
+//
+// Three algorithms, one per stream-length regime:
+//
+//   - Finder (Theorem 3): length n+1 — a duplicate always exists by
+//     pigeonhole. Feed x_i = (#occurrences of i) - 1 to an L1 sampler with
+//     ε = δ = 1/2; since Σx_i = 1, a sample with positive estimate is a
+//     duplicate with high probability. O(log² n · log(1/δ)) bits.
+//   - ShortFinder (Theorem 4): length n-s — runs exact 5s-sparse recovery
+//     (Lemma 5) in parallel with the L1 sampler. If recovery returns the
+//     vector, the answer is exact (including NO-DUPLICATE with probability 1
+//     on duplicate-free streams); otherwise ‖x‖⁺₁/‖x‖₁ > 2/5 and the sampler
+//     finds a positive coordinate. O(s log n + log² n log(1/δ)) bits.
+//   - LongFinder (§3 end): length n+s — samples 4⌈n/s⌉ positions and checks
+//     recurrence, O((n/s) log n) bits; automatically switches to the
+//     Theorem 3 sampler when n/s ≥ log n, realizing the
+//     O(min{log² n, (n/s) log n}) bound.
+//
+// The generalized form (remark after Theorem 4) is exposed as
+// PositiveFinder: given any update stream, find an index with x_i > 0.
+package duplicates
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/reservoir"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+)
+
+// Kind classifies an outcome.
+type Kind int
+
+const (
+	// Fail means the algorithm could not produce an answer (probability δ).
+	Fail Kind = iota
+	// Duplicate means Index is a letter that appears at least twice (or a
+	// coordinate with x_i > 0 for PositiveFinder).
+	Duplicate
+	// NoDuplicate certifies the stream has no repeated letter (ShortFinder
+	// only; exact, never wrong).
+	NoDuplicate
+)
+
+// Result is the outcome of a finder.
+type Result struct {
+	Kind  Kind
+	Index int
+	// Value is the recovered/estimated multiplicity excess x_i where
+	// available (exact for the sparse-recovery path of ShortFinder).
+	Value float64
+}
+
+// PositiveFinder finds an index with x_i > 0 in a general update stream via
+// L1 sampling — the engine behind both Theorem 3 and Theorem 4. The L1
+// sampler runs with ε = 1/2 relative error per the theorems; samples with
+// non-positive estimates are rejected, and the repetition count folds the
+// rejection probability into δ.
+type PositiveFinder struct {
+	sampler *core.LpSampler
+}
+
+// NewPositiveFinder builds the engine for dimension n and overall failure
+// probability delta.
+func NewPositiveFinder(n int, delta float64, r *rand.Rand) *PositiveFinder {
+	if delta <= 0 || delta >= 1 {
+		delta = 0.25
+	}
+	// Theorem 3: per repetition, P(positive duplicate output) >= 1/4 for
+	// streams with sum(x) = 1 — composed of the sampler's own success rate
+	// and the >1/2 positive mass. Size the repetitions against that rate.
+	copies := int(math.Ceil(math.Log(1/delta) * 8))
+	if copies < 4 {
+		copies = 4
+	}
+	return &PositiveFinder{
+		sampler: core.NewLpSampler(core.LpConfig{
+			P:      1,
+			N:      n,
+			Eps:    0.5,
+			Delta:  0.5,
+			Copies: copies,
+		}, r),
+	}
+}
+
+// Process implements stream.Sink.
+func (f *PositiveFinder) Process(u stream.Update) { f.sampler.Process(u) }
+
+// Find returns the first sampled coordinate with positive estimate.
+func (f *PositiveFinder) Find() Result {
+	for _, s := range f.sampler.SampleAll() {
+		if s.Estimate > 0 {
+			return Result{Kind: Duplicate, Index: s.Index, Value: s.Estimate}
+		}
+	}
+	return Result{Kind: Fail, Index: -1}
+}
+
+// SpaceBits reports the sampler state.
+func (f *PositiveFinder) SpaceBits() int64 { return f.sampler.SpaceBits() }
+
+// StateBits reports the transmissible counter state (public-coin message
+// size for the Theorem 7 reduction).
+func (f *PositiveFinder) StateBits() int64 { return f.sampler.StateBits() }
+
+// Finder is the Theorem 3 algorithm for item streams of length n+1 over [n].
+type Finder struct {
+	pf *PositiveFinder
+}
+
+// NewFinder creates the finder. The constructor feeds the (i, -1) prefix for
+// every letter, so x_i counts occurrences minus one from the start.
+func NewFinder(n int, delta float64, r *rand.Rand) *Finder {
+	f := &Finder{pf: NewPositiveFinder(n, delta, r)}
+	for _, u := range stream.DecrementAll(n) {
+		f.pf.Process(u)
+	}
+	return f
+}
+
+// ProcessItem consumes one letter of the stream.
+func (f *Finder) ProcessItem(letter int) {
+	f.pf.Process(stream.Update{Index: letter, Delta: 1})
+}
+
+// Find outputs a duplicate letter or Fail. A returned letter is a true
+// duplicate except with low probability (the sampler's estimate would need
+// the wrong sign).
+func (f *Finder) Find() Result { return f.pf.Find() }
+
+// SpaceBits reports the streaming state.
+func (f *Finder) SpaceBits() int64 { return f.pf.SpaceBits() }
+
+// StateBits reports the transmissible counter state.
+func (f *Finder) StateBits() int64 { return f.pf.StateBits() }
+
+// ShortFinder is the Theorem 4 algorithm for streams of length n-s.
+type ShortFinder struct {
+	n   int
+	s   int
+	rec *sparse.Recoverer
+	pf  *PositiveFinder
+}
+
+// NewShortFinder creates the finder for streams of length n-s.
+func NewShortFinder(n, s int, delta float64, r *rand.Rand) *ShortFinder {
+	if s < 0 {
+		s = 0
+	}
+	budget := 5 * s
+	if budget < 1 {
+		budget = 1
+	}
+	sf := &ShortFinder{
+		n:   n,
+		s:   s,
+		rec: sparse.New(n, budget, r),
+		pf:  NewPositiveFinder(n, delta, r),
+	}
+	for _, u := range stream.DecrementAll(n) {
+		sf.rec.Process(u)
+		sf.pf.Process(u)
+	}
+	return sf
+}
+
+// ProcessItem consumes one letter.
+func (sf *ShortFinder) ProcessItem(letter int) {
+	u := stream.Update{Index: letter, Delta: 1}
+	sf.rec.Process(u)
+	sf.pf.Process(u)
+}
+
+// Find resolves the stream: exact answer when x is 5s-sparse (including the
+// certain NO-DUPLICATE on duplicate-free streams), else the sampler's
+// positive coordinate, else Fail.
+func (sf *ShortFinder) Find() Result {
+	if rec, ok := sf.rec.Recover(); ok {
+		for i, v := range rec {
+			if v > 0 {
+				return Result{Kind: Duplicate, Index: i, Value: float64(v)}
+			}
+		}
+		return Result{Kind: NoDuplicate, Index: -1}
+	}
+	return sf.pf.Find()
+}
+
+// SpaceBits reports recovery plus sampler state — the O(s log n + log² n)
+// bits of Theorem 4.
+func (sf *ShortFinder) SpaceBits() int64 {
+	return sf.rec.SpaceBits() + sf.pf.SpaceBits()
+}
+
+// LongFinder handles streams of length n+s (§3 end).
+type LongFinder struct {
+	useSampler bool
+	items      *reservoir.Items
+	finder     *positiveItemFinder
+}
+
+// positiveItemFinder adapts PositiveFinder to item streams without the
+// pigeonhole prefix trick needing length exactly n+1: feeding occurrences-
+// minus-one still leaves sum(x) = s >= 1 for length n+s, so positive
+// coordinates exist and the sampler finds one.
+type positiveItemFinder struct {
+	pf *PositiveFinder
+}
+
+// NewLongFinder picks the cheaper algorithm: position sampling when
+// n/s < log n, the L1 sampler otherwise. Force the choice with forceSampler
+// (0 = auto, 1 = sampler, 2 = position sampling) for the E6 crossover
+// experiment.
+func NewLongFinder(n, s int, delta float64, force int, r *rand.Rand) *LongFinder {
+	if s < 1 {
+		s = 1
+	}
+	useSampler := float64(n)/float64(s) >= math.Log2(float64(n))
+	switch force {
+	case 1:
+		useSampler = true
+	case 2:
+		useSampler = false
+	}
+	lf := &LongFinder{useSampler: useSampler}
+	if useSampler {
+		pf := NewPositiveFinder(n, delta, r)
+		for _, u := range stream.DecrementAll(n) {
+			pf.Process(u)
+		}
+		lf.finder = &positiveItemFinder{pf: pf}
+	} else {
+		k := 4 * int(math.Ceil(float64(n)/float64(s)))
+		lf.items = reservoir.NewItems(k, n+s, r)
+	}
+	return lf
+}
+
+// UsesSampler reports which algorithm was selected.
+func (lf *LongFinder) UsesSampler() bool { return lf.useSampler }
+
+// ProcessItem consumes one letter.
+func (lf *LongFinder) ProcessItem(letter int) {
+	if lf.useSampler {
+		lf.finder.pf.Process(stream.Update{Index: letter, Delta: 1})
+		return
+	}
+	lf.items.ProcessItem(letter)
+}
+
+// Find reports a duplicate or Fail.
+func (lf *LongFinder) Find() Result {
+	if lf.useSampler {
+		return lf.finder.pf.Find()
+	}
+	if d, ok := lf.items.Duplicate(); ok {
+		return Result{Kind: Duplicate, Index: d}
+	}
+	return Result{Kind: Fail, Index: -1}
+}
+
+// SpaceBits reports the state of whichever algorithm runs.
+func (lf *LongFinder) SpaceBits() int64 {
+	if lf.useSampler {
+		return lf.finder.pf.SpaceBits()
+	}
+	return lf.items.SpaceBits()
+}

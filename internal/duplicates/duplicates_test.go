@@ -1,0 +1,264 @@
+package duplicates
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// isDuplicate checks an answer against the item stream.
+func isDuplicate(items stream.Items, letter int) bool {
+	c := 0
+	for _, it := range items {
+		if it == letter {
+			c++
+		}
+	}
+	return c >= 2
+}
+
+func TestFinderRandomStreams(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 256
+	fails, wrong := 0, 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		items := stream.DuplicateItems(n, -1, r)
+		f := NewFinder(n, 0.1, r)
+		for _, it := range items {
+			f.ProcessItem(it)
+		}
+		res := f.Find()
+		switch res.Kind {
+		case Fail:
+			fails++
+		case Duplicate:
+			if !isDuplicate(items, res.Index) {
+				wrong++
+			}
+		default:
+			t.Fatalf("unexpected result kind %v", res.Kind)
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d wrong duplicates (must be low probability)", wrong)
+	}
+	if fails > trials/4 {
+		t.Errorf("%d/%d failures, want <= δ + slack", fails, trials)
+	}
+}
+
+func TestFinderSingleDuplicateAdversarial(t *testing.T) {
+	// Exactly one letter repeats: the hardest instance (duplicate mass is
+	// minimal, every other letter has x_i = 0).
+	r := rand.New(rand.NewPCG(2, 2))
+	const n = 128
+	fails, wrong := 0, 0
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		target := r.IntN(n)
+		items := stream.DuplicateItems(n, target, r)
+		f := NewFinder(n, 0.1, r)
+		for _, it := range items {
+			f.ProcessItem(it)
+		}
+		res := f.Find()
+		switch res.Kind {
+		case Fail:
+			fails++
+		case Duplicate:
+			if res.Index != target {
+				wrong++
+			}
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d wrong answers on single-duplicate streams", wrong)
+	}
+	if fails > trials/3 {
+		t.Errorf("%d/%d failures on adversarial streams", fails, trials)
+	}
+}
+
+func TestShortFinderNoDuplicateExact(t *testing.T) {
+	// Duplicate-free streams of length n-s: NO-DUPLICATE with probability 1.
+	r := rand.New(rand.NewPCG(3, 3))
+	const n = 200
+	for _, s := range []int{0, 1, 5, 20} {
+		for trial := 0; trial < 5; trial++ {
+			items := stream.ShortItems(n, s, false, 0, r)
+			sf := NewShortFinder(n, s, 0.1, r)
+			for _, it := range items {
+				sf.ProcessItem(it)
+			}
+			res := sf.Find()
+			if res.Kind != NoDuplicate {
+				t.Fatalf("s=%d: result %v on duplicate-free stream, want NoDuplicate", s, res.Kind)
+			}
+		}
+	}
+}
+
+func TestShortFinderSparseCaseExact(t *testing.T) {
+	// Few duplicates => x is 5s-sparse => sparse recovery answers exactly.
+	r := rand.New(rand.NewPCG(4, 4))
+	const n = 200
+	const s = 10
+	for trial := 0; trial < 10; trial++ {
+		items := stream.ShortItems(n, s, true, 2, r)
+		sf := NewShortFinder(n, s, 0.1, r)
+		for _, it := range items {
+			sf.ProcessItem(it)
+		}
+		res := sf.Find()
+		if res.Kind != Duplicate {
+			t.Fatalf("trial %d: kind %v, want Duplicate (sparse path never fails)", trial, res.Kind)
+		}
+		if !isDuplicate(items, res.Index) {
+			t.Fatalf("trial %d: %d is not a duplicate", trial, res.Index)
+		}
+		if res.Value != 1 {
+			t.Fatalf("trial %d: recovered excess %v, want exactly 1", trial, res.Value)
+		}
+	}
+}
+
+func TestShortFinderDensePath(t *testing.T) {
+	// Many duplicates: x is not 5s-sparse, the sampler path must engage.
+	r := rand.New(rand.NewPCG(5, 5))
+	const n = 256
+	const s = 2
+	fails, wrong := 0, 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		// length n-2 with ~120 duplicated letters: ~120 positives, ~120+2
+		// negatives — far beyond 5s = 10 sparse.
+		items := stream.ShortItems(n, s, true, 120, r)
+		sf := NewShortFinder(n, s, 0.1, r)
+		for _, it := range items {
+			sf.ProcessItem(it)
+		}
+		res := sf.Find()
+		switch res.Kind {
+		case NoDuplicate:
+			t.Fatal("NoDuplicate on a stream full of duplicates")
+		case Fail:
+			fails++
+		case Duplicate:
+			if !isDuplicate(items, res.Index) {
+				wrong++
+			}
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d wrong answers", wrong)
+	}
+	if fails > trials/3 {
+		t.Errorf("%d/%d failures", fails, trials)
+	}
+}
+
+func TestPositiveFinderGeneralStreams(t *testing.T) {
+	// The remark after Theorem 4: any update stream with sum(x) < 0 has a
+	// positive coordinate... only when one exists by construction; here we
+	// plant positives among negatives.
+	r := rand.New(rand.NewPCG(6, 6))
+	const n = 128
+	found, wrong := 0, 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		pf := NewPositiveFinder(n, 0.1, r)
+		positives := map[int]bool{}
+		for i := 0; i < n; i++ {
+			if i%4 == 0 {
+				pf.Process(stream.Update{Index: i, Delta: 3})
+				positives[i] = true
+			} else {
+				pf.Process(stream.Update{Index: i, Delta: -2})
+			}
+		}
+		res := pf.Find()
+		if res.Kind == Duplicate {
+			found++
+			if !positives[res.Index] {
+				wrong++
+			}
+		}
+	}
+	if wrong > 0 {
+		t.Errorf("%d non-positive coordinates returned", wrong)
+	}
+	if found < trials*2/3 {
+		t.Errorf("positive coordinate found only %d/%d times", found, trials)
+	}
+}
+
+func TestLongFinderBothModes(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	const n = 256
+	for _, force := range []int{1, 2} {
+		caught, fails := 0, 0
+		const trials = 15
+		for trial := 0; trial < trials; trial++ {
+			const s = 64
+			items := stream.LongItems(n, s, r)
+			lf := NewLongFinder(n, s, 0.1, force, r)
+			for _, it := range items {
+				lf.ProcessItem(it)
+			}
+			res := lf.Find()
+			switch res.Kind {
+			case Duplicate:
+				if !isDuplicate(items, res.Index) {
+					t.Fatalf("force=%d: wrong duplicate", force)
+				}
+				caught++
+			case Fail:
+				fails++
+			}
+		}
+		if caught < trials/2 {
+			t.Errorf("force=%d: caught only %d/%d", force, caught, trials)
+		}
+	}
+}
+
+func TestLongFinderAutoSelection(t *testing.T) {
+	r := rand.New(rand.NewPCG(8, 8))
+	// n/s tiny => position sampling; n/s huge => sampler.
+	lf := NewLongFinder(1024, 512, 0.1, 0, r)
+	if lf.UsesSampler() {
+		t.Error("n/s=2 < log n: should use position sampling")
+	}
+	lf = NewLongFinder(1024, 2, 0.1, 0, r)
+	if !lf.UsesSampler() {
+		t.Error("n/s=512 >= log n: should use the L1 sampler")
+	}
+}
+
+func TestSpaceBitsRegimes(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 9))
+	// ShortFinder space grows with s (the 5s-sparse recovery part).
+	a := NewShortFinder(256, 1, 0.2, r)
+	b := NewShortFinder(256, 50, 0.2, r)
+	if b.SpaceBits() <= a.SpaceBits() {
+		t.Error("ShortFinder space must grow with s")
+	}
+	// LongFinder in position-sampling mode shrinks as s grows.
+	c := NewLongFinder(1024, 256, 0.2, 2, r)
+	d := NewLongFinder(1024, 512, 0.2, 2, r)
+	if d.SpaceBits() > c.SpaceBits() {
+		t.Error("position-sampling space must shrink with s")
+	}
+}
+
+func BenchmarkFinderProcess(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 1 << 12
+	f := NewFinder(n, 0.2, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ProcessItem(i % n)
+	}
+}

@@ -1,0 +1,112 @@
+package duplicates
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestFinderAllSameLetter: the extreme stream where one letter fills all
+// n+1 positions — maximal duplicate mass, x has one coordinate at n and
+// n-1 coordinates at -1.
+func TestFinderAllSameLetter(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 128
+	for trial := 0; trial < 5; trial++ {
+		f := NewFinder(n, 0.1, r)
+		for i := 0; i <= n; i++ {
+			f.ProcessItem(42)
+		}
+		res := f.Find()
+		if res.Kind != Duplicate || res.Index != 42 {
+			t.Fatalf("trial %d: got %+v, want duplicate 42", trial, res)
+		}
+	}
+}
+
+func TestFinderEmptyStream(t *testing.T) {
+	// No items at all: x = (-1,...,-1), no positive coordinate exists; the
+	// finder must FAIL, never invent a duplicate.
+	r := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 10; trial++ {
+		f := NewFinder(64, 0.1, r)
+		if res := f.Find(); res.Kind == Duplicate {
+			t.Fatalf("trial %d: duplicate %d invented on empty stream", trial, res.Index)
+		}
+	}
+}
+
+func TestFinderStreamWithoutDuplicates(t *testing.T) {
+	// Length-n permutation stream (x = 0 everywhere): must not report.
+	r := rand.New(rand.NewPCG(3, 3))
+	const n = 128
+	wrong := 0
+	for trial := 0; trial < 10; trial++ {
+		f := NewFinder(n, 0.1, r)
+		for _, it := range r.Perm(n) {
+			f.ProcessItem(it)
+		}
+		if res := f.Find(); res.Kind == Duplicate {
+			wrong++
+		}
+	}
+	// x is the zero vector; emitting anything requires the norm estimate to
+	// misfire, a low-probability event.
+	if wrong > 1 {
+		t.Errorf("reported duplicates on %d/10 duplicate-free streams", wrong)
+	}
+}
+
+func TestShortFinderSEqualsNMinusOne(t *testing.T) {
+	// Degenerate short stream: length 1. Always duplicate-free.
+	r := rand.New(rand.NewPCG(4, 4))
+	const n = 64
+	sf := NewShortFinder(n, n-1, 0.1, r)
+	sf.ProcessItem(7)
+	if res := sf.Find(); res.Kind != NoDuplicate {
+		t.Fatalf("got %+v on a single-item stream", res)
+	}
+}
+
+func TestShortFinderNegativeSClamped(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	sf := NewShortFinder(64, -3, 0.1, r)
+	sf.ProcessItem(1)
+	sf.ProcessItem(1)
+	// With s clamped to 0 the budget is 5*0 -> 1; x (one +1, rest -1 ...)
+	// is dense, so the sampler path must engage and find letter 1 often.
+	res := sf.Find()
+	if res.Kind == NoDuplicate {
+		t.Fatal("NoDuplicate on a stream with a duplicate")
+	}
+}
+
+func TestLongFinderSClampedToOne(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	lf := NewLongFinder(64, 0, 0.1, 0, r)
+	items := stream.LongItems(64, 1, r)
+	for _, it := range items {
+		lf.ProcessItem(it)
+	}
+	lf.Find() // must not panic
+}
+
+func TestPositiveFinderAllNegative(t *testing.T) {
+	// No positive coordinate exists: Find must FAIL (w.h.p.), not return a
+	// negative coordinate.
+	r := rand.New(rand.NewPCG(7, 7))
+	wrong := 0
+	for trial := 0; trial < 10; trial++ {
+		pf := NewPositiveFinder(64, 0.1, r)
+		for i := 0; i < 64; i++ {
+			pf.Process(stream.Update{Index: i, Delta: -int64(1 + i%5)})
+		}
+		if res := pf.Find(); res.Kind == Duplicate {
+			wrong++
+		}
+	}
+	if wrong > 1 {
+		t.Errorf("positive finder hallucinated on %d/10 all-negative vectors", wrong)
+	}
+}

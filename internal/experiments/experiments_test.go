@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, e := range reg {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, ok := Run("E99", Config{Seed: 1, Quick: true}); ok {
+		t.Fatal("unknown ID must not resolve")
+	}
+}
+
+func TestRunCaseInsensitive(t *testing.T) {
+	tbl, ok := Run("e9", Config{Seed: 1, Quick: true})
+	if !ok || tbl.ID != "E9" {
+		t.Fatal("IDs must match case-insensitively")
+	}
+}
+
+// TestEveryExperimentProducesWellFormedTable is the smoke test that each
+// experiment runs end-to-end in quick mode and emits a consistent table.
+func TestEveryExperimentProducesWellFormedTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	cfg := Config{Seed: 3, Quick: true}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(cfg)
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q != registry ID %q", tbl.ID, e.ID)
+			}
+			if tbl.Title == "" || tbl.Claim == "" {
+				t.Error("missing title or claim")
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for ri, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row %d has %d cells, header has %d", ri, len(row), len(tbl.Header))
+				}
+			}
+			var sb strings.Builder
+			tbl.Render(&sb)
+			out := sb.String()
+			if !strings.Contains(out, tbl.ID) || !strings.Contains(out, "paper claim:") {
+				t.Error("render output malformed")
+			}
+		})
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, _ := Run("E2", Config{Seed: 5, Quick: true})
+	b, _ := Run("E2", Config{Seed: 5, Quick: true})
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row counts differ across identical runs")
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("cell (%d,%d) differs: %q vs %q", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}
+
+func TestQuickReducesTrials(t *testing.T) {
+	full := Config{Seed: 1}
+	quick := Config{Seed: 1, Quick: true}
+	if quick.trials(300) >= full.trials(300) {
+		t.Error("quick mode must reduce trials")
+	}
+	if quick.trials(4) < 3 {
+		t.Error("quick mode must keep a minimum of 3 trials")
+	}
+}

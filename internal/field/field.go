@@ -1,0 +1,114 @@
+// Package field implements arithmetic over the prime field GF(2^61-1).
+//
+// The Mersenne prime 2^61-1 supports fast modular reduction (two folds of a
+// 128-bit product) while leaving enough headroom that polynomially bounded
+// stream values (|x_i| <= poly(n)) embed injectively into the field. The
+// package provides the element arithmetic, dense polynomials, a
+// Berlekamp-Massey minimal-LFSR solver and a small Gaussian elimination —
+// exactly the toolkit needed by the k-wise independent hash families
+// (internal/hash) and the exact sparse recovery of Lemma 5 (internal/sparse).
+package field
+
+import "math/bits"
+
+// Modulus is the field characteristic, the Mersenne prime 2^61 - 1.
+const Modulus uint64 = (1 << 61) - 1
+
+// Elem is an element of GF(2^61-1), always kept in canonical form [0, Modulus).
+type Elem uint64
+
+// reduce maps any uint64 into canonical form. The input may be up to 2^64-1;
+// two folds suffice because after one fold the value is < 2^62.
+func reduce(x uint64) Elem {
+	x = (x & Modulus) + (x >> 61)
+	if x >= Modulus {
+		x -= Modulus
+	}
+	return Elem(x)
+}
+
+// New returns the canonical element for an arbitrary uint64.
+func New(x uint64) Elem { return reduce(x) }
+
+// FromInt64 embeds a signed integer into the field, mapping negatives to
+// Modulus - |v|. Values with |v| < Modulus/2 round-trip through ToInt64.
+func FromInt64(v int64) Elem {
+	if v >= 0 {
+		return reduce(uint64(v))
+	}
+	m := reduce(uint64(-v))
+	if m == 0 {
+		return 0
+	}
+	return Elem(Modulus) - m
+}
+
+// ToInt64 inverts FromInt64 for elements that encode signed values of
+// magnitude below Modulus/2 (all stream values do: |x_i| <= poly(n)).
+func (e Elem) ToInt64() int64 {
+	if uint64(e) > Modulus/2 {
+		return -int64(Modulus - uint64(e))
+	}
+	return int64(e)
+}
+
+// Add returns a + b in the field.
+func Add(a, b Elem) Elem {
+	s := uint64(a) + uint64(b)
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Elem(s)
+}
+
+// Sub returns a - b in the field.
+func Sub(a, b Elem) Elem {
+	if a >= b {
+		return a - b
+	}
+	return a + Elem(Modulus) - b
+}
+
+// Neg returns -a in the field.
+func Neg(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Elem(Modulus) - a
+}
+
+// Mul returns a * b in the field using a 128-bit product and Mersenne folding.
+func Mul(a, b Elem) Elem {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// a,b < 2^61 so hi < 2^58. The product is hi*2^64 + lo; since
+	// 2^61 = 1 (mod Modulus), 2^64 = 8 (mod Modulus):
+	//   value = (lo & M) + (lo >> 61) + hi*8 (mod Modulus)
+	part := (lo & Modulus) + (lo >> 61) + hi<<3 // < 2^61 + 2^3 + 2^61 < 2^63
+	return reduce(part)
+}
+
+// Pow returns a^e by square-and-multiply.
+func Pow(a Elem, e uint64) Elem {
+	r := Elem(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			r = Mul(r, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse a^(Modulus-2). Inv(0) returns 0;
+// callers that can receive zero must check first.
+func Inv(a Elem) Elem {
+	if a == 0 {
+		return 0
+	}
+	return Pow(a, Modulus-2)
+}
+
+// Div returns a / b. Div by zero returns 0 (callers must guard).
+func Div(a, b Elem) Elem { return Mul(a, Inv(b)) }

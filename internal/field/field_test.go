@@ -1,0 +1,353 @@
+package field
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func elemGen(r *rand.Rand) Elem { return New(r.Uint64()) }
+
+func TestReduceCanonical(t *testing.T) {
+	cases := []struct {
+		in   uint64
+		want Elem
+	}{
+		{0, 0},
+		{1, 1},
+		{Modulus, 0},
+		{Modulus + 1, 1},
+		{2 * Modulus, 0},
+		{^uint64(0), New(^uint64(0))},
+	}
+	for _, c := range cases {
+		got := New(c.in)
+		if uint64(got) >= Modulus {
+			t.Fatalf("New(%d) = %d not canonical", c.in, got)
+		}
+		if got != c.want {
+			t.Errorf("New(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := New(x), New(y)
+		return Sub(Add(a, b), b) == a && Add(Sub(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	f := func(x uint64) bool {
+		a := New(x)
+		return Add(a, Neg(a)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulCommutativeAssociativeDistributive(t *testing.T) {
+	f := func(x, y, z uint64) bool {
+		a, b, c := New(x), New(y), New(z)
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAgainstBigIntSemantics(t *testing.T) {
+	// Cross-check Mul against repeated addition on small operands and
+	// against known identities on large ones.
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		a := Elem(r.Uint64N(1 << 20))
+		b := Elem(r.Uint64N(1 << 20))
+		want := New(uint64(a) * uint64(b)) // fits in 40 bits, no overflow
+		if got := Mul(a, b); got != want {
+			t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+	// 2^61 = 1 (mod Modulus) so Mul(2^60, 2) must equal 1.
+	if got := Mul(Elem(1)<<60, 2); got != 1 {
+		t.Fatalf("2^61 mod p = %d, want 1", got)
+	}
+}
+
+func TestInv(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 500; i++ {
+		a := elemGen(r)
+		if a == 0 {
+			continue
+		}
+		if Mul(a, Inv(a)) != 1 {
+			t.Fatalf("Inv(%d) failed", a)
+		}
+	}
+	if Inv(0) != 0 {
+		t.Error("Inv(0) must return 0")
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(3, 0) != 1 {
+		t.Error("a^0 != 1")
+	}
+	if Pow(0, 0) != 1 {
+		t.Error("0^0 convention should be 1")
+	}
+	// Fermat: a^(p-1) = 1
+	r := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 50; i++ {
+		a := elemGen(r)
+		if a == 0 {
+			continue
+		}
+		if Pow(a, Modulus-1) != 1 {
+			t.Fatalf("Fermat failed for %d", a)
+		}
+	}
+}
+
+func TestFromToInt64RoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		return FromInt64(int64(v)).ToInt64() == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	big := []int64{1 << 59, -(1 << 59), 0, 1, -1}
+	for _, v := range big {
+		if FromInt64(v).ToInt64() != v {
+			t.Errorf("round trip failed for %d", v)
+		}
+	}
+}
+
+func TestFromInt64Linearity(t *testing.T) {
+	f := func(a, b int32) bool {
+		return Add(FromInt64(int64(a)), FromInt64(int64(b))) == FromInt64(int64(a)+int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	// p(x) = 2 + 3x + x^2 at x=5: 2+15+25 = 42
+	p := Poly{2, 3, 1}
+	if got := p.Eval(5); got != 42 {
+		t.Fatalf("Eval = %d, want 42", got)
+	}
+	var zero Poly
+	if zero.Eval(17) != 0 {
+		t.Error("zero poly must evaluate to 0")
+	}
+	if zero.Degree() != -1 {
+		t.Error("zero poly degree must be -1")
+	}
+}
+
+func TestPolyReverseRootRelation(t *testing.T) {
+	// roots of p at a  <=>  roots of Reverse(p) at 1/a
+	r := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 50; trial++ {
+		// p = (1 - a x)(1 - b x)
+		a, b := Elem(r.Uint64N(1000)+1), Elem(r.Uint64N(1000)+1002)
+		p := Poly{1, Neg(Add(a, b)), Mul(a, b)}
+		rev := p.Reverse()
+		if rev.Eval(a) != 0 || rev.Eval(b) != 0 {
+			t.Fatalf("Reverse must vanish at a=%d b=%d", a, b)
+		}
+		if rev.Eval(Add(b, 1)) == 0 {
+			t.Fatalf("Reverse has spurious root")
+		}
+	}
+}
+
+// lfsrSequence generates a sequence satisfying the connection polynomial c
+// from initial state.
+func lfsrSequence(c Poly, init []Elem, n int) []Elem {
+	s := make([]Elem, n)
+	copy(s, init)
+	l := c.Degree()
+	for j := l; j < n; j++ {
+		var acc Elem
+		for k := 1; k <= l; k++ {
+			acc = Add(acc, Mul(c[k], s[j-k]))
+		}
+		s[j] = Neg(acc)
+	}
+	return s
+}
+
+func TestBerlekampMasseyRecoversLFSR(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 100; trial++ {
+		l := 1 + r.IntN(8)
+		c := make(Poly, l+1)
+		c[0] = 1
+		for i := 1; i <= l; i++ {
+			c[i] = Elem(r.Uint64N(1 << 30))
+		}
+		c[l] = Elem(r.Uint64N(1<<30) + 1) // ensure degree exactly l
+		init := make([]Elem, l)
+		anyNZ := false
+		for i := range init {
+			init[i] = Elem(r.Uint64N(1 << 30))
+			if init[i] != 0 {
+				anyNZ = true
+			}
+		}
+		if !anyNZ {
+			init[0] = 1
+		}
+		s := lfsrSequence(c, init, 3*l+2)
+		got := BerlekampMassey(s)
+		// The recovered polynomial must annihilate the sequence.
+		gl := got.Degree()
+		if gl > l {
+			t.Fatalf("BM degree %d exceeds true degree %d", gl, l)
+		}
+		for j := gl; j < len(s); j++ {
+			d := s[j]
+			for k := 1; k <= gl; k++ {
+				d = Add(d, Mul(got[k], s[j-k]))
+			}
+			if d != 0 {
+				t.Fatalf("BM output does not annihilate sequence at %d", j)
+			}
+		}
+	}
+}
+
+func TestBerlekampMasseySyndromeLocator(t *testing.T) {
+	// Syndromes of a sparse vector: BM must return the locator polynomial.
+	r := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 50; trial++ {
+		e := 1 + r.IntN(6)
+		pos := map[uint64]bool{}
+		for len(pos) < e {
+			pos[r.Uint64N(1000)+1] = true
+		}
+		type entry struct {
+			a Elem
+			v Elem
+		}
+		var entries []entry
+		for p := range pos {
+			entries = append(entries, entry{Elem(p), Elem(r.Uint64N(1<<40) + 1)})
+		}
+		n := 2 * e
+		synd := make([]Elem, n)
+		for j := 0; j < n; j++ {
+			var s Elem
+			for _, en := range entries {
+				s = Add(s, Mul(en.v, Pow(en.a, uint64(j))))
+			}
+			synd[j] = s
+		}
+		loc := BerlekampMassey(synd)
+		if loc.Degree() != e {
+			t.Fatalf("locator degree %d, want %d", loc.Degree(), e)
+		}
+		rev := loc.Reverse()
+		for _, en := range entries {
+			if rev.Eval(en.a) != 0 {
+				t.Fatalf("locator missing root at %d", en.a)
+			}
+		}
+	}
+}
+
+func TestBerlekampMasseyZero(t *testing.T) {
+	s := make([]Elem, 10)
+	c := BerlekampMassey(s)
+	if c.Degree() != 0 {
+		t.Fatalf("BM on zero sequence: degree %d, want 0", c.Degree())
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3
+	a := [][]Elem{{2, 1}, {1, 3}}
+	y := []Elem{5, 10}
+	x, ok := SolveLinear(a, y)
+	if !ok || x[0] != 1 || x[1] != 3 {
+		t.Fatalf("SolveLinear = %v ok=%v, want [1 3]", x, ok)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]Elem{{1, 2}, {2, 4}}
+	y := []Elem{1, 2}
+	if _, ok := SolveLinear(a, y); ok {
+		t.Fatal("singular system must report failure")
+	}
+}
+
+func TestSolveLinearVandermonde(t *testing.T) {
+	r := rand.New(rand.NewPCG(13, 14))
+	for trial := 0; trial < 30; trial++ {
+		e := 1 + r.IntN(6)
+		alphas := map[uint64]bool{}
+		for len(alphas) < e {
+			alphas[r.Uint64N(100000)+1] = true
+		}
+		var as []Elem
+		for a := range alphas {
+			as = append(as, Elem(a))
+		}
+		vals := make([]Elem, e)
+		for i := range vals {
+			vals[i] = Elem(r.Uint64N(1 << 50))
+		}
+		// y_j = sum_i vals[i] * as[i]^j
+		mat := make([][]Elem, e)
+		y := make([]Elem, e)
+		for j := 0; j < e; j++ {
+			mat[j] = make([]Elem, e)
+			for i := 0; i < e; i++ {
+				mat[j][i] = Pow(as[i], uint64(j))
+				y[j] = Add(y[j], Mul(vals[i], mat[j][i]))
+			}
+		}
+		got, ok := SolveLinear(mat, y)
+		if !ok {
+			t.Fatal("Vandermonde solve failed")
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("value mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := Elem(123456789123), Elem(987654321987)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	x := Elem(123456789123)
+	for i := 0; i < b.N; i++ {
+		x = Inv(x + 1)
+	}
+	_ = x
+}

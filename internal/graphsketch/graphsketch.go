@@ -1,0 +1,196 @@
+// Package graphsketch builds dynamic graph connectivity on top of the
+// paper's L0 sampler — the application that made Lp/L0 samplers a standard
+// tool (Ahn, Guha, McGregor, SODA 2012, appeared one year after this
+// paper's samplers).
+//
+// Each vertex v carries a signed incidence vector a_v over the
+// (V choose 2) edge slots:
+//
+//	a_v[(u,w)] = +1 if v = u and edge {u,w} is present (u < w),
+//	             -1 if v = w and edge {u,w} is present,
+//	              0 otherwise.
+//
+// The single identity everything rests on: for any vertex set S,
+// Σ_{v∈S} a_v has support exactly the cut edges of S, because an edge with
+// both endpoints inside S contributes +1 and -1 to the same slot. Since the
+// paper's L0 sampler is a linear sketch, merging the per-vertex sketches of
+// S yields an L0 sample of the cut — a uniformly random edge leaving S —
+// without storing adjacency. Borůvka's algorithm then builds a spanning
+// forest in O(log V) rounds, each round consuming a fresh, independent batch
+// of sketches (re-sampling the same sketch after conditioning on its answer
+// would bias it, so the structure carries one batch per round).
+//
+// Edge insertions and deletions are ±1 updates to two sketches per batch,
+// so fully dynamic streams (including deletions, where incremental
+// union-find fails) are supported. Space is O(V log³ V · log(1/δ)) bits:
+// V vertices × O(log V) rounds × the Theorem 2 sampler's O(log² V).
+package graphsketch
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Sketch summarizes a dynamic graph on V vertices for connectivity queries.
+type Sketch struct {
+	v      int
+	rounds int
+	slots  int
+	// sk[round][vertex]
+	sk [][]*core.L0Sampler
+}
+
+// New creates a sketch for graphs on v vertices with failure parameter
+// delta per sampler. rounds = ceil(log2 v) + 1 batches are allocated.
+func New(v int, delta float64, r *rand.Rand) *Sketch {
+	if v < 2 {
+		panic("graphsketch: need at least 2 vertices")
+	}
+	rounds := int(math.Ceil(math.Log2(float64(v)))) + 1
+	slots := v * (v - 1) / 2
+	g := &Sketch{v: v, rounds: rounds, slots: slots, sk: make([][]*core.L0Sampler, rounds)}
+	for t := 0; t < rounds; t++ {
+		// One shared seed per round so the round's sketches are mergeable;
+		// independent seeds across rounds.
+		seed := r.Uint64()
+		g.sk[t] = make([]*core.L0Sampler, v)
+		for vert := 0; vert < v; vert++ {
+			g.sk[t][vert] = core.NewL0Sampler(core.L0Config{N: slots, Delta: delta},
+				rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15)))
+		}
+	}
+	return g
+}
+
+// EdgeSlot numbers the undirected pair {u,w} in the triangular enumeration.
+func (g *Sketch) EdgeSlot(u, w int) int {
+	if u > w {
+		u, w = w, u
+	}
+	return u*g.v - u*(u+1)/2 + (w - u - 1)
+}
+
+// SlotEdge inverts EdgeSlot.
+func (g *Sketch) SlotEdge(slot int) (int, int) {
+	u := 0
+	for {
+		rowLen := g.v - u - 1
+		if slot < rowLen {
+			return u, u + 1 + slot
+		}
+		slot -= rowLen
+		u++
+	}
+}
+
+// apply feeds ±1 for the edge into both endpoints' sketches in every round.
+func (g *Sketch) apply(u, w int, sign int64) {
+	if u == w {
+		panic("graphsketch: self loop")
+	}
+	slot := g.EdgeSlot(u, w)
+	lo, hi := u, w
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for t := 0; t < g.rounds; t++ {
+		g.sk[t][lo].Process(stream.Update{Index: slot, Delta: sign})
+		g.sk[t][hi].Process(stream.Update{Index: slot, Delta: -sign})
+	}
+}
+
+// AddEdge inserts the undirected edge {u,w}.
+func (g *Sketch) AddEdge(u, w int) { g.apply(u, w, 1) }
+
+// RemoveEdge deletes the undirected edge {u,w}. Deleting an absent edge
+// corrupts the sketch (the model trusts the stream), as in any turnstile
+// structure.
+func (g *Sketch) RemoveEdge(u, w int) { g.apply(u, w, -1) }
+
+// SpanningForest runs Borůvka over the sketches and returns the component
+// label of every vertex and the forest edges found. The sketches are
+// consumed: each round's batch is merged along the current components.
+func (g *Sketch) SpanningForest() (comp []int, forest [][2]int) {
+	comp = make([]int, g.v)
+	for i := range comp {
+		comp[i] = i
+	}
+	find := func(x int) int {
+		for comp[x] != x {
+			comp[x] = comp[comp[x]]
+			x = comp[x]
+		}
+		return x
+	}
+	for t := 0; t < g.rounds; t++ {
+		merged := map[int]*core.L0Sampler{}
+		for v := 0; v < g.v; v++ {
+			c := find(v)
+			if merged[c] == nil {
+				merged[c] = g.sk[t][v]
+			} else {
+				merged[c].Merge(g.sk[t][v])
+			}
+		}
+		progress := false
+		for _, m := range merged {
+			out, ok := m.Sample()
+			if !ok {
+				continue
+			}
+			u, w := g.SlotEdge(out.Index)
+			cu, cw := find(u), find(w)
+			if cu != cw {
+				comp[cu] = cw
+				forest = append(forest, [2]int{u, w})
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Path-compress all labels for the caller.
+	for v := 0; v < g.v; v++ {
+		comp[v] = find(v)
+	}
+	return comp, forest
+}
+
+// Connected reports whether the graph is connected (single component over
+// all v vertices). Like SpanningForest, it consumes the sketch.
+func (g *Sketch) Connected() bool {
+	comp, _ := g.SpanningForest()
+	c0 := comp[0]
+	for _, c := range comp {
+		if c != c0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the number of connected components among the vertices
+// that could be resolved. It consumes the sketch.
+func (g *Sketch) Components() int {
+	comp, _ := g.SpanningForest()
+	seen := map[int]bool{}
+	for _, c := range comp {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// SpaceBits totals all per-vertex, per-round sampler footprints.
+func (g *Sketch) SpaceBits() int64 {
+	var bits int64
+	for t := 0; t < g.rounds; t++ {
+		for v := 0; v < g.v; v++ {
+			bits += g.sk[t][v].SpaceBits()
+		}
+	}
+	return bits
+}

@@ -1,0 +1,91 @@
+// Package hash provides the k-wise independent hash families used throughout
+// the sketches: polynomial hashing over GF(2^61-1).
+//
+// A degree-(k-1) polynomial with uniform random coefficients evaluated at
+// distinct points yields a k-wise independent family over the field. From the
+// field value we derive the three output types the paper's algorithms need:
+//
+//   - bucket indices h: [n] -> [m] (count-sketch rows, subsampling levels),
+//   - signs g: [n] -> {-1,+1} (count-sketch, AMS tug-of-war),
+//   - uniform reals t_i in (0,1] (the precision-sampling scaling factors of
+//     Figure 1, which require k-wise independence with k = 10*ceil(1/|p-1|)).
+//
+// Deriving buckets by reduction mod m and signs/uniforms from the field value
+// introduces bias at most 2^-61 per evaluation, far below the paper's n^-c
+// "low probability" budget; this is the standard discretization the paper
+// itself omits.
+package hash
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/field"
+)
+
+// KWise is a k-wise independent hash function from uint64 keys to GF(2^61-1).
+type KWise struct {
+	coef []field.Elem // degree k-1 polynomial, coef[i] multiplies x^i
+}
+
+// NewKWise draws a fresh k-wise independent function using randomness from r.
+// k must be >= 1; k=2 gives the pairwise families used by count-sketch, and
+// the Lp sampler passes the paper's k = 10*ceil(1/|p-1|).
+func NewKWise(k int, r *rand.Rand) *KWise {
+	if k < 1 {
+		panic("hash: k must be >= 1")
+	}
+	coef := make([]field.Elem, k)
+	for i := range coef {
+		coef[i] = field.New(r.Uint64())
+	}
+	return &KWise{coef: coef}
+}
+
+// K returns the independence parameter of the family.
+func (h *KWise) K() int { return len(h.coef) }
+
+// Eval returns the field value of the hash at key x.
+func (h *KWise) Eval(x uint64) field.Elem {
+	xe := field.New(x)
+	var acc field.Elem
+	for i := len(h.coef) - 1; i >= 0; i-- {
+		acc = field.Add(field.Mul(acc, xe), h.coef[i])
+	}
+	return acc
+}
+
+// Bucket maps key x to a bucket in [0, m).
+func (h *KWise) Bucket(x, m uint64) uint64 {
+	return uint64(h.Eval(x)) % m
+}
+
+// Sign maps key x to +1 or -1 with (nearly) equal probability.
+func (h *KWise) Sign(x uint64) int64 {
+	if uint64(h.Eval(x))&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// Float64 maps key x to a uniform real in (0, 1]. The value is never zero, so
+// it is safe to divide by powers of it (the scaling factors t_i^{-1/p} of
+// Figure 1).
+func (h *KWise) Float64(x uint64) float64 {
+	return (float64(uint64(h.Eval(x))) + 1) / float64(field.Modulus)
+}
+
+// SpaceBits reports the storage footprint of the seed: k field elements of 61
+// bits, rounded to words, matching the paper's space accounting.
+func (h *KWise) SpaceBits() int64 {
+	return int64(len(h.coef)) * 64
+}
+
+// Family draws many independent KWise functions with a shared independence k,
+// as count-sketch needs one (h_j, g_j) pair per row j in [l].
+func Family(count, k int, r *rand.Rand) []*KWise {
+	fs := make([]*KWise, count)
+	for i := range fs {
+		fs[i] = NewKWise(k, r)
+	}
+	return fs
+}

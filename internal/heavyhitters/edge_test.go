@@ -1,0 +1,96 @@
+package heavyhitters
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestZeroVectorEmptySet(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	s := New(Config{P: 1, Phi: 0.2, N: 64}, r)
+	if set := s.HeavyHitters(); len(set) != 0 {
+		t.Fatalf("zero vector produced heavy hitters: %v", set)
+	}
+}
+
+func TestFullCancellationEmptySet(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 2))
+	s := New(Config{P: 1, Phi: 0.2, N: 64}, r)
+	for i := 0; i < 64; i++ {
+		s.Process(stream.Update{Index: i, Delta: 100})
+		s.Process(stream.Update{Index: i, Delta: -100})
+	}
+	if set := s.HeavyHitters(); len(set) != 0 {
+		t.Fatalf("cancelled vector produced heavy hitters: %v", set)
+	}
+}
+
+func TestSingleCoordinateAlwaysHeavy(t *testing.T) {
+	// One nonzero coordinate is a 1-heavy hitter for every p and φ.
+	r := rand.New(rand.NewPCG(3, 3))
+	for _, p := range []float64{0.5, 1, 2} {
+		for _, phi := range []float64{0.1, 0.45} {
+			s := New(Config{P: p, Phi: phi, N: 128}, r)
+			s.Process(stream.Update{Index: 77, Delta: -12345})
+			set := s.HeavyHitters()
+			if len(set) != 1 || set[0] != 77 {
+				t.Fatalf("p=%.1f phi=%.2f: set %v, want [77]", p, phi, set)
+			}
+		}
+	}
+}
+
+func TestNegativeHeavyHitterDetected(t *testing.T) {
+	// Heaviness is by |x_i|; a large negative coordinate must be reported.
+	r := rand.New(rand.NewPCG(4, 4))
+	s := New(Config{P: 1, Phi: 0.3, N: 128}, r)
+	for i := 0; i < 128; i++ {
+		s.Process(stream.Update{Index: i, Delta: 1})
+	}
+	s.Process(stream.Update{Index: 9, Delta: -5000})
+	found := false
+	for _, i := range s.HeavyHitters() {
+		if i == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("negative heavy hitter missed")
+	}
+}
+
+func TestBoundaryBandFreedom(t *testing.T) {
+	// Coordinates strictly inside (φ/2, φ)·||x||_p may be reported or not —
+	// either is valid. The checker must accept both decisions.
+	st := stream.Stream{
+		{Index: 0, Delta: 100}, // heavy for phi=0.5 (norm1 = 170, thresh 85)
+		{Index: 1, Delta: 60},  // in the free band (between 42.5 and 85)
+		{Index: 2, Delta: 10},  // light
+	}
+	truth := st.Apply(3)
+	if ok, _, _ := Valid(truth, 1, 0.5, []int{0}); !ok {
+		t.Error("excluding the band coordinate must be valid")
+	}
+	if ok, _, _ := Valid(truth, 1, 0.5, []int{0, 1}); !ok {
+		t.Error("including the band coordinate must be valid")
+	}
+	if ok, _, _ := Valid(truth, 1, 0.5, []int{0, 1, 2}); ok {
+		t.Error("including the light coordinate must be invalid")
+	}
+}
+
+func TestManyEqualHeavies(t *testing.T) {
+	// Four coordinates sharing all the mass: with phi below 1/4 all four
+	// must be reported.
+	r := rand.New(rand.NewPCG(5, 5))
+	s := New(Config{P: 1, Phi: 0.2, N: 256}, r)
+	for _, i := range []int{10, 20, 30, 40} {
+		s.Process(stream.Update{Index: i, Delta: 1000})
+	}
+	set := s.HeavyHitters()
+	if len(set) != 4 {
+		t.Fatalf("got %v, want all four equal heavies", set)
+	}
+}

@@ -1,0 +1,159 @@
+package heavyhitters
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestValidityOnPlantedHeavies(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 512
+	for _, p := range []float64{0.5, 1, 1.5, 2} {
+		okCount := 0
+		const trials = 10
+		for trial := 0; trial < trials; trial++ {
+			var st stream.Stream
+			// background noise + planted heavies
+			for i := 0; i < n; i++ {
+				st = append(st, stream.Update{Index: i, Delta: int64(1 + r.IntN(3))})
+			}
+			st = append(st,
+				stream.Update{Index: 17, Delta: 4000},
+				stream.Update{Index: 330, Delta: -3500},
+			)
+			truth := st.Apply(n)
+			s := New(Config{P: p, Phi: 0.3, N: n}, r)
+			st.Feed(s)
+			set := s.HeavyHitters()
+			if ok, missing, forbidden := Valid(truth, p, 0.3, set); ok {
+				okCount++
+			} else {
+				t.Logf("p=%.1f trial %d: missing=%d forbidden=%d set=%v", p, trial, missing, forbidden, set)
+			}
+		}
+		if okCount < trials-2 {
+			t.Errorf("p=%.1f: valid set only %d/%d times", p, okCount, trials)
+		}
+	}
+}
+
+func TestStrictTurnstileWorkload(t *testing.T) {
+	// The Theorem 9 regime: strict turnstile, inserts then deletes.
+	r := rand.New(rand.NewPCG(2, 2))
+	const n = 256
+	okCount := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		st := stream.StrictTurnstile(n, 3000, 10, r)
+		// Plant one unambiguous heavy hitter.
+		st = append(st, stream.Update{Index: 99, Delta: 100000})
+		truth := st.Apply(n)
+		s := New(Config{P: 1, Phi: 0.25, N: n}, r)
+		st.Feed(s)
+		set := s.HeavyHitters()
+		found := false
+		for _, i := range set {
+			if i == 99 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: planted heavy hitter missing from %v", trial, set)
+		}
+		if ok, _, _ := Valid(truth, 1, 0.25, set); ok {
+			okCount++
+		}
+	}
+	if okCount < trials-2 {
+		t.Errorf("valid only %d/%d times", okCount, trials)
+	}
+}
+
+func TestNoHeaviesUniformVector(t *testing.T) {
+	// Uniform vector with phi above 1/n^{1/p}-ish: the all-heavy band is
+	// empty, and nothing with |x_i| <= phi/2 * norm may be reported. With
+	// all coordinates equal and way below phi*norm, an empty (or tiny) set
+	// is the only valid answer.
+	r := rand.New(rand.NewPCG(3, 3))
+	const n = 400
+	var st stream.Stream
+	for i := 0; i < n; i++ {
+		st = append(st, stream.Update{Index: i, Delta: 5})
+	}
+	truth := st.Apply(n)
+	s := New(Config{P: 1, Phi: 0.2, N: n}, r)
+	st.Feed(s)
+	set := s.HeavyHitters()
+	if ok, missing, forbidden := Valid(truth, 1, 0.2, set); !ok {
+		t.Errorf("uniform vector: invalid set (missing=%d forbidden=%d, |set|=%d)", missing, forbidden, len(set))
+	}
+}
+
+func TestMScalesWithPhi(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	coarse := New(Config{P: 1, Phi: 0.5, N: 64}, r)
+	fine := New(Config{P: 1, Phi: 0.05, N: 64}, r)
+	if fine.M() <= coarse.M() {
+		t.Error("m must grow as phi shrinks")
+	}
+	// p=2 scaling is phi^{-2}.
+	fine2 := New(Config{P: 2, Phi: 0.05, N: 64}, r)
+	if fine2.M() <= fine.M() {
+		t.Error("m must grow with p for fixed small phi")
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	for _, cfg := range []Config{
+		{P: 0, Phi: 0.1, N: 10},
+		{P: 2.5, Phi: 0.1, N: 10},
+		{P: 1, Phi: 0, N: 10},
+		{P: 1, Phi: 1, N: 10},
+		{P: 1, Phi: 0.1, N: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v must panic", cfg)
+				}
+			}()
+			New(cfg, r)
+		}()
+	}
+}
+
+func TestValidChecker(t *testing.T) {
+	st := stream.Stream{{Index: 0, Delta: 100}, {Index: 1, Delta: 1}, {Index: 2, Delta: 1}}
+	truth := st.Apply(3)
+	// phi=0.5: only coordinate 0 is heavy (norm1=102, threshold 51).
+	if ok, _, _ := Valid(truth, 1, 0.5, []int{0}); !ok {
+		t.Error("correct set rejected")
+	}
+	if ok, missing, _ := Valid(truth, 1, 0.5, nil); ok || missing != 1 {
+		t.Error("missing heavy not detected")
+	}
+	if ok, _, forbidden := Valid(truth, 1, 0.5, []int{0, 1}); ok || forbidden != 1 {
+		t.Error("forbidden light element not detected")
+	}
+}
+
+func TestSpaceBitsScaling(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	coarse := New(Config{P: 1, Phi: 0.5, N: 1 << 10}, r)
+	fine := New(Config{P: 1, Phi: 0.1, N: 1 << 10}, r)
+	if fine.SpaceBits() <= coarse.SpaceBits() {
+		t.Error("space must grow as phi^{-p}")
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	s := New(Config{P: 1, Phi: 0.1, N: 1 << 16}, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(stream.Update{Index: i % (1 << 16), Delta: 1})
+	}
+}

@@ -1,0 +1,278 @@
+// Package norm implements the streaming Lp norm estimators of Lemma 2: for
+// any p in (0,2] a linear sketch with l = O(log n) counters from which a
+// value r with ||x||_p <= r <= 2||x||_p can be computed with high
+// probability.
+//
+// Two estimators are provided:
+//
+//   - AMS (tug-of-war, Alon-Matias-Szegedy) for p = 2: counters
+//     c_j = sum_i s_j(i) x_i with 4-wise independent signs; median-of-means
+//     of c_j^2 concentrates to ||x||_2^2.
+//   - Indyk's p-stable sketch for p in (0,2]: counters y_j = sum_i a_ji x_i
+//     with p-stable a_ji; median_j |y_j| / median(|Stable_p|) concentrates to
+//     ||x||_p.
+//
+// The p-stable variates are produced by the Chambers-Mallows-Stuck transform
+// from two uniforms derived k-wise independently from (row, index) — the
+// standard realization of the sketch Lemma 2 cites (Kane-Nelson-Woodruff).
+// The scale constant median(|Stable_p|) has no closed form for general p; we
+// calibrate it once per p by a fixed-seed Monte-Carlo quantile (documented
+// substitution #3 in DESIGN.md).
+//
+// Both sketches are linear, so callers may estimate ||x - v||, for a sparse v
+// they know explicitly, by subtracting the sketch of v — exactly how the
+// recovery stage of Figure 1 estimates s ~ ||z - zhat||_2 from L'(z)-L'(zhat).
+package norm
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/hash"
+	"repro/internal/stream"
+)
+
+// Estimator is the common interface of the two norm sketches.
+type Estimator interface {
+	stream.Sink
+	AddFloat(i uint64, delta float64)
+	// Estimate returns the norm estimate after subtracting the explicit
+	// sparse vector `subtract` (pass nil to estimate ||x|| itself).
+	Estimate(subtract map[uint64]float64) float64
+	// UpperEstimate returns r calibrated so that ||x||_p <= r <= 2||x||_p
+	// holds with high probability (Lemma 2's interface).
+	UpperEstimate(subtract map[uint64]float64) float64
+	SpaceBits() int64
+	// StateBits counts only the counters, excluding seeds — the message
+	// size in a public-coin protocol.
+	StateBits() int64
+}
+
+// ---------------------------------------------------------------------------
+// AMS / tug-of-war L2 sketch
+// ---------------------------------------------------------------------------
+
+// AMS is the L2 estimator. Counters are split into groups; the estimate is
+// the median over groups of the mean of squared counters in the group.
+type AMS struct {
+	groups   int
+	perGroup int
+	signs    []*hash.KWise
+	counters []float64
+}
+
+// NewAMS creates an AMS sketch with the given number of groups (median width,
+// Theta(log n) for high probability) and counters per group (mean width;
+// 6 per group already gives variance comfortably below the factor-2 band).
+func NewAMS(groups, perGroup int, r *rand.Rand) *AMS {
+	if groups < 1 {
+		groups = 1
+	}
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	n := groups * perGroup
+	return &AMS{
+		groups:   groups,
+		perGroup: perGroup,
+		signs:    hash.Family(n, 4, r),
+		counters: make([]float64, n),
+	}
+}
+
+// AddFloat applies x_i += delta.
+func (a *AMS) AddFloat(i uint64, delta float64) {
+	for j := range a.counters {
+		a.counters[j] += float64(a.signs[j].Sign(i)) * delta
+	}
+}
+
+// Process implements stream.Sink.
+func (a *AMS) Process(u stream.Update) { a.AddFloat(uint64(u.Index), float64(u.Delta)) }
+
+// Estimate returns the median-of-means estimate of ||x - subtract||_2.
+func (a *AMS) Estimate(subtract map[uint64]float64) float64 {
+	means := make([]float64, a.groups)
+	for gi := 0; gi < a.groups; gi++ {
+		var sum float64
+		for k := 0; k < a.perGroup; k++ {
+			j := gi*a.perGroup + k
+			c := a.counters[j]
+			for i, v := range subtract {
+				c -= float64(a.signs[j].Sign(i)) * v
+			}
+			sum += c * c
+		}
+		means[gi] = sum / float64(a.perGroup)
+	}
+	sort.Float64s(means)
+	var med float64
+	if a.groups%2 == 1 {
+		med = means[a.groups/2]
+	} else {
+		med = (means[a.groups/2-1] + means[a.groups/2]) / 2
+	}
+	return math.Sqrt(med)
+}
+
+// UpperEstimate returns 4/3 * Estimate: the median-of-means concentrates
+// within ±25% of the truth w.h.p., so the scaled value lands in
+// [||x||, 2||x||] w.h.p.
+func (a *AMS) UpperEstimate(subtract map[uint64]float64) float64 {
+	return a.Estimate(subtract) * 4 / 3
+}
+
+// SpaceBits reports counters plus 4-wise seeds.
+func (a *AMS) SpaceBits() int64 {
+	bits := int64(len(a.counters)) * 64
+	for _, s := range a.signs {
+		bits += s.SpaceBits()
+	}
+	return bits
+}
+
+// StateBits reports counters only.
+func (a *AMS) StateBits() int64 { return int64(len(a.counters)) * 64 }
+
+// ---------------------------------------------------------------------------
+// Indyk p-stable sketch
+// ---------------------------------------------------------------------------
+
+// Stable is the Lp estimator for p in (0,2].
+type Stable struct {
+	p        float64
+	counters []float64
+	seeds    []*hash.KWise // one k-wise hash per counter, yields 2 uniforms per key
+	scale    float64       // median of |Stable_p|
+}
+
+// NewStable creates a p-stable sketch with the given number of counters
+// (Theta(log n) for the high-probability factor-2 guarantee of Lemma 2).
+func NewStable(p float64, counters int, r *rand.Rand) *Stable {
+	if p <= 0 || p > 2 {
+		panic("norm: stable sketch requires p in (0,2]")
+	}
+	if counters < 1 {
+		counters = 1
+	}
+	return &Stable{
+		p:        p,
+		counters: make([]float64, counters),
+		seeds:    hash.Family(counters, 8, r),
+		scale:    MedianAbsStable(p),
+	}
+}
+
+// stableAt deterministically produces the p-stable coefficient a_ji for
+// counter j and coordinate i via the CMS transform of two uniforms derived
+// from the row's hash.
+func (s *Stable) stableAt(j int, i uint64) float64 {
+	// Two (almost-)uniforms from disjoint key spaces of the same hash.
+	u1 := s.seeds[j].Float64(2 * i)
+	u2 := s.seeds[j].Float64(2*i + 1)
+	return cmsStable(s.p, u1, u2)
+}
+
+// cmsStable maps two independent uniforms in (0,1] to a standard symmetric
+// p-stable variate by the Chambers-Mallows-Stuck transform.
+func cmsStable(p, u1, u2 float64) float64 {
+	theta := math.Pi * (u1 - 0.5) // uniform in (-pi/2, pi/2)
+	w := -math.Log(u2)            // exponential(1), u2 in (0,1] so w >= 0
+	if w == 0 {
+		w = 1e-300
+	}
+	if p == 1 {
+		return math.Tan(theta)
+	}
+	return math.Sin(p*theta) / math.Pow(math.Cos(theta), 1/p) *
+		math.Pow(math.Cos(theta*(1-p))/w, (1-p)/p)
+}
+
+// AddFloat applies x_i += delta.
+func (s *Stable) AddFloat(i uint64, delta float64) {
+	for j := range s.counters {
+		s.counters[j] += s.stableAt(j, i) * delta
+	}
+}
+
+// Process implements stream.Sink.
+func (s *Stable) Process(u stream.Update) { s.AddFloat(uint64(u.Index), float64(u.Delta)) }
+
+// Estimate returns median_j |y_j| / median(|Stable_p|), the classical Indyk
+// estimator of ||x - subtract||_p.
+func (s *Stable) Estimate(subtract map[uint64]float64) float64 {
+	abs := make([]float64, len(s.counters))
+	for j := range s.counters {
+		c := s.counters[j]
+		for i, v := range subtract {
+			c -= s.stableAt(j, i) * v
+		}
+		abs[j] = math.Abs(c)
+	}
+	sort.Float64s(abs)
+	n := len(abs)
+	var med float64
+	if n%2 == 1 {
+		med = abs[n/2]
+	} else {
+		med = (abs[n/2-1] + abs[n/2]) / 2
+	}
+	return med / s.scale
+}
+
+// UpperEstimate returns 4/3 * Estimate, landing in [||x||_p, 2||x||_p] w.h.p.
+// for Theta(log n) counters.
+func (s *Stable) UpperEstimate(subtract map[uint64]float64) float64 {
+	return s.Estimate(subtract) * 4 / 3
+}
+
+// SpaceBits reports counters plus seeds.
+func (s *Stable) SpaceBits() int64 {
+	bits := int64(len(s.counters)) * 64
+	for _, h := range s.seeds {
+		bits += h.SpaceBits()
+	}
+	return bits
+}
+
+// StateBits reports counters only.
+func (s *Stable) StateBits() int64 { return int64(len(s.counters)) * 64 }
+
+// ---------------------------------------------------------------------------
+// Scale calibration
+// ---------------------------------------------------------------------------
+
+var medianCache = map[float64]float64{}
+
+// MedianAbsStable returns the median of |X| for X standard symmetric
+// p-stable, computed by a deterministic fixed-seed Monte-Carlo quantile and
+// cached per p. For p = 1 (Cauchy) the exact value is tan(pi/4) = 1; for
+// p = 2 the CMS output is N(0, 2), so the value is sqrt(2)*Phi^-1(3/4).
+func MedianAbsStable(p float64) float64 {
+	if v, ok := medianCache[p]; ok {
+		return v
+	}
+	if p == 1 {
+		medianCache[p] = 1
+		return 1
+	}
+	const samples = 1 << 18
+	r := rand.New(rand.NewPCG(0xC0FFEE, uint64(math.Float64bits(p))))
+	abs := make([]float64, samples)
+	for i := range abs {
+		a := r.Float64()
+		b := r.Float64()
+		if a == 0 {
+			a = 0.5 / samples
+		}
+		if b == 0 {
+			b = 0.5 / samples
+		}
+		abs[i] = math.Abs(cmsStable(p, a, b))
+	}
+	sort.Float64s(abs)
+	v := abs[samples/2]
+	medianCache[p] = v
+	return v
+}

@@ -1,0 +1,113 @@
+// Package prng implements Nisan's pseudorandom generator for space-bounded
+// computation (Nisan, STOC 1990), which Theorem 2 of the paper uses to
+// derandomize the L0 sampler: the generator stretches an O(log^2 n)-bit seed
+// into poly(n) bits that fool every logspace tester, including the one that
+// checks which index the sampler would output for a fixed support J.
+//
+// Construction. Pick a block width w and a depth d. The seed is an initial
+// block x0 plus d independent pairwise-independent hash functions
+// h_1, ..., h_d : {0,1}^w -> {0,1}^w. The output is defined recursively by
+//
+//	G_0(x) = x
+//	G_j(x) = G_{j-1}(x) || G_{j-1}(h_j(x))
+//
+// so G_d produces 2^d blocks of w bits from a seed of (2d+1)w bits. Crucially
+// the construction supports random access: block b is obtained from x0 by
+// applying h_j for every set bit j of b, top level first — O(d) field
+// operations per block. The L0 sampler exploits this to query level-membership
+// bits per update without materializing the stream of bits.
+//
+// We realize blocks as elements of GF(2^61-1) (w = 61) and the pairwise
+// hashes as affine maps a*x+b over the field, the standard instantiation.
+package prng
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/field"
+)
+
+// BlockBits is the width w of one output block.
+const BlockBits = 61
+
+// Nisan is an instance of Nisan's generator with random block access.
+type Nisan struct {
+	depth int
+	x0    field.Elem
+	ha    []field.Elem // multipliers of h_1..h_depth
+	hb    []field.Elem // offsets of h_1..h_depth
+}
+
+// New constructs a generator able to emit at least outputBits pseudorandom
+// bits, drawing its seed from r. The depth (and hence the seed size) grows
+// logarithmically with outputBits: seed = (2d+1) * 61 bits = O(log^2 n) when
+// outputBits = poly(n) and w = Theta(log n).
+func New(outputBits uint64, r *rand.Rand) *Nisan {
+	blocks := (outputBits + BlockBits - 1) / BlockBits
+	depth := 0
+	for uint64(1)<<depth < blocks {
+		depth++
+	}
+	g := &Nisan{
+		depth: depth,
+		x0:    field.New(r.Uint64()),
+		ha:    make([]field.Elem, depth),
+		hb:    make([]field.Elem, depth),
+	}
+	for j := 0; j < depth; j++ {
+		// Multiplier must be nonzero for the map to be a bijection.
+		a := field.New(r.Uint64())
+		for a == 0 {
+			a = field.New(r.Uint64())
+		}
+		g.ha[j] = a
+		g.hb[j] = field.New(r.Uint64())
+	}
+	return g
+}
+
+// Blocks returns the number of addressable blocks, 2^depth.
+func (g *Nisan) Blocks() uint64 { return 1 << g.depth }
+
+// Block returns the b-th 61-bit output block. Blocks beyond Blocks()-1 wrap
+// around (callers size the generator so this does not happen in practice).
+func (g *Nisan) Block(b uint64) uint64 {
+	if g.depth > 0 {
+		b &= (1 << g.depth) - 1
+	} else {
+		b = 0
+	}
+	x := g.x0
+	// Top level chooses first: bit depth-1 of b selects whether h_depth is
+	// applied, then recursion continues on lower levels.
+	for j := g.depth; j >= 1; j-- {
+		if b&(1<<(j-1)) != 0 {
+			x = field.Add(field.Mul(g.ha[j-1], x), g.hb[j-1])
+		}
+	}
+	return uint64(x)
+}
+
+// Bit returns the i-th pseudorandom bit of the output stream.
+func (g *Nisan) Bit(i uint64) bool {
+	return g.Block(i/BlockBits)>>(i%BlockBits)&1 == 1
+}
+
+// Float64At interprets block b as a uniform real in (0,1].
+func (g *Nisan) Float64At(b uint64) float64 {
+	return (float64(g.Block(b)) + 1) / float64(field.Modulus)
+}
+
+// Uint64At returns the block value (61 random bits) at index b.
+func (g *Nisan) Uint64At(b uint64) uint64 { return g.Block(b) }
+
+// SeedBits reports the true seed size: the initial block plus (a,b) per level.
+func (g *Nisan) SeedBits() int64 {
+	return int64(2*g.depth+1) * BlockBits
+}
+
+// SpaceBits reports storage rounded to 64-bit words, matching the space
+// accounting used by the sketches.
+func (g *Nisan) SpaceBits() int64 {
+	return int64(2*g.depth+1) * 64
+}

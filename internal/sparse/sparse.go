@@ -1,0 +1,224 @@
+// Package sparse implements the exact s-sparse recovery of Lemma 5: a random
+// linear function L: R^n -> R^k with k = O(s), generated from O(k log n)
+// random bits, together with a recovery procedure that outputs x' = x with
+// probability 1 whenever x is s-sparse, and otherwise outputs DENSE with high
+// probability.
+//
+// Construction (syndrome decoding, the classical realization of the lemma).
+// Embed updates into GF(2^61-1) and maintain 2s power-sum syndromes
+//
+//	S_j = sum_i x_i * a_i^j,  a_i = i+1,  j = 0..2s-1,
+//
+// plus one verification syndrome at a uniformly random point: F = sum_i x_i
+// * rho^i. If x is e-sparse with e <= s, the syndrome sequence obeys the
+// linear recurrence whose connection polynomial is the locator
+// prod (1 - a_i x); Berlekamp-Massey finds it from 2e <= 2s syndromes
+// deterministically, a reversed-polynomial Chien scan over [n] locates the
+// support without field inversions, and a transposed Vandermonde solve
+// recovers the values — recovery is exact with probability 1, as Lemma 5
+// demands. If x is not s-sparse, any spuriously decoded sparse candidate x”
+// differs from x, so the random evaluation F catches it except with
+// probability <= n/2^61 per query (a "low probability" event in the paper's
+// sense); we then report DENSE.
+//
+// Space: 2s+1 field elements plus the O(log n)-bit seed — the O(s log n) bits
+// Lemma 5 promises.
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/field"
+	"repro/internal/stream"
+)
+
+// Recoverer maintains the linear measurements of one vector x in Z^n.
+type Recoverer struct {
+	n    int
+	s    int
+	synd []field.Elem // 2s power-sum syndromes
+	rho  field.Elem   // random verification point
+	fp   field.Elem   // F = sum_i x_i rho^i
+}
+
+// New creates a recoverer for vectors of dimension n with sparsity budget s.
+// Randomness (the verification point) is drawn from r.
+func New(n, s int, r *rand.Rand) *Recoverer {
+	if s < 1 {
+		s = 1
+	}
+	rc := &Recoverer{
+		n:    n,
+		s:    s,
+		synd: make([]field.Elem, 2*s),
+	}
+	rc.rho = field.New(r.Uint64())
+	for rc.rho == 0 {
+		rc.rho = field.New(r.Uint64())
+	}
+	return rc
+}
+
+// S returns the sparsity budget.
+func (rc *Recoverer) S() int { return rc.s }
+
+// N returns the vector dimension.
+func (rc *Recoverer) N() int { return rc.n }
+
+// Add applies x_i += delta.
+func (rc *Recoverer) Add(i int, delta int64) {
+	d := field.FromInt64(delta)
+	a := field.New(uint64(i) + 1)
+	pw := field.Elem(1)
+	for j := range rc.synd {
+		rc.synd[j] = field.Add(rc.synd[j], field.Mul(d, pw))
+		pw = field.Mul(pw, a)
+	}
+	rc.fp = field.Add(rc.fp, field.Mul(d, field.Pow(rc.rho, uint64(i))))
+}
+
+// Process implements stream.Sink.
+func (rc *Recoverer) Process(u stream.Update) { rc.Add(u.Index, u.Delta) }
+
+// Merge adds the measurements of another recoverer built with identical
+// parameters and randomness (sketch linearity). It panics on mismatched
+// shapes; differing rho values make the merge meaningless and also panic.
+func (rc *Recoverer) Merge(other *Recoverer) {
+	if len(rc.synd) != len(other.synd) || rc.rho != other.rho {
+		panic("sparse: merging incompatible recoverers")
+	}
+	for j := range rc.synd {
+		rc.synd[j] = field.Add(rc.synd[j], other.synd[j])
+	}
+	rc.fp = field.Add(rc.fp, other.fp)
+}
+
+// IsZero reports whether all measurements are zero — true with certainty for
+// the zero vector, false positives only with low probability (a nonzero x
+// must zero out 2s+1 independent evaluations).
+func (rc *Recoverer) IsZero() bool {
+	if rc.fp != 0 {
+		return false
+	}
+	for _, v := range rc.synd {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Recover attempts exact recovery. It returns (support map i -> x_i, true)
+// when the measurements decode to an s-sparse vector that passes
+// verification, and (nil, false) — DENSE — otherwise. For any truly s-sparse
+// x the first return is exactly x with probability 1 (Lemma 5).
+func (rc *Recoverer) Recover() (map[int]int64, bool) {
+	if rc.IsZero() {
+		return map[int]int64{}, true
+	}
+	loc := field.BerlekampMassey(rc.synd)
+	e := loc.Degree()
+	if e < 1 || e > rc.s {
+		return nil, false
+	}
+	// Chien scan via the reversed locator: position i is in the support iff
+	// rev(loc)(a_i) = 0 with a_i = i+1.
+	rev := loc.Reverse()
+	positions := make([]int, 0, e)
+	for i := 0; i < rc.n; i++ {
+		if rev.Eval(field.New(uint64(i)+1)) == 0 {
+			positions = append(positions, i)
+			if len(positions) > e {
+				break
+			}
+		}
+	}
+	if len(positions) != e {
+		return nil, false
+	}
+	// Solve sum_t v_t a_t^j = S_j for j = 0..e-1.
+	mat := make([][]field.Elem, e)
+	y := make([]field.Elem, e)
+	for j := 0; j < e; j++ {
+		mat[j] = make([]field.Elem, e)
+		for t, pos := range positions {
+			mat[j][t] = field.Pow(field.New(uint64(pos)+1), uint64(j))
+		}
+		y[j] = rc.synd[j]
+	}
+	vals, ok := field.SolveLinear(mat, y)
+	if !ok {
+		return nil, false
+	}
+	// Verify against all 2s syndromes and the random fingerprint.
+	for j := 0; j < len(rc.synd); j++ {
+		var sj field.Elem
+		for t, pos := range positions {
+			sj = field.Add(sj, field.Mul(vals[t], field.Pow(field.New(uint64(pos)+1), uint64(j))))
+		}
+		if sj != rc.synd[j] {
+			return nil, false
+		}
+	}
+	var f field.Elem
+	for t, pos := range positions {
+		f = field.Add(f, field.Mul(vals[t], field.Pow(rc.rho, uint64(pos))))
+	}
+	if f != rc.fp {
+		return nil, false
+	}
+	out := make(map[int]int64, e)
+	for t, pos := range positions {
+		v := vals[t].ToInt64()
+		if v == 0 {
+			// A zero value contradicts membership in the support; the
+			// decoded candidate is inconsistent.
+			return nil, false
+		}
+		out[pos] = v
+	}
+	return out, true
+}
+
+// SpaceBits reports the measurement state: 2s syndromes, the fingerprint and
+// the seed word, at 64 bits per word — O(s log n) as in Lemma 5.
+func (rc *Recoverer) SpaceBits() int64 {
+	return int64(len(rc.synd)+2) * 64
+}
+
+// StateBits reports only the linear-measurement contents (syndromes and
+// fingerprint), excluding the seed. In the public-coin communication
+// protocols of §4 this is what one player transmits — the randomness is
+// shared for free.
+func (rc *Recoverer) StateBits() int64 {
+	return int64(len(rc.synd)+1) * 64
+}
+
+// ExportState serializes the linear measurements (syndromes then
+// fingerprint) into little-endian bytes — the concrete wire format of the
+// public-coin protocol message. len(result)*8 == StateBits().
+func (rc *Recoverer) ExportState() []byte {
+	out := make([]byte, 0, (len(rc.synd)+1)*8)
+	for _, v := range rc.synd {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	return binary.LittleEndian.AppendUint64(out, uint64(rc.fp))
+}
+
+// ImportState replaces the linear measurements with previously exported
+// ones. The receiver must have been constructed with the same parameters
+// and randomness (same-seed source); importing into a fresh instance and
+// continuing to Add realizes the linear-sketch handoff of the §4 protocols.
+func (rc *Recoverer) ImportState(data []byte) error {
+	want := (len(rc.synd) + 1) * 8
+	if len(data) != want {
+		return fmt.Errorf("sparse: state is %d bytes, want %d", len(data), want)
+	}
+	for j := range rc.synd {
+		rc.synd[j] = field.Elem(binary.LittleEndian.Uint64(data[j*8:]))
+	}
+	rc.fp = field.Elem(binary.LittleEndian.Uint64(data[len(rc.synd)*8:]))
+	return nil
+}

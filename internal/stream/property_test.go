@@ -1,0 +1,180 @@
+package stream
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyApplyIsFold: Apply equals an explicit left fold of updates.
+func TestPropertyApplyIsFold(t *testing.T) {
+	f := func(raw []int16) bool {
+		const n = 32
+		var st Stream
+		for k, v := range raw {
+			if v != 0 {
+				st = append(st, Update{Index: k % n, Delta: int64(v)})
+			}
+		}
+		want := make([]int64, n)
+		for _, u := range st {
+			want[u.Index] += u.Delta
+		}
+		got := st.Apply(n)
+		for i := 0; i < n; i++ {
+			if got.Get(i) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySparseVectorExactSupport: the generator delivers exactly the
+// requested support for every (n, support) in range, under churn.
+func TestPropertySparseVectorExactSupport(t *testing.T) {
+	f := func(seed uint64, nRaw, supRaw uint16) bool {
+		n := 8 + int(nRaw%500)
+		sup := int(supRaw) % (n + 1)
+		r := rand.New(rand.NewPCG(seed, 11))
+		st := SparseVector(n, sup, 50, r)
+		return st.Apply(n).L0() == sup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStrictTurnstileNonNegative: every generated strict-turnstile
+// stream ends entry-wise non-negative, whatever the parameters.
+func TestPropertyStrictTurnstileNonNegative(t *testing.T) {
+	f := func(seed uint64, nRaw, lenRaw uint16) bool {
+		n := 4 + int(nRaw%200)
+		length := 10 + int(lenRaw%2000)
+		r := rand.New(rand.NewPCG(seed, 13))
+		st := StrictTurnstile(n, length, 9, r)
+		for _, v := range st.Apply(n).Coords() {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDuplicateItemsAlwaysPigeonhole: streams of length n+1 over [n]
+// always contain a duplicate, for every n and both generator modes.
+func TestPropertyDuplicateItemsAlwaysPigeonhole(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, forced bool) bool {
+		n := 2 + int(nRaw%300)
+		r := rand.New(rand.NewPCG(seed, 17))
+		force := -1
+		if forced {
+			force = r.IntN(n)
+		}
+		items := DuplicateItems(n, force, r)
+		if len(items) != n+1 {
+			return false
+		}
+		seen := map[int]bool{}
+		dup := false
+		for _, it := range items {
+			if it < 0 || it >= n {
+				return false
+			}
+			if seen[it] {
+				dup = true
+			}
+			seen[it] = true
+		}
+		return dup
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyShortItemsLengthAndMultiplicity: ShortItems always emits n-s
+// letters with per-letter multiplicity <= 2 and the requested duplicate
+// count (when feasible).
+func TestPropertyShortItemsLengthAndMultiplicity(t *testing.T) {
+	f := func(seed uint64, nRaw, sRaw, dRaw uint8) bool {
+		n := 16 + int(nRaw)%200
+		s := int(sRaw) % (n / 2)
+		dups := 1 + int(dRaw)%8
+		r := rand.New(rand.NewPCG(seed, 19))
+		items := ShortItems(n, s, true, dups, r)
+		if len(items) != n-s {
+			return false
+		}
+		counts := map[int]int{}
+		for _, it := range items {
+			counts[it]++
+			if counts[it] > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyItemUpdateRoundTrip: converting items to updates preserves
+// occurrence counts exactly.
+func TestPropertyItemUpdateRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		const n = 64
+		items := make(Items, len(raw))
+		counts := make([]int64, n)
+		for k, v := range raw {
+			items[k] = int(v) % n
+			counts[items[k]]++
+		}
+		got := items.Updates().Apply(n)
+		for i := 0; i < n; i++ {
+			if got.Get(i) != counts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyZeroPlusMinusOneBudget: the generator never exceeds the
+// requested counts and all coordinates stay in {-1,0,1}.
+func TestPropertyZeroPlusMinusOneBudget(t *testing.T) {
+	f := func(seed uint64, nRaw, onesRaw, minusRaw uint8) bool {
+		n := 8 + int(nRaw)%200
+		ones := int(onesRaw) % (n / 2)
+		minus := int(minusRaw) % (n / 2)
+		r := rand.New(rand.NewPCG(seed, 23))
+		d := ZeroPlusMinusOne(n, ones, minus, r).Apply(n)
+		gotOnes, gotMinus := 0, 0
+		for _, v := range d.Coords() {
+			switch v {
+			case 1:
+				gotOnes++
+			case -1:
+				gotMinus++
+			case 0:
+			default:
+				return false
+			}
+		}
+		return gotOnes == ones && gotMinus == minus
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package stream defines the turnstile update-stream model of the paper
+// (Notation, §1): a sequence of tuples (i, u) with i in [n], u in Z that
+// implicitly defines a vector x in Z^n, plus generators for every workload
+// the experiments need — general and strict turnstile streams, 0/±1 vectors,
+// and the duplicate-finding item streams of §3.
+package stream
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/vector"
+)
+
+// Update is one turnstile update: add Delta to coordinate Index of x.
+type Update struct {
+	Index int
+	Delta int64
+}
+
+// Stream is an ordered sequence of updates.
+type Stream []Update
+
+// Apply replays the stream onto a fresh zero vector of dimension n and
+// returns the exact resulting vector (the experiment ground truth).
+func (s Stream) Apply(n int) *vector.Dense {
+	d := vector.NewDense(n)
+	for _, u := range s {
+		d.Update(u.Index, u.Delta)
+	}
+	return d
+}
+
+// Sink consumes updates; every sketch in this repository implements it.
+type Sink interface {
+	Process(u Update)
+}
+
+// Feed replays the stream into one or more sketches.
+func (s Stream) Feed(sinks ...Sink) {
+	for _, u := range s {
+		for _, sk := range sinks {
+			sk.Process(u)
+		}
+	}
+}
+
+// RandomTurnstile returns a general-update stream of the given length over
+// [n] with deltas uniform in [-maxAbs, maxAbs] \ {0}.
+func RandomTurnstile(n, length int, maxAbs int64, r *rand.Rand) Stream {
+	s := make(Stream, length)
+	for i := range s {
+		d := r.Int64N(2*maxAbs) - maxAbs
+		if d >= 0 {
+			d++
+		}
+		s[i] = Update{Index: r.IntN(n), Delta: d}
+	}
+	return s
+}
+
+// ZipfSigned returns a stream setting coordinate i (0-based) to a value of
+// magnitude round(scale / (i+1)^alpha) with a random sign, delivered as a
+// random-order sequence of partial updates so that sketches see genuine
+// intermediate states. Coordinates whose magnitude rounds to zero are left
+// untouched.
+func ZipfSigned(n int, alpha float64, scale int64, r *rand.Rand) Stream {
+	var s Stream
+	for i := 0; i < n; i++ {
+		mag := int64(math.Round(float64(scale) / math.Pow(float64(i+1), alpha)))
+		if mag == 0 {
+			continue
+		}
+		if r.IntN(2) == 0 {
+			mag = -mag
+		}
+		// Split into two partial updates to exercise cancellation paths.
+		half := mag / 2
+		if half != 0 {
+			s = append(s, Update{i, half})
+		}
+		s = append(s, Update{i, mag - half})
+	}
+	r.Shuffle(len(s), func(a, b int) { s[a], s[b] = s[b], s[a] })
+	return s
+}
+
+// SparseVector returns a stream whose final vector has exactly `support`
+// nonzero coordinates, each with magnitude in [1, maxAbs], with insert/delete
+// churn: every chosen coordinate receives a spurious +delta followed later by
+// its cancellation, so the final support is exact but the stream is longer.
+func SparseVector(n, support int, maxAbs int64, r *rand.Rand) Stream {
+	if support > n {
+		support = n
+	}
+	perm := r.Perm(n)
+	var s Stream
+	for _, i := range perm[:support] {
+		v := r.Int64N(maxAbs) + 1
+		if r.IntN(2) == 0 {
+			v = -v
+		}
+		s = append(s, Update{i, v})
+	}
+	// churn on coordinates outside the support: +v then -v
+	churn := support
+	if churn > n-support {
+		churn = n - support
+	}
+	for _, i := range perm[support : support+churn] {
+		v := r.Int64N(maxAbs) + 1
+		s = append(s, Update{i, v})
+		s = append(s, Update{i, -v})
+	}
+	r.Shuffle(len(s), func(a, b int) { s[a], s[b] = s[b], s[a] })
+	// Shuffling may put a cancellation before its insert; that is fine, the
+	// final vector is unchanged and intermediate negatives are legal in the
+	// general model.
+	return s
+}
+
+// ZeroPlusMinusOne returns a stream whose final vector has coordinates in
+// {-1, 0, +1}: nOnes coordinates at +1, nMinus at -1, rest zero (after
+// churn). This is the hard instance family of Theorem 8.
+func ZeroPlusMinusOne(n, nOnes, nMinus int, r *rand.Rand) Stream {
+	perm := r.Perm(n)
+	var s Stream
+	idx := 0
+	for i := 0; i < nOnes; i++ {
+		s = append(s, Update{perm[idx], 1})
+		idx++
+	}
+	for i := 0; i < nMinus; i++ {
+		s = append(s, Update{perm[idx], -1})
+		idx++
+	}
+	r.Shuffle(len(s), func(a, b int) { s[a], s[b] = s[b], s[a] })
+	return s
+}
+
+// StrictTurnstile returns a stream with interleaved inserts and deletes whose
+// every prefix... (the model only constrains the final vector) — the final
+// vector is guaranteed entry-wise non-negative, as required by the strict
+// turnstile model of §4.4.
+func StrictTurnstile(n, length int, maxAbs int64, r *rand.Rand) Stream {
+	final := make([]int64, n)
+	var s Stream
+	// First phase: random inserts.
+	for len(s) < length/2 {
+		i := r.IntN(n)
+		d := r.Int64N(maxAbs) + 1
+		final[i] += d
+		s = append(s, Update{i, d})
+	}
+	// Second phase: deletes never exceeding the running positive mass.
+	for len(s) < length {
+		i := r.IntN(n)
+		if final[i] <= 0 {
+			d := r.Int64N(maxAbs) + 1
+			final[i] += d
+			s = append(s, Update{i, d})
+			continue
+		}
+		d := r.Int64N(final[i]) + 1
+		final[i] -= d
+		s = append(s, Update{i, -d})
+	}
+	return s
+}
+
+// Items is a stream of letters from the alphabet [n] (the duplicates-problem
+// input of §3), 0-based.
+type Items []int
+
+// DuplicateItems returns a stream of n+1 items over alphabet [n] (0-based) in
+// which, by pigeonhole, at least one letter repeats. The stream is a uniform
+// random function image: each of the n+1 positions holds an independent
+// uniform letter unless forceDup >= 0, in which case the stream is a random
+// permutation of [n] plus one extra copy of forceDup (exactly one duplicate,
+// the adversarial extreme where the duplicate mass is smallest).
+func DuplicateItems(n int, forceDup int, r *rand.Rand) Items {
+	if forceDup >= 0 {
+		items := make(Items, 0, n+1)
+		for _, v := range r.Perm(n) {
+			items = append(items, v)
+		}
+		items = append(items, forceDup)
+		r.Shuffle(len(items), func(a, b int) { items[a], items[b] = items[b], items[a] })
+		return items
+	}
+	items := make(Items, n+1)
+	for i := range items {
+		items[i] = r.IntN(n)
+	}
+	return items
+}
+
+// ShortItems returns a stream of n-s items over [n]. If withDup is false the
+// items are distinct (no duplicate exists and Theorem 4's algorithm must say
+// NO-DUPLICATE); otherwise exactly dups letters appear twice.
+func ShortItems(n, s int, withDup bool, dups int, r *rand.Rand) Items {
+	length := n - s
+	perm := r.Perm(n)
+	if !withDup {
+		return Items(perm[:length])
+	}
+	if dups < 1 {
+		dups = 1
+	}
+	if dups > length/2 {
+		dups = length / 2
+	}
+	items := make(Items, 0, length)
+	distinct := length - dups
+	items = append(items, perm[:distinct]...)
+	for i := 0; i < dups; i++ {
+		items = append(items, perm[i])
+	}
+	r.Shuffle(len(items), func(a, b int) { items[a], items[b] = items[b], items[a] })
+	return items
+}
+
+// LongItems returns a stream of n+s items over [n] (the regime at the end of
+// §3 where reservoir sampling of O(n/s) items beats the L1 sampler once
+// n/s < log n).
+func LongItems(n, s int, r *rand.Rand) Items {
+	items := make(Items, n+s)
+	for i := range items {
+		items[i] = r.IntN(n)
+	}
+	return items
+}
+
+// Updates converts an item stream to turnstile updates (+1 per occurrence).
+func (it Items) Updates() Stream {
+	s := make(Stream, len(it))
+	for i, v := range it {
+		s[i] = Update{Index: v, Delta: 1}
+	}
+	return s
+}
+
+// DecrementAll returns the (i, -1) for i in [n] prefix that the duplicates
+// reduction of Theorem 3 feeds before the items.
+func DecrementAll(n int) Stream {
+	s := make(Stream, n)
+	for i := range s {
+		s[i] = Update{Index: i, Delta: -1}
+	}
+	return s
+}

@@ -1,0 +1,228 @@
+package stream
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestApply(t *testing.T) {
+	s := Stream{{0, 5}, {1, -2}, {0, -1}}
+	d := s.Apply(3)
+	if d.Get(0) != 4 || d.Get(1) != -2 || d.Get(2) != 0 {
+		t.Fatalf("Apply wrong: %v", d.Coords())
+	}
+}
+
+type countingSink struct{ n int }
+
+func (c *countingSink) Process(Update) { c.n++ }
+
+func TestFeed(t *testing.T) {
+	s := Stream{{0, 1}, {1, 1}, {2, 1}}
+	a, b := &countingSink{}, &countingSink{}
+	s.Feed(a, b)
+	if a.n != 3 || b.n != 3 {
+		t.Fatalf("Feed delivered %d/%d, want 3/3", a.n, b.n)
+	}
+}
+
+func TestRandomTurnstile(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	s := RandomTurnstile(50, 1000, 10, r)
+	if len(s) != 1000 {
+		t.Fatalf("length %d", len(s))
+	}
+	for _, u := range s {
+		if u.Index < 0 || u.Index >= 50 {
+			t.Fatalf("index %d out of range", u.Index)
+		}
+		if u.Delta == 0 || u.Delta < -10 || u.Delta > 10 {
+			t.Fatalf("delta %d out of range", u.Delta)
+		}
+	}
+}
+
+func TestZipfSigned(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 2))
+	s := ZipfSigned(100, 1.0, 1000, r)
+	d := s.Apply(100)
+	// Largest coordinate must be +-1000, coordinate magnitudes decay.
+	if d.MaxAbs() != 1000 {
+		t.Fatalf("MaxAbs = %d, want 1000", d.MaxAbs())
+	}
+	var zi0 int64
+	if v := d.Get(0); v < 0 {
+		zi0 = -v
+	} else {
+		zi0 = v
+	}
+	if zi0 != 1000 {
+		t.Fatalf("|x_0| = %d, want 1000", zi0)
+	}
+}
+
+func TestSparseVector(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 3))
+	for _, sup := range []int{0, 1, 5, 50, 100} {
+		s := SparseVector(100, sup, 20, r)
+		d := s.Apply(100)
+		if got := d.L0(); got != sup {
+			t.Fatalf("support %d, want %d", got, sup)
+		}
+		for _, v := range d.Coords() {
+			if v > 20 || v < -20 {
+				t.Fatalf("magnitude %d exceeds maxAbs", v)
+			}
+		}
+	}
+}
+
+func TestZeroPlusMinusOne(t *testing.T) {
+	r := rand.New(rand.NewPCG(4, 4))
+	s := ZeroPlusMinusOne(100, 7, 5, r)
+	d := s.Apply(100)
+	var ones, minus int
+	for _, v := range d.Coords() {
+		switch v {
+		case 1:
+			ones++
+		case -1:
+			minus++
+		case 0:
+		default:
+			t.Fatalf("coordinate %d not in {-1,0,1}", v)
+		}
+	}
+	if ones != 7 || minus != 5 {
+		t.Fatalf("ones=%d minus=%d, want 7/5", ones, minus)
+	}
+}
+
+func TestStrictTurnstileFinalNonNegative(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 5))
+	s := StrictTurnstile(50, 2000, 10, r)
+	if len(s) != 2000 {
+		t.Fatalf("length %d", len(s))
+	}
+	d := s.Apply(50)
+	for i, v := range d.Coords() {
+		if v < 0 {
+			t.Fatalf("final coordinate %d negative: %d", i, v)
+		}
+	}
+	// The stream must actually contain deletions.
+	hasNeg := false
+	for _, u := range s {
+		if u.Delta < 0 {
+			hasNeg = true
+			break
+		}
+	}
+	if !hasNeg {
+		t.Error("strict turnstile stream contains no deletions")
+	}
+}
+
+func TestDuplicateItemsPigeonhole(t *testing.T) {
+	r := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 20; trial++ {
+		items := DuplicateItems(50, -1, r)
+		if len(items) != 51 {
+			t.Fatalf("length %d, want 51", len(items))
+		}
+		seen := map[int]int{}
+		for _, it := range items {
+			if it < 0 || it >= 50 {
+				t.Fatalf("item %d out of alphabet", it)
+			}
+			seen[it]++
+		}
+		dup := false
+		for _, c := range seen {
+			if c >= 2 {
+				dup = true
+			}
+		}
+		if !dup {
+			t.Fatal("pigeonhole violated")
+		}
+	}
+}
+
+func TestDuplicateItemsForced(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	items := DuplicateItems(20, 13, r)
+	count := 0
+	for _, it := range items {
+		if it == 13 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("forced duplicate appears %d times, want 2", count)
+	}
+	// all other letters exactly once
+	seen := map[int]int{}
+	for _, it := range items {
+		seen[it]++
+	}
+	for l, c := range seen {
+		if l != 13 && c != 1 {
+			t.Fatalf("letter %d appears %d times", l, c)
+		}
+	}
+}
+
+func TestShortItems(t *testing.T) {
+	r := rand.New(rand.NewPCG(8, 8))
+	items := ShortItems(100, 10, false, 0, r)
+	if len(items) != 90 {
+		t.Fatalf("length %d, want 90", len(items))
+	}
+	seen := map[int]bool{}
+	for _, it := range items {
+		if seen[it] {
+			t.Fatal("distinct stream has a duplicate")
+		}
+		seen[it] = true
+	}
+	withDup := ShortItems(100, 10, true, 3, r)
+	counts := map[int]int{}
+	for _, it := range withDup {
+		counts[it]++
+	}
+	dups := 0
+	for _, c := range counts {
+		if c == 2 {
+			dups++
+		} else if c > 2 {
+			t.Fatalf("letter appears %d times, want <= 2", c)
+		}
+	}
+	if dups != 3 {
+		t.Fatalf("found %d duplicated letters, want 3", dups)
+	}
+}
+
+func TestLongItems(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 9))
+	items := LongItems(100, 30, r)
+	if len(items) != 130 {
+		t.Fatalf("length %d, want 130", len(items))
+	}
+}
+
+func TestUpdatesAndDecrementAll(t *testing.T) {
+	items := Items{2, 0, 2}
+	ups := items.Updates()
+	if len(ups) != 3 || ups[0] != (Update{2, 1}) {
+		t.Fatalf("Updates wrong: %v", ups)
+	}
+	dec := DecrementAll(3)
+	full := append(dec, ups...)
+	d := full.Apply(3)
+	// x_i = occurrences - 1
+	if d.Get(0) != 0 || d.Get(1) != -1 || d.Get(2) != 1 {
+		t.Fatalf("Theorem 3 vector wrong: %v", d.Coords())
+	}
+}

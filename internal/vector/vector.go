@@ -1,0 +1,217 @@
+// Package vector provides the exact (non-streaming) ground truth that every
+// experiment measures against: the underlying vector x defined by an update
+// stream, its Lp norms and Lp distributions (Definition 1 of the paper), the
+// count-sketch tail error Err^m_2(x), and total-variation distance between
+// output histograms and target distributions.
+package vector
+
+import (
+	"math"
+	"sort"
+)
+
+// Dense is the exact integer vector x in Z^n maintained outside the streaming
+// model. The paper assumes integer updates with |x_i| <= M = poly(n)
+// throughout the stream; int64 easily covers that regime.
+type Dense struct {
+	x []int64
+}
+
+// NewDense returns the zero vector of dimension n.
+func NewDense(n int) *Dense { return &Dense{x: make([]int64, n)} }
+
+// FromSlice wraps an existing coordinate slice (not copied).
+func FromSlice(x []int64) *Dense { return &Dense{x: x} }
+
+// N returns the dimension.
+func (d *Dense) N() int { return len(d.x) }
+
+// Update adds delta to coordinate i.
+func (d *Dense) Update(i int, delta int64) { d.x[i] += delta }
+
+// Get returns coordinate i.
+func (d *Dense) Get(i int) int64 { return d.x[i] }
+
+// Coords returns the underlying coordinates (shared, do not mutate).
+func (d *Dense) Coords() []int64 { return d.x }
+
+// Support returns the indices of nonzero coordinates in increasing order.
+func (d *Dense) Support() []int {
+	var s []int
+	for i, v := range d.x {
+		if v != 0 {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// L0 returns the number of nonzero coordinates.
+func (d *Dense) L0() int {
+	c := 0
+	for _, v := range d.x {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// SumAbsP returns sum_i |x_i|^p = ||x||_p^p for p > 0.
+func (d *Dense) SumAbsP(p float64) float64 {
+	var s float64
+	for _, v := range d.x {
+		if v != 0 {
+			s += math.Pow(math.Abs(float64(v)), p)
+		}
+	}
+	return s
+}
+
+// NormP returns ||x||_p for p > 0.
+func (d *Dense) NormP(p float64) float64 {
+	return math.Pow(d.SumAbsP(p), 1/p)
+}
+
+// LpDistribution returns the Lp distribution of Definition 1: index i has
+// probability |x_i|^p / ||x||_p^p. For p = 0 it returns the uniform
+// distribution over the support. The zero vector yields a nil slice (the
+// distribution is undefined; a perfect sampler may only fail there).
+func (d *Dense) LpDistribution(p float64) []float64 {
+	out := make([]float64, len(d.x))
+	if p == 0 {
+		k := d.L0()
+		if k == 0 {
+			return nil
+		}
+		for i, v := range d.x {
+			if v != 0 {
+				out[i] = 1 / float64(k)
+			}
+		}
+		return out
+	}
+	total := d.SumAbsP(p)
+	if total == 0 {
+		return nil
+	}
+	for i, v := range d.x {
+		if v != 0 {
+			out[i] = math.Pow(math.Abs(float64(v)), p) / total
+		}
+	}
+	return out
+}
+
+// ErrM2 returns Err^m_2(x) = min over m-sparse xhat of ||x - xhat||_2, i.e.
+// the L2 norm of x with its m largest-magnitude coordinates removed — the
+// tail quantity that controls the count-sketch guarantee of Lemma 1.
+func (d *Dense) ErrM2(m int) float64 {
+	if m <= 0 {
+		var s float64
+		for _, v := range d.x {
+			f := float64(v)
+			s += f * f
+		}
+		return math.Sqrt(s)
+	}
+	mags := make([]float64, 0, len(d.x))
+	for _, v := range d.x {
+		if v != 0 {
+			mags = append(mags, math.Abs(float64(v)))
+		}
+	}
+	if len(mags) <= m {
+		return 0
+	}
+	sort.Float64s(mags)
+	var s float64
+	for _, f := range mags[:len(mags)-m] {
+		s += f * f
+	}
+	return math.Sqrt(s)
+}
+
+// TV returns the total-variation distance (1/2)*sum_i |p_i - q_i| between two
+// distributions given as same-length probability slices.
+func TV(p, q []float64) float64 {
+	var s float64
+	for i := range p {
+		s += math.Abs(p[i] - q[i])
+	}
+	return s / 2
+}
+
+// EmpiricalTV compares an observed sample histogram against a target
+// distribution over [n] and returns the total-variation distance of the
+// empirical distribution from the target. total must be the sample count.
+func EmpiricalTV(counts map[int]int, target []float64, total int) float64 {
+	if total == 0 {
+		return 1
+	}
+	var s float64
+	seen := make([]bool, len(target))
+	for i, c := range counts {
+		emp := float64(c) / float64(total)
+		var tgt float64
+		if i >= 0 && i < len(target) {
+			tgt = target[i]
+			seen[i] = true
+		}
+		s += math.Abs(emp - tgt)
+	}
+	for i, t := range target {
+		if !seen[i] {
+			s += t
+		}
+	}
+	return s / 2
+}
+
+// MaxAbs returns max_i |x_i|.
+func (d *Dense) MaxAbs() int64 {
+	var m int64
+	for _, v := range d.x {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// TopM returns the indices of the m largest-magnitude coordinates (ties broken
+// by lower index), used to build best m-sparse approximations in tests.
+func (d *Dense) TopM(m int) []int {
+	type pair struct {
+		i int
+		a int64
+	}
+	ps := make([]pair, 0, len(d.x))
+	for i, v := range d.x {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a != 0 {
+			ps = append(ps, pair{i, a})
+		}
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].a != ps[b].a {
+			return ps[a].a > ps[b].a
+		}
+		return ps[a].i < ps[b].i
+	})
+	if m > len(ps) {
+		m = len(ps)
+	}
+	out := make([]int, m)
+	for i := 0; i < m; i++ {
+		out[i] = ps[i].i
+	}
+	sort.Ints(out)
+	return out
+}

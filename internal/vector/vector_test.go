@@ -1,0 +1,199 @@
+package vector
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicAccessors(t *testing.T) {
+	d := NewDense(5)
+	if d.N() != 5 || d.L0() != 0 {
+		t.Fatal("fresh vector not zero")
+	}
+	d.Update(2, 7)
+	d.Update(2, -3)
+	d.Update(4, -1)
+	if d.Get(2) != 4 || d.Get(4) != -1 {
+		t.Fatalf("coords wrong: %v", d.Coords())
+	}
+	if d.L0() != 2 {
+		t.Fatalf("L0 = %d, want 2", d.L0())
+	}
+	sup := d.Support()
+	if len(sup) != 2 || sup[0] != 2 || sup[1] != 4 {
+		t.Fatalf("Support = %v", sup)
+	}
+	if d.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %d", d.MaxAbs())
+	}
+}
+
+func TestNorms(t *testing.T) {
+	d := FromSlice([]int64{3, -4, 0})
+	if !almostEq(d.NormP(2), 5) {
+		t.Errorf("L2 = %g, want 5", d.NormP(2))
+	}
+	if !almostEq(d.NormP(1), 7) {
+		t.Errorf("L1 = %g, want 7", d.NormP(1))
+	}
+	if !almostEq(d.SumAbsP(0.5), math.Sqrt(3)+2) {
+		t.Errorf("SumAbsP(0.5) = %g", d.SumAbsP(0.5))
+	}
+}
+
+func TestLpDistribution(t *testing.T) {
+	d := FromSlice([]int64{1, -3, 0, 4})
+	p1 := d.LpDistribution(1)
+	want := []float64{1.0 / 8, 3.0 / 8, 0, 4.0 / 8}
+	for i := range want {
+		if !almostEq(p1[i], want[i]) {
+			t.Fatalf("L1 dist[%d] = %g, want %g", i, p1[i], want[i])
+		}
+	}
+	p0 := d.LpDistribution(0)
+	for i, v := range d.Coords() {
+		wantP := 0.0
+		if v != 0 {
+			wantP = 1.0 / 3
+		}
+		if !almostEq(p0[i], wantP) {
+			t.Fatalf("L0 dist[%d] = %g, want %g", i, p0[i], wantP)
+		}
+	}
+	if FromSlice([]int64{0, 0}).LpDistribution(1) != nil {
+		t.Error("zero vector must yield nil distribution")
+	}
+	if FromSlice([]int64{0, 0}).LpDistribution(0) != nil {
+		t.Error("zero vector must yield nil L0 distribution")
+	}
+}
+
+func TestLpDistributionSumsToOne(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]int64, len(raw))
+		nz := false
+		for i, v := range raw {
+			x[i] = int64(v)
+			if v != 0 {
+				nz = true
+			}
+		}
+		if !nz {
+			return true
+		}
+		d := FromSlice(x)
+		for _, p := range []float64{0, 0.5, 1, 1.5, 2} {
+			var s float64
+			for _, q := range d.LpDistribution(p) {
+				s += q
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrM2(t *testing.T) {
+	d := FromSlice([]int64{10, -7, 3, 1, 0})
+	// m=2 removes 10 and -7: tail = sqrt(9+1)
+	if !almostEq(d.ErrM2(2), math.Sqrt(10)) {
+		t.Errorf("ErrM2(2) = %g, want sqrt(10)", d.ErrM2(2))
+	}
+	if !almostEq(d.ErrM2(0), d.NormP(2)) {
+		t.Errorf("ErrM2(0) must be the L2 norm")
+	}
+	if d.ErrM2(4) != 0 || d.ErrM2(100) != 0 {
+		t.Error("ErrM2 at support size must be 0")
+	}
+}
+
+func TestErrM2Monotone(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 1))
+	x := make([]int64, 100)
+	for i := range x {
+		x[i] = r.Int64N(2001) - 1000
+	}
+	d := FromSlice(x)
+	prev := math.Inf(1)
+	for m := 0; m <= 100; m += 5 {
+		e := d.ErrM2(m)
+		if e > prev+1e-9 {
+			t.Fatalf("ErrM2 not monotone at m=%d", m)
+		}
+		prev = e
+	}
+}
+
+func TestTV(t *testing.T) {
+	p := []float64{0.5, 0.5, 0}
+	q := []float64{0.25, 0.25, 0.5}
+	if !almostEq(TV(p, q), 0.5) {
+		t.Errorf("TV = %g, want 0.5", TV(p, q))
+	}
+	if TV(p, p) != 0 {
+		t.Error("TV(p,p) must be 0")
+	}
+}
+
+func TestEmpiricalTV(t *testing.T) {
+	target := []float64{0.5, 0.5}
+	counts := map[int]int{0: 50, 1: 50}
+	if !almostEq(EmpiricalTV(counts, target, 100), 0) {
+		t.Error("perfect sample must have TV 0")
+	}
+	counts = map[int]int{0: 100}
+	if !almostEq(EmpiricalTV(counts, target, 100), 0.5) {
+		t.Error("one-sided sample must have TV 0.5")
+	}
+	if EmpiricalTV(nil, target, 0) != 1 {
+		t.Error("empty sample must report TV 1")
+	}
+}
+
+func TestTopM(t *testing.T) {
+	d := FromSlice([]int64{5, -9, 0, 2, 9})
+	top2 := d.TopM(2)
+	if len(top2) != 2 || top2[0] != 1 || top2[1] != 4 {
+		t.Fatalf("TopM(2) = %v, want [1 4]", top2)
+	}
+	if got := d.TopM(10); len(got) != 4 {
+		t.Fatalf("TopM(10) = %v, want all 4 nonzeros", got)
+	}
+}
+
+func TestTopMConsistentWithErrM2(t *testing.T) {
+	r := rand.New(rand.NewPCG(2, 2))
+	x := make([]int64, 64)
+	for i := range x {
+		x[i] = r.Int64N(199) - 99
+	}
+	d := FromSlice(x)
+	for _, m := range []int{1, 3, 8, 20} {
+		top := d.TopM(m)
+		keep := map[int]bool{}
+		for _, i := range top {
+			keep[i] = true
+		}
+		var tail float64
+		for i, v := range x {
+			if !keep[i] {
+				tail += float64(v) * float64(v)
+			}
+		}
+		if !almostEq(math.Sqrt(tail), d.ErrM2(m)) {
+			t.Fatalf("TopM/ErrM2 mismatch at m=%d: %g vs %g", m, math.Sqrt(tail), d.ErrM2(m))
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package streamsample is the public API of this repository: turnstile-stream
+// Lp samplers and their applications, reproducing Jowhari, Sağlam and Tardos,
+// "Tight Bounds for Lp Samplers, Finding Duplicates in Streams, and Related
+// Problems" (PODS 2011).
+//
+// A stream of updates (i, Δ) defines a vector x ∈ Z^n. The samplers answer:
+//
+//   - LpSampler (0 < p < 2): return index i with probability
+//     ≈ (1±ε)|x_i|^p/‖x‖_p^p plus an ε-relative-error estimate of x_i, in
+//     O(ε^{-max(1,p)} log² n) bits (Theorem 1).
+//   - L0Sampler: return a uniformly random element of the support of x with
+//     its exact value, in O(log² n) bits (Theorem 2).
+//   - DuplicateFinder: given a stream of n+1 letters over [n], return a
+//     repeated letter in O(log² n) bits (Theorem 3).
+//   - HeavyHitters: return a valid Lp heavy-hitter set in O(φ^{-p} log² n)
+//     bits (§4.4), matching the paper's Theorem 9 lower bound.
+//
+// All structures are linear sketches: updates may be positive or negative,
+// insertions may be interleaved with deletions, and same-seed sketches can
+// be merged (L0Sampler.Merge) to summarize sums of vectors.
+//
+// Everything is implemented from scratch on the standard library; the
+// internal packages expose the substrates (count-sketch, p-stable norm
+// estimation, exact sparse recovery, Nisan's PRG, k-wise independent
+// hashing) for users who need the building blocks.
+package streamsample
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/duplicates"
+	"repro/internal/heavyhitters"
+	"repro/internal/stream"
+)
+
+// Update is one turnstile update: x[Index] += Delta.
+type Update = stream.Update
+
+// options collects cross-cutting construction knobs.
+type options struct {
+	seed    uint64
+	seeded  bool
+	eps     float64
+	delta   float64
+	copies  int
+	sBudget int
+}
+
+// Option configures a sampler at construction time.
+type Option func(*options)
+
+// WithSeed makes the sampler deterministic. Two samplers of the same type
+// and dimension built with the same seed share all randomness — a
+// requirement for Merge.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed; o.seeded = true }
+}
+
+// WithEps sets the relative-error parameter ε (LpSampler only; default 0.25).
+func WithEps(eps float64) Option { return func(o *options) { o.eps = eps } }
+
+// WithDelta sets the failure probability δ (default 0.2).
+func WithDelta(delta float64) Option { return func(o *options) { o.delta = delta } }
+
+// WithCopies overrides the repetition count of the Lp sampler.
+func WithCopies(v int) Option { return func(o *options) { o.copies = v } }
+
+// WithSparsity overrides the per-level recovery budget of the L0 sampler.
+func WithSparsity(s int) Option { return func(o *options) { o.sBudget = s } }
+
+func buildOptions(opts []Option) options {
+	o := options{eps: 0.25, delta: 0.2}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+func (o options) rng() *rand.Rand {
+	if o.seeded {
+		return rand.New(rand.NewPCG(o.seed, o.seed^0x9E3779B97F4A7C15))
+	}
+	return rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+}
+
+// ---------------------------------------------------------------------------
+// Lp sampler
+// ---------------------------------------------------------------------------
+
+// LpSampler samples coordinates proportionally to |x_i|^p.
+type LpSampler struct {
+	inner *core.LpSampler
+}
+
+// NewLpSampler creates a sampler for p in (0,2) over vectors of dimension n.
+func NewLpSampler(p float64, n int, opts ...Option) *LpSampler {
+	o := buildOptions(opts)
+	return &LpSampler{inner: core.NewLpSampler(core.LpConfig{
+		P:      p,
+		N:      n,
+		Eps:    o.eps,
+		Delta:  o.delta,
+		Copies: o.copies,
+	}, o.rng())}
+}
+
+// Update applies x[i] += delta.
+func (s *LpSampler) Update(i int, delta int64) {
+	s.inner.Process(stream.Update{Index: i, Delta: delta})
+}
+
+// Process implements the stream.Sink interface used by internal generators.
+func (s *LpSampler) Process(u Update) { s.inner.Process(u) }
+
+// Sample returns an index distributed ≈ proportionally to |x_i|^p, with a
+// (1±ε)-accurate estimate of x_i. ok is false when the sampler fails
+// (probability ≤ δ; always for the zero vector).
+func (s *LpSampler) Sample() (index int, estimate float64, ok bool) {
+	out, ok := s.inner.Sample()
+	return out.Index, out.Estimate, ok
+}
+
+// SpaceBits reports the sketch size under the paper's accounting.
+func (s *LpSampler) SpaceBits() int64 { return s.inner.SpaceBits() }
+
+// ---------------------------------------------------------------------------
+// L0 sampler
+// ---------------------------------------------------------------------------
+
+// L0Sampler samples uniformly from the support of x.
+type L0Sampler struct {
+	inner *core.L0Sampler
+}
+
+// NewL0Sampler creates the sampler for dimension n.
+func NewL0Sampler(n int, opts ...Option) *L0Sampler {
+	o := buildOptions(opts)
+	return &L0Sampler{inner: core.NewL0Sampler(core.L0Config{
+		N:         n,
+		Delta:     o.delta,
+		SOverride: o.sBudget,
+	}, o.rng())}
+}
+
+// Update applies x[i] += delta.
+func (s *L0Sampler) Update(i int, delta int64) {
+	s.inner.Process(stream.Update{Index: i, Delta: delta})
+}
+
+// Process implements the stream.Sink interface.
+func (s *L0Sampler) Process(u Update) { s.inner.Process(u) }
+
+// Sample returns a uniform support element and its exact value x_i.
+func (s *L0Sampler) Sample() (index int, value int64, ok bool) {
+	out, ok := s.inner.Sample()
+	return out.Index, int64(out.Estimate), ok
+}
+
+// Merge adds another sampler's state; both must be built with the same
+// dimension and WithSeed value so they share randomness. After merging, this
+// sampler summarizes the sum of the two vectors.
+func (s *L0Sampler) Merge(other *L0Sampler) { s.inner.Merge(other.inner) }
+
+// SpaceBits reports the sketch size.
+func (s *L0Sampler) SpaceBits() int64 { return s.inner.SpaceBits() }
+
+// ---------------------------------------------------------------------------
+// Duplicates
+// ---------------------------------------------------------------------------
+
+// DuplicateFinder finds a repeated letter in a stream of n+1 letters over
+// the alphabet {0, ..., n-1} (Theorem 3).
+type DuplicateFinder struct {
+	inner *duplicates.Finder
+}
+
+// NewDuplicateFinder creates the finder for alphabet size n.
+func NewDuplicateFinder(n int, opts ...Option) *DuplicateFinder {
+	o := buildOptions(opts)
+	return &DuplicateFinder{inner: duplicates.NewFinder(n, o.delta, o.rng())}
+}
+
+// Observe consumes the next letter of the stream.
+func (d *DuplicateFinder) Observe(letter int) { d.inner.ProcessItem(letter) }
+
+// Find returns a letter that appeared at least twice. ok is false with
+// probability at most δ; a returned letter is wrong only with low
+// probability.
+func (d *DuplicateFinder) Find() (letter int, ok bool) {
+	res := d.inner.Find()
+	if res.Kind != duplicates.Duplicate {
+		return -1, false
+	}
+	return res.Index, true
+}
+
+// SpaceBits reports the sketch size.
+func (d *DuplicateFinder) SpaceBits() int64 { return d.inner.SpaceBits() }
+
+// ---------------------------------------------------------------------------
+// Heavy hitters
+// ---------------------------------------------------------------------------
+
+// HeavyHitters maintains an Lp heavy-hitters sketch: Report returns a set
+// containing every i with |x_i| ≥ φ‖x‖_p and no i with |x_i| ≤ (φ/2)‖x‖_p
+// (with high probability).
+type HeavyHitters struct {
+	inner *heavyhitters.Sketch
+}
+
+// NewHeavyHitters creates the sketch for norm exponent p in (0,2] and
+// threshold φ in (0,1).
+func NewHeavyHitters(p, phi float64, n int, opts ...Option) *HeavyHitters {
+	o := buildOptions(opts)
+	return &HeavyHitters{inner: heavyhitters.New(heavyhitters.Config{
+		P:   p,
+		Phi: phi,
+		N:   n,
+	}, o.rng())}
+}
+
+// Update applies x[i] += delta.
+func (h *HeavyHitters) Update(i int, delta int64) {
+	h.inner.Process(stream.Update{Index: i, Delta: delta})
+}
+
+// Process implements the stream.Sink interface.
+func (h *HeavyHitters) Process(u Update) { h.inner.Process(u) }
+
+// Report returns the heavy-hitter set.
+func (h *HeavyHitters) Report() []int { return h.inner.HeavyHitters() }
+
+// SpaceBits reports the sketch size.
+func (h *HeavyHitters) SpaceBits() int64 { return h.inner.SpaceBits() }

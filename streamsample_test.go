@@ -1,0 +1,108 @@
+package streamsample
+
+import (
+	"testing"
+)
+
+func TestPublicLpSampler(t *testing.T) {
+	s := NewLpSampler(1, 64, WithSeed(1), WithEps(0.3), WithDelta(0.1))
+	for i := 0; i < 64; i++ {
+		s.Update(i, 1)
+	}
+	s.Update(9, 99999)
+	idx, est, ok := s.Sample()
+	if !ok {
+		t.Fatal("sampler failed on dominated vector")
+	}
+	if idx != 9 {
+		t.Fatalf("sampled %d, want dominant coordinate 9", idx)
+	}
+	if est < 50000 || est > 200000 {
+		t.Fatalf("estimate %g far from 100000", est)
+	}
+	if s.SpaceBits() <= 0 {
+		t.Error("SpaceBits must be positive")
+	}
+}
+
+func TestPublicL0SamplerAndMerge(t *testing.T) {
+	a := NewL0Sampler(128, WithSeed(7))
+	b := NewL0Sampler(128, WithSeed(7))
+	a.Update(3, 5)
+	a.Update(10, 2)
+	b.Update(3, -5) // cancels across sketches after merge
+	b.Update(64, 1)
+	a.Merge(b)
+	idx, val, ok := a.Sample()
+	if !ok {
+		t.Fatal("merged sampler failed")
+	}
+	want := map[int]int64{10: 2, 64: 1}
+	if want[idx] != val {
+		t.Fatalf("sampled (%d,%d), want a member of %v", idx, val, want)
+	}
+}
+
+func TestPublicL0SamplerDeterministicSeed(t *testing.T) {
+	a := NewL0Sampler(64, WithSeed(42))
+	b := NewL0Sampler(64, WithSeed(42))
+	for i := 0; i < 10; i++ {
+		a.Update(i, int64(i+1))
+		b.Update(i, int64(i+1))
+	}
+	ia, va, oka := a.Sample()
+	ib, vb, okb := b.Sample()
+	if ia != ib || va != vb || oka != okb {
+		t.Fatal("same-seed samplers must agree")
+	}
+}
+
+func TestPublicDuplicateFinder(t *testing.T) {
+	found := 0
+	for trial := 0; trial < 10; trial++ {
+		d := NewDuplicateFinder(100, WithSeed(uint64(trial)), WithDelta(0.1))
+		for i := 0; i < 100; i++ {
+			d.Observe(i)
+		}
+		d.Observe(55) // the duplicate
+		if letter, ok := d.Find(); ok {
+			if letter != 55 {
+				t.Fatalf("found %d, want 55", letter)
+			}
+			found++
+		}
+	}
+	if found < 7 {
+		t.Errorf("duplicate found only %d/10 times", found)
+	}
+}
+
+func TestPublicHeavyHitters(t *testing.T) {
+	h := NewHeavyHitters(1, 0.3, 256, WithSeed(3))
+	for i := 0; i < 256; i++ {
+		h.Update(i, 1)
+	}
+	h.Update(123, 5000)
+	set := h.Report()
+	ok := false
+	for _, i := range set {
+		if i == 123 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("heavy hitter 123 missing from %v", set)
+	}
+}
+
+func TestProcessMatchesUpdate(t *testing.T) {
+	a := NewLpSampler(1, 32, WithSeed(5))
+	b := NewLpSampler(1, 32, WithSeed(5))
+	a.Update(7, 10)
+	b.Process(Update{Index: 7, Delta: 10})
+	ia, _, oka := a.Sample()
+	ib, _, okb := b.Sample()
+	if ia != ib || oka != okb {
+		t.Fatal("Update and Process must be equivalent")
+	}
+}
