@@ -1,0 +1,34 @@
+# Local dev and CI run the exact same commands: the ci.yml jobs each invoke
+# one of these targets.
+
+GO ?= go
+
+.PHONY: build test race bench lint lint-vet lint-fmt fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector run with coverage, the CI test job. Coverage lands in
+# coverage.out (uploaded as a CI artifact).
+race:
+	$(GO) test -race -coverprofile=coverage.out -covermode=atomic ./...
+
+# One iteration of every benchmark — a smoke test that the bench harness and
+# the serial-vs-engine ingestion comparison still run, not a measurement.
+bench:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+lint: lint-vet lint-fmt
+
+lint-vet:
+	$(GO) vet ./...
+
+lint-fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .

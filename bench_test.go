@@ -1,5 +1,6 @@
 // Root benchmark harness: one testing.B benchmark per evaluation table
-// (E1-E11, A1-A3). Each benchmark executes the same code path as
+// (E1-E11, A1-A3), plus the serial-vs-sharded ingestion benchmarks of the
+// engine. Each experiment benchmark executes the same code path as
 // `cmd/experiments -run <ID>` in quick mode, so `go test -bench=.` at the
 // repository root regenerates every experiment under the benchmark clock.
 //
@@ -9,9 +10,15 @@ package streamsample_test
 
 import (
 	"io"
+	"math/rand/v2"
+	"sync"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/countsketch"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/stream"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -28,6 +35,107 @@ func benchExperiment(b *testing.B, id string) {
 			tbl.Render(io.Discard)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion throughput: serial single-sink vs sharded engine.
+// ---------------------------------------------------------------------------
+
+// The headline workload of the engine acceptance test: a 10M-update general
+// turnstile stream. Generated once and shared across the ingestion
+// benchmarks so the comparison isolates the sinks.
+const (
+	ingestLen = 10_000_000
+	ingestN   = 1 << 16
+)
+
+var (
+	ingestOnce   sync.Once
+	ingestStream stream.Stream
+)
+
+func ingestWorkload() stream.Stream {
+	ingestOnce.Do(func() {
+		ingestStream = stream.RandomTurnstile(ingestN, ingestLen, 100, rand.New(rand.NewPCG(17, 29)))
+	})
+	return ingestStream
+}
+
+func newIngestSketch() *countsketch.Sketch {
+	return countsketch.New(64, 12, rand.New(rand.NewPCG(3, 5)))
+}
+
+func reportThroughput(b *testing.B, updates int) {
+	b.ReportMetric(float64(updates)*float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+}
+
+// BenchmarkIngestSerial is the baseline: one count-sketch consuming the
+// stream one Process call at a time.
+func BenchmarkIngestSerial(b *testing.B) {
+	st := ingestWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Feed(newIngestSketch())
+	}
+	reportThroughput(b, len(st))
+}
+
+// BenchmarkIngestSerialBatched isolates the ProcessBatch hot-path gain
+// without sharding.
+func BenchmarkIngestSerialBatched(b *testing.B) {
+	st := ingestWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.FeedBatch(1024, newIngestSketch())
+	}
+	reportThroughput(b, len(st))
+}
+
+// BenchmarkIngestEngine is the full shard → batch → merge pipeline at
+// GOMAXPROCS shards; on a multi-core runner it should beat BenchmarkIngestSerial
+// by ≥ 2x.
+func BenchmarkIngestEngine(b *testing.B) {
+	st := ingestWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Config{},
+			func(int) *countsketch.Sketch { return newIngestSketch() },
+			func(dst, src *countsketch.Sketch) error { return dst.Merge(src) })
+		eng.Feed(st)
+		if _, err := eng.Results(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportThroughput(b, len(st))
+}
+
+// BenchmarkIngestL0Serial / BenchmarkIngestL0Engine run the same comparison
+// on the much heavier L0 sampler update path (1M updates).
+func BenchmarkIngestL0Serial(b *testing.B) {
+	st := ingestWorkload()[:1_000_000]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk := core.NewL0Sampler(core.L0Config{N: ingestN, Delta: 0.2}, rand.New(rand.NewPCG(7, 11)))
+		st.Feed(sk)
+	}
+	reportThroughput(b, len(st))
+}
+
+func BenchmarkIngestL0Engine(b *testing.B) {
+	st := ingestWorkload()[:1_000_000]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Config{},
+			func(int) *core.L0Sampler {
+				return core.NewL0Sampler(core.L0Config{N: ingestN, Delta: 0.2}, rand.New(rand.NewPCG(7, 11)))
+			},
+			func(dst, src *core.L0Sampler) error { return dst.Merge(src) })
+		eng.Feed(st)
+		if _, err := eng.Results(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportThroughput(b, len(st))
 }
 
 func BenchmarkE1LpSamplerTV(b *testing.B)         { benchExperiment(b, "E1") }

@@ -1,6 +1,8 @@
 // Command workload generates the benchmark workloads of the experiments as
 // text streams, for piping into cmd/lpsample and cmd/dupfind or into other
-// systems under comparison.
+// systems under comparison — and, with -ingest, drives them end-to-end
+// through the sharded ingestion engine to report serial-vs-sharded
+// throughput.
 //
 //	workload -kind turnstile -n 1000 -len 5000      # "index delta" lines
 //	workload -kind zipf -n 1000 -alpha 1.1          # skewed signed vector
@@ -8,8 +10,15 @@
 //	workload -kind strict -n 1000 -len 5000         # strict turnstile
 //	workload -kind duplicates -n 1000               # n+1 items, one per line
 //
+//	workload -kind turnstile -n 65536 -len 10000000 -ingest countsketch
+//	workload -kind turnstile -len 1000000 -ingest l0 -shards 8 -batch 2048
+//
 // Update kinds print "index delta" lines; the duplicates kind prints one
-// item per line (feed to dupfind).
+// item per line (feed to dupfind). With -ingest the stream is not printed:
+// it is fed once through a single serial sketch and once through the engine
+// (same-seed replicas, shard → batch → merge), and a throughput comparison
+// is written to stderr. Supported -ingest sinks: countsketch, countmin, l0,
+// lp, hh.
 package main
 
 import (
@@ -18,7 +27,14 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"runtime"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/countsketch"
+	"repro/internal/engine"
+	"repro/internal/heavyhitters"
 	"repro/internal/stream"
 )
 
@@ -30,11 +46,21 @@ func main() {
 	alpha := flag.Float64("alpha", 1.0, "zipf exponent")
 	support := flag.Int("support", 16, "support size (sparse)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	ingest := flag.String("ingest", "", "drive the stream through a sketch instead of printing it: countsketch | countmin | l0 | lp | hh")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "engine shard count (-ingest)")
+	batch := flag.Int("batch", 1024, "engine batch size (-ingest)")
 	flag.Parse()
 
+	// Reject a bad -ingest sink before the (possibly multi-second) stream
+	// generation, not after.
+	switch *ingest {
+	case "", "countsketch", "countmin", "l0", "lp", "hh":
+	default:
+		fmt.Fprintf(os.Stderr, "workload: unknown -ingest sink %q (want countsketch, countmin, l0, lp or hh)\n", *ingest)
+		os.Exit(2)
+	}
+
 	r := rand.New(rand.NewPCG(*seed, *seed^0xD1B54A32D192ED03))
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 
 	var st stream.Stream
 	switch *kind {
@@ -47,6 +73,12 @@ func main() {
 	case "strict":
 		st = stream.StrictTurnstile(*n, *length, *maxAbs, r)
 	case "duplicates":
+		if *ingest != "" {
+			fmt.Fprintln(os.Stderr, "workload: -ingest drives update streams; use an update kind")
+			os.Exit(2)
+		}
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
 		for _, it := range stream.DuplicateItems(*n, -1, r) {
 			fmt.Fprintln(w, it)
 		}
@@ -55,7 +87,85 @@ func main() {
 		fmt.Fprintf(os.Stderr, "workload: unknown kind %q\n", *kind)
 		os.Exit(2)
 	}
+
+	if *ingest != "" {
+		if err := drive(*ingest, st, *n, *seed, *shards, *batch); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
 	for _, u := range st {
 		fmt.Fprintf(w, "%d %d\n", u.Index, u.Delta)
 	}
+}
+
+// drive feeds the stream through one serial sketch and through the sharded
+// engine, and reports both throughputs. The factory is re-invoked with the
+// same seed everywhere, so the engine's replicas are mergeable and the
+// merged result summarizes the exact same vector as the serial sink.
+func drive(sink string, st stream.Stream, n int, seed uint64, shards, batch int) error {
+	rng := func() *rand.Rand { return rand.New(rand.NewPCG(seed^0xBEEF, seed^0x9E3779B97F4A7C15)) }
+	var factory func() stream.Sink
+	var merge func(dst, src stream.Sink) error
+	switch sink {
+	case "countsketch":
+		factory = func() stream.Sink { return countsketch.New(64, 12, rng()) }
+		merge = func(dst, src stream.Sink) error {
+			return dst.(*countsketch.Sketch).Merge(src.(*countsketch.Sketch))
+		}
+	case "countmin":
+		factory = func() stream.Sink { return countmin.New(1024, 5, rng()) }
+		merge = func(dst, src stream.Sink) error {
+			return dst.(*countmin.Sketch).Merge(src.(*countmin.Sketch))
+		}
+	case "l0":
+		factory = func() stream.Sink { return core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, rng()) }
+		merge = func(dst, src stream.Sink) error {
+			return dst.(*core.L0Sampler).Merge(src.(*core.L0Sampler))
+		}
+	case "lp":
+		factory = func() stream.Sink {
+			return core.NewLpSampler(core.LpConfig{P: 1, N: n, Eps: 0.25, Delta: 0.2}, rng())
+		}
+		merge = func(dst, src stream.Sink) error {
+			return dst.(*core.LpSampler).Merge(src.(*core.LpSampler))
+		}
+	case "hh":
+		factory = func() stream.Sink {
+			return heavyhitters.New(heavyhitters.Config{P: 1, Phi: 0.1, N: n}, rng())
+		}
+		merge = func(dst, src stream.Sink) error {
+			return dst.(*heavyhitters.Sketch).Merge(src.(*heavyhitters.Sketch))
+		}
+	default:
+		// Unreachable: main validates the sink name before generating the
+		// stream; kept as a guard for direct callers.
+		return fmt.Errorf("unknown -ingest sink %q (want countsketch, countmin, l0, lp or hh)", sink)
+	}
+
+	serialSink := factory()
+	serialStart := time.Now()
+	st.Feed(serialSink)
+	serialDur := time.Since(serialStart)
+
+	eng := engine.New(engine.Config{Shards: shards, BatchSize: batch},
+		func(int) stream.Sink { return factory() }, merge)
+	engineStart := time.Now()
+	eng.Feed(st)
+	if _, err := eng.Results(); err != nil {
+		return fmt.Errorf("engine merge: %w", err)
+	}
+	engineDur := time.Since(engineStart)
+
+	updates := float64(len(st))
+	fmt.Fprintf(os.Stderr, "sink=%s updates=%d n=%d\n", sink, len(st), n)
+	fmt.Fprintf(os.Stderr, "serial: %12.0f updates/s  (%v)\n", updates/serialDur.Seconds(), serialDur.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "engine: %12.0f updates/s  (%v)  shards=%d batch=%d\n",
+		updates/engineDur.Seconds(), engineDur.Round(time.Millisecond), shards, batch)
+	fmt.Fprintf(os.Stderr, "speedup: %.2fx\n", serialDur.Seconds()/engineDur.Seconds())
+	return nil
 }

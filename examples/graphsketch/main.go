@@ -120,8 +120,8 @@ func main() {
 			c := find(v)
 			if merged[c] == nil {
 				merged[c] = sk[v].rounds[t]
-			} else {
-				merged[c].Merge(sk[v].rounds[t])
+			} else if err := merged[c].Merge(sk[v].rounds[t]); err != nil {
+				panic(err) // same-seed by construction
 			}
 		}
 		// Sample one outgoing edge per component and contract.

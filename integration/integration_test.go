@@ -218,8 +218,12 @@ func TestPublicAPIMergePartition(t *testing.T) {
 		whole.Update(i, d)
 		parts[i%3].Update(i, d)
 	}
-	parts[0].Merge(parts[1])
-	parts[0].Merge(parts[2])
+	if err := parts[0].Merge(parts[1]); err != nil {
+		t.Fatalf("same-seed merge failed: %v", err)
+	}
+	if err := parts[0].Merge(parts[2]); err != nil {
+		t.Fatalf("same-seed merge failed: %v", err)
+	}
 	wi, wv, wok := whole.Sample()
 	pi, pv, pok := parts[0].Sample()
 	if wok != pok || wi != pi || wv != pv {

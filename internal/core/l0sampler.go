@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -40,6 +41,10 @@ type L0Sampler struct {
 	s      int
 	levels []*sparse.Recoverer
 	gen    *prng.Nisan
+
+	// scratch holds the per-level membership-filtered sub-batch during
+	// ProcessBatch, reused across calls.
+	scratch []stream.Update
 }
 
 // NewL0Sampler constructs the sampler, drawing the PRG seed and the
@@ -106,6 +111,35 @@ func (l *L0Sampler) Process(u stream.Update) {
 	}
 }
 
+// ProcessBatch implements stream.BatchSink: level-major delivery. For each
+// level the membership probability and PRG block base are computed once, the
+// batch is filtered into a reusable scratch buffer, and the survivors go
+// through the recoverer's batched path. State matches repeated Process calls.
+func (l *L0Sampler) ProcessBatch(batch []stream.Update) {
+	if cap(l.scratch) < len(batch) {
+		l.scratch = make([]stream.Update, 0, len(batch))
+	}
+	for k := range l.levels {
+		if k == 0 {
+			l.levels[0].ProcessBatch(batch)
+			continue
+		}
+		q := float64(uint64(1)<<k) / float64(l.n)
+		if q >= 1 {
+			l.levels[k].ProcessBatch(batch)
+			continue
+		}
+		base := uint64(k-1) * uint64(l.n)
+		sub := l.scratch[:0]
+		for _, u := range batch {
+			if l.gen.Float64At(base+uint64(u.Index)) < q {
+				sub = append(sub, u)
+			}
+		}
+		l.levels[k].ProcessBatch(sub)
+	}
+}
+
 // Sample returns a uniform sample from the support of x together with the
 // exact value x_i. ok is false when every level fails — probability at most
 // δ + O(n^{-c}) (Theorem 2), and always for the zero vector.
@@ -133,15 +167,26 @@ func (l *L0Sampler) Sample() (Sample, bool) {
 // dimension and the same randomness source position (i.e. constructed from
 // an identically seeded *rand.Rand), so that the merged sampler summarizes
 // the sum of the two underlying vectors. Linearity is what downstream
-// applications like graph connectivity sketches rely on. It panics on
-// incompatible samplers.
-func (l *L0Sampler) Merge(other *L0Sampler) {
-	if l.n != other.n || l.s != other.s || len(l.levels) != len(other.levels) {
-		panic("core: merging incompatible L0 samplers")
+// applications like graph connectivity sketches and the sharded ingestion
+// engine rely on. Incompatible shapes or mismatched per-level verification
+// points (the fingerprint of differently seeded replicas) are reported as an
+// error; validation runs before any mutation, so a failed merge leaves the
+// receiver untouched.
+func (l *L0Sampler) Merge(other *L0Sampler) error {
+	if other == nil || l.n != other.n || l.s != other.s || len(l.levels) != len(other.levels) {
+		return errors.New("core: merging incompatible L0 samplers")
 	}
 	for k := range l.levels {
-		l.levels[k].Merge(other.levels[k])
+		if !l.levels[k].Compatible(other.levels[k]) {
+			return errors.New("core: merging L0 samplers with different seeds (same-seed replicas required)")
+		}
 	}
+	for k := range l.levels {
+		if err := l.levels[k].Merge(other.levels[k]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SpaceBits reports the streaming state: per-level syndromes plus the PRG

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 
@@ -79,6 +80,11 @@ type LpSampler struct {
 	copies []*lpCopy
 	rNorm  *norm.Stable // shared sketch estimating ||x||_p
 	diag   Diagnostics
+
+	// Scratch buffers for ProcessBatch: the scaled batch (z-space) is built
+	// once per copy and reused by count-sketch and AMS.
+	scratchIdx []uint64
+	scratchZ   []float64
 }
 
 // Diagnostics returns the per-repetition outcome counts of the most recent
@@ -207,6 +213,64 @@ func (s *LpSampler) Process(u stream.Update) {
 		c.cs.Add(i, zd)
 		c.ams.AddFloat(i, zd)
 	}
+}
+
+// ProcessBatch implements stream.BatchSink. The scaled z-batch (t_i^{-1/p}
+// amortized once per update) is built copy-major and fed through the batched
+// count-sketch and AMS hot paths, so each repetition's hashes stay hot for
+// the whole batch. The resulting state matches repeated Process calls.
+func (s *LpSampler) ProcessBatch(batch []stream.Update) {
+	s.rNorm.ProcessBatch(batch)
+	invP := 1 / s.cfg.P
+	if cap(s.scratchIdx) < len(batch) {
+		s.scratchIdx = make([]uint64, len(batch))
+		s.scratchZ = make([]float64, len(batch))
+	}
+	idx := s.scratchIdx[:0]
+	zd := s.scratchZ[:0]
+	for _, c := range s.copies {
+		idx, zd = idx[:0], zd[:0]
+		for _, u := range batch {
+			i := uint64(u.Index)
+			ti := c.t.Float64(i)
+			if ti < s.tMin {
+				c.guarded = true
+				continue
+			}
+			idx = append(idx, i)
+			zd = append(zd, float64(u.Delta)*math.Pow(ti, -invP))
+		}
+		c.cs.AddBatch(idx, zd)
+		c.ams.AddFloatBatch(idx, zd)
+	}
+}
+
+// Merge adds the linear state of another sampler so the result summarizes
+// the sum of the two underlying vectors. Both samplers must be same-seed
+// replicas: identical configuration and identical randomness in every
+// repetition and the shared norm sketch. Guard trips are OR-ed, matching
+// the "declare failure if any t_i fell below n^{-c}" semantics.
+func (s *LpSampler) Merge(other *LpSampler) error {
+	if other == nil || s.cfg.P != other.cfg.P || s.cfg.N != other.cfg.N ||
+		s.k != other.k || s.m != other.m || len(s.copies) != len(other.copies) {
+		return errors.New("core: merging Lp samplers of different configurations")
+	}
+	for ci, c := range s.copies {
+		if !c.t.Equal(other.copies[ci].t) {
+			return errors.New("core: merging Lp samplers with different seeds (same-seed replicas required)")
+		}
+	}
+	for ci, c := range s.copies {
+		oc := other.copies[ci]
+		if err := c.cs.Merge(oc.cs); err != nil {
+			return err
+		}
+		if err := c.ams.Merge(oc.ams); err != nil {
+			return err
+		}
+		c.guarded = c.guarded || oc.guarded
+	}
+	return s.rNorm.Merge(other.rNorm)
 }
 
 // Sample runs the recovery stage of Figure 1 on each repetition in turn and

@@ -253,3 +253,46 @@ func BenchmarkLpSamplerSample(b *testing.B) {
 		s.Sample()
 	}
 }
+
+func TestLpSamplerMergeMatchesSerial(t *testing.T) {
+	// Same-seed Lp samplers over two stream halves merge into a sampler
+	// whose recovery output matches the serial one: identical sampled
+	// indices, estimates equal up to float addition reordering.
+	const n = 256
+	cfg := LpConfig{P: 1, N: n, Eps: 0.25, Delta: 0.25, Copies: 8}
+	mk := func() *LpSampler { return NewLpSampler(cfg, rand.New(rand.NewPCG(71, 72))) }
+	st := stream.RandomTurnstile(n, 4000, 50, rand.New(rand.NewPCG(73, 74)))
+	whole, a, b := mk(), mk(), mk()
+	st.Feed(whole)
+	st[:2000].Feed(a)
+	st[2000:].Feed(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("same-seed merge failed: %v", err)
+	}
+	wAll, mAll := whole.SampleAll(), a.SampleAll()
+	if len(wAll) != len(mAll) {
+		t.Fatalf("merged emitted %d samples, serial %d", len(mAll), len(wAll))
+	}
+	for i := range wAll {
+		if wAll[i].Index != mAll[i].Index {
+			t.Fatalf("sample %d: merged index %d != serial %d", i, mAll[i].Index, wAll[i].Index)
+		}
+		if diff := math.Abs(wAll[i].Estimate - mAll[i].Estimate); diff > 1e-6*math.Abs(wAll[i].Estimate) {
+			t.Fatalf("sample %d: merged estimate %v != serial %v", i, mAll[i].Estimate, wAll[i].Estimate)
+		}
+	}
+}
+
+func TestLpSamplerMergeRejectsMismatch(t *testing.T) {
+	cfg := LpConfig{P: 1, N: 64, Eps: 0.25, Delta: 0.25, Copies: 4}
+	a := NewLpSampler(cfg, rand.New(rand.NewPCG(75, 76)))
+	b := NewLpSampler(cfg, rand.New(rand.NewPCG(77, 78)))
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected error merging differently seeded samplers")
+	}
+	cfg2 := cfg
+	cfg2.Copies = 6
+	if err := a.Merge(NewLpSampler(cfg2, rand.New(rand.NewPCG(75, 76)))); err == nil {
+		t.Fatal("expected error merging samplers of different configurations")
+	}
+}

@@ -56,7 +56,9 @@ func TestPropertyL0MergeEqualsConcatenation(t *testing.T) {
 		pa, pb := mk(), mk()
 		a.Feed(pa)
 		b.Feed(pb)
-		pa.Merge(pb)
+		if err := pa.Merge(pb); err != nil {
+			return false
+		}
 		wOut, wOK := whole.Sample()
 		mOut, mOK := pa.Sample()
 		return wOK == mOK && wOut == mOut

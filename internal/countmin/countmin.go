@@ -14,6 +14,7 @@
 package countmin
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"sort"
@@ -70,6 +71,38 @@ func (s *Sketch) Add(i uint64, delta int64) {
 
 // Process implements stream.Sink.
 func (s *Sketch) Process(u stream.Update) { s.Add(uint64(u.Index), u.Delta) }
+
+// ProcessBatch implements stream.BatchSink: row-major delivery keeps one
+// row's cells and hash hot across the whole batch. Equivalent to repeated
+// Process calls.
+func (s *Sketch) ProcessBatch(batch []stream.Update) {
+	for j := 0; j < s.depth; j++ {
+		cells := s.cells[j]
+		hj := s.h[j]
+		for _, u := range batch {
+			cells[hj.Bucket(uint64(u.Index), s.width)] += u.Delta
+		}
+	}
+}
+
+// Merge adds another sketch's cells into this one (sketch linearity). Both
+// must be same-seed replicas of identical shape; a mismatch is reported as an
+// error and leaves the receiver untouched.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || s.width != other.width || s.depth != other.depth {
+		return errors.New("countmin: merging sketches of different shapes")
+	}
+	if !hash.FamilyEqual(s.h, other.h) {
+		return errors.New("countmin: merging sketches with different seeds (same-seed replicas required)")
+	}
+	for j := range s.cells {
+		row, orow := s.cells[j], other.cells[j]
+		for k := range row {
+			row[k] += orow[k]
+		}
+	}
+	return nil
+}
 
 // QueryMin returns the count-min point estimate: an upper bound on x_i in the
 // strict turnstile model.

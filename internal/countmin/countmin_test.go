@@ -146,3 +146,23 @@ func BenchmarkAdd(b *testing.B) {
 		s.Add(uint64(i), 1)
 	}
 }
+
+func TestMergeAndBatchMatchSerial(t *testing.T) {
+	mk := func() *Sketch { return New(64, 5, rand.New(rand.NewPCG(41, 42))) }
+	st := stream.RandomTurnstile(300, 3000, 20, rand.New(rand.NewPCG(43, 44)))
+	whole, a, b := mk(), mk(), mk()
+	st.FeedBatch(128, whole)
+	st[:1500].Feed(a)
+	st[1500:].Feed(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("same-seed merge failed: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		if a.QueryMedian(uint64(i)) != whole.QueryMedian(uint64(i)) {
+			t.Fatalf("coordinate %d: merged/batched states diverged", i)
+		}
+	}
+	if err := a.Merge(New(64, 5, rand.New(rand.NewPCG(45, 46)))); err == nil {
+		t.Fatal("expected error merging differently seeded sketches")
+	}
+}

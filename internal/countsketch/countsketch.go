@@ -19,6 +19,7 @@
 package countsketch
 
 import (
+	"errors"
 	"math/rand/v2"
 	"sort"
 
@@ -80,6 +81,53 @@ func (s *Sketch) Add(i uint64, delta float64) {
 // Process implements stream.Sink for integer turnstile updates.
 func (s *Sketch) Process(u stream.Update) {
 	s.Add(uint64(u.Index), float64(u.Delta))
+}
+
+// ProcessBatch implements stream.BatchSink: row-major delivery keeps one
+// row's cells and hash pair hot across the whole batch instead of cycling
+// through all rows per update. State after the call is identical to feeding
+// the updates one Process call at a time.
+func (s *Sketch) ProcessBatch(batch []stream.Update) {
+	for j := 0; j < s.rows; j++ {
+		cells := s.cells[j]
+		hj, gj := s.h[j], s.g[j]
+		for _, u := range batch {
+			i := uint64(u.Index)
+			cells[hj.Bucket(i, s.buckets)] += float64(gj.Sign(i)) * float64(u.Delta)
+		}
+	}
+}
+
+// AddBatch is the real-valued batched hot path (the Lp sampler feeds the
+// scaled vector z through it): indices[t] receives deltas[t], row-major.
+func (s *Sketch) AddBatch(indices []uint64, deltas []float64) {
+	for j := 0; j < s.rows; j++ {
+		cells := s.cells[j]
+		hj, gj := s.h[j], s.g[j]
+		for t, i := range indices {
+			cells[hj.Bucket(i, s.buckets)] += float64(gj.Sign(i)) * deltas[t]
+		}
+	}
+}
+
+// Merge adds another sketch's cells into this one. By linearity the result
+// summarizes the sum of the two underlying vectors. Both sketches must be
+// same-seed replicas (identical shape and hash functions); a mismatch is
+// reported as an error and leaves the receiver untouched.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || s.m != other.m || s.rows != other.rows || s.buckets != other.buckets {
+		return errors.New("countsketch: merging sketches of different shapes")
+	}
+	if !hash.FamilyEqual(s.h, other.h) || !hash.FamilyEqual(s.g, other.g) {
+		return errors.New("countsketch: merging sketches with different seeds (same-seed replicas required)")
+	}
+	for j := range s.cells {
+		row, orow := s.cells[j], other.cells[j]
+		for k := range row {
+			row[k] += orow[k]
+		}
+	}
+	return nil
 }
 
 // Estimate returns x*_i, the median-of-rows estimate of coordinate i.

@@ -228,3 +228,46 @@ func BenchmarkEstimate(b *testing.B) {
 		s.Estimate(uint64(i % 10000))
 	}
 }
+
+func TestMergeSameSeed(t *testing.T) {
+	// Same-seed sketches of x and y merge into the sketch of x+y: feeding
+	// the halves separately and merging equals feeding everything serially.
+	mk := func() *Sketch { return New(8, 7, rand.New(rand.NewPCG(21, 22))) }
+	st := stream.RandomTurnstile(200, 2000, 50, rand.New(rand.NewPCG(23, 24)))
+	whole, a, b := mk(), mk(), mk()
+	st.Feed(whole)
+	st[:1000].Feed(a)
+	st[1000:].Feed(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("same-seed merge failed: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if got, want := a.Estimate(uint64(i)), whole.Estimate(uint64(i)); got != want {
+			t.Fatalf("coordinate %d: merged %v != serial %v", i, got, want)
+		}
+	}
+}
+
+func TestMergeRejectsDifferentSeeds(t *testing.T) {
+	a := New(8, 7, rand.New(rand.NewPCG(25, 26)))
+	b := New(8, 7, rand.New(rand.NewPCG(27, 28)))
+	if err := a.Merge(b); err == nil {
+		t.Fatal("expected error merging differently seeded sketches")
+	}
+	if err := a.Merge(New(4, 7, rand.New(rand.NewPCG(25, 26)))); err == nil {
+		t.Fatal("expected error merging sketches of different shapes")
+	}
+}
+
+func TestProcessBatchEqualsProcess(t *testing.T) {
+	mk := func() *Sketch { return New(8, 7, rand.New(rand.NewPCG(31, 32))) }
+	st := stream.RandomTurnstile(100, 1500, 40, rand.New(rand.NewPCG(33, 34)))
+	serial, batched := mk(), mk()
+	st.Feed(serial)
+	st.FeedBatch(64, batched)
+	for i := 0; i < 100; i++ {
+		if serial.Estimate(uint64(i)) != batched.Estimate(uint64(i)) {
+			t.Fatalf("coordinate %d: batched state diverged", i)
+		}
+	}
+}

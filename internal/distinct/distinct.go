@@ -33,6 +33,7 @@
 package distinct
 
 import (
+	"errors"
 	"math/rand/v2"
 
 	"repro/internal/field"
@@ -103,6 +104,50 @@ func (e *Estimator) Process(u stream.Update) {
 			q /= 2
 		}
 	}
+}
+
+// ProcessBatch implements stream.BatchSink: repetition-major delivery keeps
+// one repetition's membership hash and fingerprint point hot across the
+// batch. Equivalent to repeated Process calls.
+func (e *Estimator) ProcessBatch(batch []stream.Update) {
+	for j := 0; j < e.reps; j++ {
+		mj, rhoj := e.member[j], e.rho[j]
+		for _, u := range batch {
+			h := mj.Float64(uint64(u.Index))
+			contrib := field.Mul(field.FromInt64(u.Delta), field.Pow(rhoj, uint64(u.Index)))
+			q := 1.0
+			for k := 0; k < e.levels; k++ {
+				if h >= q {
+					break
+				}
+				e.fp[k][j] = field.Add(e.fp[k][j], contrib)
+				q /= 2
+			}
+		}
+	}
+}
+
+// Merge adds another estimator's fingerprints into this one (sketch
+// linearity). Both must be same-seed replicas; a mismatch is reported as an
+// error and leaves the receiver untouched.
+func (e *Estimator) Merge(other *Estimator) error {
+	if other == nil || e.n != other.n || e.levels != other.levels || e.reps != other.reps {
+		return errors.New("distinct: merging estimators of different shapes")
+	}
+	if !hash.FamilyEqual(e.member, other.member) {
+		return errors.New("distinct: merging estimators with different seeds (same-seed replicas required)")
+	}
+	for j := range e.rho {
+		if e.rho[j] != other.rho[j] {
+			return errors.New("distinct: merging estimators with different seeds (same-seed replicas required)")
+		}
+	}
+	for k := range e.fp {
+		for j := range e.fp[k] {
+			e.fp[k][j] = field.Add(e.fp[k][j], other.fp[k][j])
+		}
+	}
+	return nil
 }
 
 // liveLevel reports whether a majority of repetitions at level k hold

@@ -106,3 +106,22 @@ func BenchmarkProcess(b *testing.B) {
 		e.Process(stream.Update{Index: i % (1 << 16), Delta: 1})
 	}
 }
+
+func TestMergeAndBatchMatchSerial(t *testing.T) {
+	mk := func() *Estimator { return New(512, 12, rand.New(rand.NewPCG(51, 52))) }
+	st := stream.SparseVector(512, 100, 30, rand.New(rand.NewPCG(53, 54)))
+	whole, a, b := mk(), mk(), mk()
+	st.FeedBatch(64, whole)
+	half := len(st) / 2
+	st[:half].Feed(a)
+	st[half:].Feed(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("same-seed merge failed: %v", err)
+	}
+	if a.Estimate() != whole.Estimate() {
+		t.Fatalf("merged estimate %d != serial %d", a.Estimate(), whole.Estimate())
+	}
+	if err := a.Merge(New(512, 12, rand.New(rand.NewPCG(55, 56)))); err == nil {
+		t.Fatal("expected error merging differently seeded estimators")
+	}
+}

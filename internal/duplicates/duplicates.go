@@ -22,6 +22,7 @@
 package duplicates
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 
@@ -90,6 +91,18 @@ func NewPositiveFinder(n int, delta float64, r *rand.Rand) *PositiveFinder {
 // Process implements stream.Sink.
 func (f *PositiveFinder) Process(u stream.Update) { f.sampler.Process(u) }
 
+// ProcessBatch implements stream.BatchSink via the sampler's batched path.
+func (f *PositiveFinder) ProcessBatch(batch []stream.Update) { f.sampler.ProcessBatch(batch) }
+
+// Merge adds another finder's sampler state (sketch linearity); both must be
+// same-seed replicas.
+func (f *PositiveFinder) Merge(other *PositiveFinder) error {
+	if other == nil {
+		return errors.New("duplicates: merging a nil finder")
+	}
+	return f.sampler.Merge(other.sampler)
+}
+
 // Find returns the first sampled coordinate with positive estimate.
 func (f *PositiveFinder) Find() Result {
 	for _, s := range f.sampler.SampleAll() {
@@ -109,22 +122,44 @@ func (f *PositiveFinder) StateBits() int64 { return f.sampler.StateBits() }
 
 // Finder is the Theorem 3 algorithm for item streams of length n+1 over [n].
 type Finder struct {
+	n  int
 	pf *PositiveFinder
 }
 
 // NewFinder creates the finder. The constructor feeds the (i, -1) prefix for
 // every letter, so x_i counts occurrences minus one from the start.
 func NewFinder(n int, delta float64, r *rand.Rand) *Finder {
-	f := &Finder{pf: NewPositiveFinder(n, delta, r)}
-	for _, u := range stream.DecrementAll(n) {
-		f.pf.Process(u)
-	}
+	f := &Finder{n: n, pf: NewPositiveFinder(n, delta, r)}
+	f.pf.ProcessBatch(stream.DecrementAll(n))
 	return f
 }
 
 // ProcessItem consumes one letter of the stream.
 func (f *Finder) ProcessItem(letter int) {
 	f.pf.Process(stream.Update{Index: letter, Delta: 1})
+}
+
+// Process implements stream.Sink on the letters-as-updates encoding
+// (stream.Items.Updates), so a Finder can sit behind the ingestion engine.
+func (f *Finder) Process(u stream.Update) { f.pf.Process(u) }
+
+// ProcessBatch implements stream.BatchSink.
+func (f *Finder) ProcessBatch(batch []stream.Update) { f.pf.ProcessBatch(batch) }
+
+// Merge combines another same-seed replica's observations. Each replica's
+// constructor fed the (i, -1) pigeonhole prefix, so a plain linear merge
+// would count that prefix twice; Merge compensates by re-adding +1 per
+// letter, leaving x_i = (total occurrences across replicas) - 1 — exactly
+// the state of one finder that saw the whole stream.
+func (f *Finder) Merge(other *Finder) error {
+	if other == nil || f.n != other.n {
+		return errors.New("duplicates: merging finders of different alphabet sizes")
+	}
+	if err := f.pf.Merge(other.pf); err != nil {
+		return err
+	}
+	f.pf.ProcessBatch(stream.IncrementAll(f.n))
+	return nil
 }
 
 // Find outputs a duplicate letter or Fail. A returned letter is a true
@@ -161,10 +196,9 @@ func NewShortFinder(n, s int, delta float64, r *rand.Rand) *ShortFinder {
 		rec: sparse.New(n, budget, r),
 		pf:  NewPositiveFinder(n, delta, r),
 	}
-	for _, u := range stream.DecrementAll(n) {
-		sf.rec.Process(u)
-		sf.pf.Process(u)
-	}
+	prefix := stream.DecrementAll(n)
+	sf.rec.ProcessBatch(prefix)
+	sf.pf.ProcessBatch(prefix)
 	return sf
 }
 

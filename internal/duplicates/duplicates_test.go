@@ -262,3 +262,61 @@ func BenchmarkFinderProcess(b *testing.B) {
 		f.ProcessItem(i % n)
 	}
 }
+
+func TestFinderMergeCompensatesPrefix(t *testing.T) {
+	// Each replica's constructor feeds the (i, -1) pigeonhole prefix; Merge
+	// must re-add it once so the combined finder behaves like one finder
+	// that saw the whole stream. Verified against the serial finder's
+	// outcome on split streams.
+	const n = 128
+	agree, ok := 0, 0
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewPCG(uint64(80+trial), 81))
+		items := stream.DuplicateItems(n, r.IntN(n), r)
+		seed := uint64(90 + trial)
+		mk := func() *Finder { return NewFinder(n, 0.2, rand.New(rand.NewPCG(seed, seed+1))) }
+		serial, a, b := mk(), mk(), mk()
+		for _, it := range items {
+			serial.ProcessItem(it)
+		}
+		half := len(items) / 2
+		for _, it := range items[:half] {
+			a.ProcessItem(it)
+		}
+		for _, it := range items[half:] {
+			b.ProcessItem(it)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("same-seed merge failed: %v", err)
+		}
+		sr, mr := serial.Find(), a.Find()
+		if sr == mr {
+			agree++
+		}
+		if mr.Kind == Duplicate {
+			ok++
+			if !isDuplicate(items, mr.Index) {
+				t.Fatalf("trial %d: merged finder returned non-duplicate %d", trial, mr.Index)
+			}
+		}
+	}
+	// The merged state equals the serial state up to float reordering, so
+	// outcomes should agree essentially always; successes must be frequent.
+	if agree < trials-1 {
+		t.Errorf("merged and serial finders agreed only %d/%d times", agree, trials)
+	}
+	if ok < trials/2 {
+		t.Errorf("merged finder succeeded only %d/%d times", ok, trials)
+	}
+}
+
+func TestFinderMergeRejectsMismatch(t *testing.T) {
+	a := NewFinder(64, 0.2, rand.New(rand.NewPCG(95, 96)))
+	if err := a.Merge(NewFinder(64, 0.2, rand.New(rand.NewPCG(97, 98)))); err == nil {
+		t.Fatal("expected error merging differently seeded finders")
+	}
+	if err := a.Merge(NewFinder(32, 0.2, rand.New(rand.NewPCG(95, 96)))); err == nil {
+		t.Fatal("expected error merging finders of different alphabet sizes")
+	}
+}

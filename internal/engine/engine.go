@@ -1,0 +1,207 @@
+// Package engine implements sharded, concurrent ingestion for the linear
+// sketches of this repository.
+//
+// Every sketch here — count-sketch, count-min, exact sparse recovery, the
+// L0/Lp samplers, the distinct-elements estimator, heavy hitters, the
+// duplicate finders — is a linear function of the input vector, so a sketch
+// of x + y is the cell-wise sum of same-seed sketches of x and y. The engine
+// exploits exactly that:
+//
+//	updates ──route by index──▶ shard 0 ─ batch ─▶ worker 0: replica 0
+//	                            shard 1 ─ batch ─▶ worker 1: replica 1   ──▶ Merge ──▶ result
+//	                            ...
+//	                            shard S-1 ─────▶ worker S-1: replica S-1
+//
+// The caller supplies a factory that builds one same-seed replica per shard
+// (same WithSeed / identically seeded *rand.Rand, so all replicas share
+// randomness) and a merge function; the engine routes each update to the
+// shard owning its coordinate, accumulates per-shard batches to amortize
+// channel handoffs, and the workers drive each replica's ProcessBatch hot
+// path. Results flushes, joins the workers and folds the replicas together.
+//
+// Producer methods (Process, ProcessBatch, Feed, Results, Close) must be
+// called from one goroutine; the parallelism lives in the shard workers.
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Config tunes the engine. Zero values select sensible defaults.
+type Config struct {
+	// Shards is the number of worker shards (default runtime.GOMAXPROCS).
+	Shards int
+	// BatchSize is the number of updates accumulated per shard before the
+	// batch is handed to the worker (default 1024).
+	BatchSize int
+	// QueueDepth is the number of in-flight batches buffered per shard
+	// channel; it bounds memory while letting the producer run ahead of a
+	// momentarily slow shard (default 8).
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 1024
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 8
+	}
+	return c
+}
+
+// Engine fans an update stream out to same-seed sketch replicas, one per
+// shard, and produces the final sketch by merging them.
+type Engine[T stream.Sink] struct {
+	cfg      Config
+	replicas []T
+	merge    func(dst, src T) error
+	chans    []chan []stream.Update
+	pending  [][]stream.Update
+	pool     sync.Pool
+	wg       sync.WaitGroup
+	routed   int64
+	done     bool
+	result   T
+	err      error
+}
+
+// New builds the engine and starts its shard workers immediately. Every
+// engine must be terminated with Results or Close — an abandoned engine
+// leaks its worker goroutines, which block forever on their channels.
+//
+// factory(shard) must return one replica per shard, all built from
+// identical seeds — sketch linearity makes the shard-then-merge reduction
+// exact only for same-seed replicas, and the merge functions of this
+// repository reject anything else. merge folds src into dst.
+func New[T stream.Sink](cfg Config, factory func(shard int) T, merge func(dst, src T) error) *Engine[T] {
+	cfg = cfg.withDefaults()
+	e := &Engine[T]{
+		cfg:      cfg,
+		replicas: make([]T, cfg.Shards),
+		merge:    merge,
+		chans:    make([]chan []stream.Update, cfg.Shards),
+		pending:  make([][]stream.Update, cfg.Shards),
+	}
+	e.pool.New = func() any { return make([]stream.Update, 0, cfg.BatchSize) }
+	for s := range e.replicas {
+		e.replicas[s] = factory(s)
+		e.chans[s] = make(chan []stream.Update, cfg.QueueDepth)
+		e.pending[s] = e.batchBuf()
+	}
+	e.wg.Add(cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		go e.worker(s)
+	}
+	return e
+}
+
+func (e *Engine[T]) batchBuf() []stream.Update {
+	return e.pool.Get().([]stream.Update)[:0]
+}
+
+func (e *Engine[T]) worker(shard int) {
+	defer e.wg.Done()
+	replica := e.replicas[shard]
+	for batch := range e.chans[shard] {
+		stream.ProcessAll(replica, batch)
+		e.pool.Put(batch[:0])
+	}
+}
+
+// shardOf routes a coordinate to its owning shard. Any fixed index → shard
+// map is correct (linearity makes the reduction order-insensitive); plain
+// modulo keeps the routing deterministic and the load balanced for the
+// index distributions of the workloads here.
+func (e *Engine[T]) shardOf(index int) int {
+	s := index % e.cfg.Shards
+	if s < 0 {
+		s += e.cfg.Shards
+	}
+	return s
+}
+
+// Process implements stream.Sink: the update joins its shard's pending
+// batch, which is handed off once full.
+func (e *Engine[T]) Process(u stream.Update) {
+	if e.done {
+		panic("engine: Process after Results/Close")
+	}
+	s := e.shardOf(u.Index)
+	e.pending[s] = append(e.pending[s], u)
+	e.routed++
+	if len(e.pending[s]) == e.cfg.BatchSize {
+		e.chans[s] <- e.pending[s]
+		e.pending[s] = e.batchBuf()
+	}
+}
+
+// ProcessBatch implements stream.BatchSink.
+func (e *Engine[T]) ProcessBatch(batch []stream.Update) {
+	for _, u := range batch {
+		e.Process(u)
+	}
+}
+
+// Feed routes an entire stream through the engine.
+func (e *Engine[T]) Feed(s stream.Stream) {
+	e.ProcessBatch(s)
+}
+
+// Routed reports how many updates have been routed so far.
+func (e *Engine[T]) Routed() int64 { return e.routed }
+
+// Shards reports the shard count in use.
+func (e *Engine[T]) Shards() int { return e.cfg.Shards }
+
+// Results flushes all pending batches, waits for the workers to drain, and
+// merges every replica into shard 0's, which it returns: the sketch of the
+// full vector, exactly as if one sketch had consumed the whole stream. The
+// engine is terminal afterwards; further Process calls panic. Calling
+// Results again returns the same result.
+func (e *Engine[T]) Results() (T, error) {
+	if e.done {
+		return e.result, e.err
+	}
+	e.shutdown()
+	e.result = e.replicas[0]
+	for s := 1; s < len(e.replicas); s++ {
+		if err := e.merge(e.result, e.replicas[s]); err != nil {
+			e.err = err
+			break
+		}
+	}
+	return e.result, e.err
+}
+
+// Close abandons ingestion without merging: pending batches are dropped,
+// workers are joined, and the engine becomes terminal. Results after Close
+// reports an error. Close is idempotent and safe after Results.
+func (e *Engine[T]) Close() {
+	if e.done {
+		return
+	}
+	for s := range e.pending {
+		e.pending[s] = e.pending[s][:0]
+	}
+	e.shutdown()
+	e.err = errors.New("engine: closed without results")
+}
+
+func (e *Engine[T]) shutdown() {
+	for s, ch := range e.chans {
+		if len(e.pending[s]) > 0 {
+			ch <- e.pending[s]
+		}
+		close(ch)
+	}
+	e.wg.Wait()
+	e.done = true
+}

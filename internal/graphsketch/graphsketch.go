@@ -131,8 +131,10 @@ func (g *Sketch) SpanningForest() (comp []int, forest [][2]int) {
 			c := find(v)
 			if merged[c] == nil {
 				merged[c] = g.sk[t][v]
-			} else {
-				merged[c].Merge(g.sk[t][v])
+			} else if err := merged[c].Merge(g.sk[t][v]); err != nil {
+				// Same-round sketches share one seed by construction, so a
+				// merge failure is a programming error, not an input error.
+				panic(err)
 			}
 		}
 		progress := false

@@ -74,6 +74,21 @@ func (h *KWise) Float64(x uint64) float64 {
 	return (float64(uint64(h.Eval(x))) + 1) / float64(field.Modulus)
 }
 
+// Equal reports whether two hash functions are the same polynomial, i.e.
+// were drawn from identically positioned randomness. Merge paths use it to
+// validate that two sketches are same-seed replicas before adding states.
+func (h *KWise) Equal(other *KWise) bool {
+	if other == nil || len(h.coef) != len(other.coef) {
+		return false
+	}
+	for i := range h.coef {
+		if h.coef[i] != other.coef[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // SpaceBits reports the storage footprint of the seed: k field elements of 61
 // bits, rounded to words, matching the paper's space accounting.
 func (h *KWise) SpaceBits() int64 {
@@ -88,4 +103,17 @@ func Family(count, k int, r *rand.Rand) []*KWise {
 		fs[i] = NewKWise(k, r)
 	}
 	return fs
+}
+
+// FamilyEqual reports whether two families are element-wise Equal.
+func FamilyEqual(a, b []*KWise) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
 }

@@ -11,6 +11,7 @@
 package heavyhitters
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 
@@ -89,6 +90,26 @@ func (s *Sketch) M() int { return s.m }
 func (s *Sketch) Process(u stream.Update) {
 	s.cs.Process(u)
 	s.nrm.Process(u)
+}
+
+// ProcessBatch implements stream.BatchSink, delegating to the batched count-
+// sketch and norm-estimator hot paths.
+func (s *Sketch) ProcessBatch(batch []stream.Update) {
+	s.cs.ProcessBatch(batch)
+	s.nrm.ProcessBatch(batch)
+}
+
+// Merge adds another sketch's state so the result summarizes the sum of the
+// two underlying vectors. Both must be same-seed replicas with identical
+// configuration.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || s.cfg != other.cfg || s.m != other.m {
+		return errors.New("heavyhitters: merging sketches of different configurations")
+	}
+	if err := s.cs.Merge(other.cs); err != nil {
+		return err
+	}
+	return s.nrm.Merge(other.nrm)
 }
 
 // HeavyHitters returns the reported set S: every coordinate whose count-

@@ -157,3 +157,37 @@ func BenchmarkProcess(b *testing.B) {
 		s.Process(stream.Update{Index: i % (1 << 16), Delta: 1})
 	}
 }
+
+func TestMergeMatchesSerialAndRejectsMismatch(t *testing.T) {
+	cfg := Config{P: 1, Phi: 0.25, N: 128}
+	mk := func(seed uint64) *Sketch { return New(cfg, rand.New(rand.NewPCG(seed, seed+1))) }
+	var st stream.Stream
+	st = append(st, stream.Update{Index: 5, Delta: 5000})
+	for i := 0; i < 128; i++ {
+		st = append(st, stream.Update{Index: i, Delta: int64(1 + i%4)})
+	}
+	serial, a, b := mk(7), mk(7), mk(7)
+	st.FeedBatch(32, serial)
+	st[:64].Feed(a)
+	st[64:].Feed(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("same-seed merge failed: %v", err)
+	}
+	got, want := a.HeavyHitters(), serial.HeavyHitters()
+	if len(got) != len(want) {
+		t.Fatalf("merged report %v != serial %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("merged report %v != serial %v", got, want)
+		}
+	}
+	if err := a.Merge(mk(8)); err == nil {
+		t.Fatal("expected error merging differently seeded sketches")
+	}
+	cfg2 := cfg
+	cfg2.Phi = 0.5
+	if err := a.Merge(New(cfg2, rand.New(rand.NewPCG(7, 8)))); err == nil {
+		t.Fatal("expected error merging sketches of different configurations")
+	}
+}

@@ -25,9 +25,11 @@
 package norm
 
 import (
+	"errors"
 	"math"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
 	"repro/internal/hash"
 	"repro/internal/stream"
@@ -35,14 +37,20 @@ import (
 
 // Estimator is the common interface of the two norm sketches.
 type Estimator interface {
-	stream.Sink
+	stream.BatchSink
 	AddFloat(i uint64, delta float64)
+	// AddFloatBatch applies indices[t] += deltas[t] for all t through the
+	// counter-major fast path; equivalent to repeated AddFloat calls.
+	AddFloatBatch(indices []uint64, deltas []float64)
 	// Estimate returns the norm estimate after subtracting the explicit
 	// sparse vector `subtract` (pass nil to estimate ||x|| itself).
 	Estimate(subtract map[uint64]float64) float64
 	// UpperEstimate returns r calibrated so that ||x||_p <= r <= 2||x||_p
 	// holds with high probability (Lemma 2's interface).
 	UpperEstimate(subtract map[uint64]float64) float64
+	// Merge adds another estimator's counters (sketch linearity); it errors
+	// unless other is a same-seed replica of the same concrete type.
+	Merge(other Estimator) error
 	SpaceBits() int64
 	// StateBits counts only the counters, excluding seeds — the message
 	// size in a public-coin protocol.
@@ -88,8 +96,49 @@ func (a *AMS) AddFloat(i uint64, delta float64) {
 	}
 }
 
+// AddFloatBatch applies the batch counter-major, keeping one sign hash hot
+// per pass. Cell-by-cell accumulation order matches repeated AddFloat calls,
+// so the resulting state is bit-identical.
+func (a *AMS) AddFloatBatch(indices []uint64, deltas []float64) {
+	for j := range a.counters {
+		sj := a.signs[j]
+		for t, i := range indices {
+			a.counters[j] += float64(sj.Sign(i)) * deltas[t]
+		}
+	}
+}
+
 // Process implements stream.Sink.
 func (a *AMS) Process(u stream.Update) { a.AddFloat(uint64(u.Index), float64(u.Delta)) }
+
+// ProcessBatch implements stream.BatchSink.
+func (a *AMS) ProcessBatch(batch []stream.Update) {
+	for j := range a.counters {
+		sj := a.signs[j]
+		for _, u := range batch {
+			a.counters[j] += float64(sj.Sign(uint64(u.Index))) * float64(u.Delta)
+		}
+	}
+}
+
+// Merge adds another AMS sketch's counters; other must be a same-seed *AMS
+// replica of identical shape.
+func (a *AMS) Merge(other Estimator) error {
+	o, ok := other.(*AMS)
+	if !ok || o == nil {
+		return errors.New("norm: merging AMS with a different estimator type")
+	}
+	if a.groups != o.groups || a.perGroup != o.perGroup {
+		return errors.New("norm: merging AMS sketches of different shapes")
+	}
+	if !hash.FamilyEqual(a.signs, o.signs) {
+		return errors.New("norm: merging AMS sketches with different seeds (same-seed replicas required)")
+	}
+	for j := range a.counters {
+		a.counters[j] += o.counters[j]
+	}
+	return nil
+}
 
 // Estimate returns the median-of-means estimate of ||x - subtract||_2.
 func (a *AMS) Estimate(subtract map[uint64]float64) float64 {
@@ -196,8 +245,47 @@ func (s *Stable) AddFloat(i uint64, delta float64) {
 	}
 }
 
+// AddFloatBatch applies the batch counter-major: one row's hash seed stays
+// hot while the expensive CMS transform runs over the whole batch. State is
+// bit-identical to repeated AddFloat calls.
+func (s *Stable) AddFloatBatch(indices []uint64, deltas []float64) {
+	for j := range s.counters {
+		for t, i := range indices {
+			s.counters[j] += s.stableAt(j, i) * deltas[t]
+		}
+	}
+}
+
 // Process implements stream.Sink.
 func (s *Stable) Process(u stream.Update) { s.AddFloat(uint64(u.Index), float64(u.Delta)) }
+
+// ProcessBatch implements stream.BatchSink.
+func (s *Stable) ProcessBatch(batch []stream.Update) {
+	for j := range s.counters {
+		for _, u := range batch {
+			s.counters[j] += s.stableAt(j, uint64(u.Index)) * float64(u.Delta)
+		}
+	}
+}
+
+// Merge adds another p-stable sketch's counters; other must be a same-seed
+// *Stable replica with the same p and shape.
+func (s *Stable) Merge(other Estimator) error {
+	o, ok := other.(*Stable)
+	if !ok || o == nil {
+		return errors.New("norm: merging Stable with a different estimator type")
+	}
+	if s.p != o.p || len(s.counters) != len(o.counters) {
+		return errors.New("norm: merging Stable sketches of different shapes")
+	}
+	if !hash.FamilyEqual(s.seeds, o.seeds) {
+		return errors.New("norm: merging Stable sketches with different seeds (same-seed replicas required)")
+	}
+	for j := range s.counters {
+		s.counters[j] += o.counters[j]
+	}
+	return nil
+}
 
 // Estimate returns median_j |y_j| / median(|Stable_p|), the classical Indyk
 // estimator of ||x - subtract||_p.
@@ -243,13 +331,21 @@ func (s *Stable) StateBits() int64 { return int64(len(s.counters)) * 64 }
 // Scale calibration
 // ---------------------------------------------------------------------------
 
-var medianCache = map[float64]float64{}
+var (
+	// medianMu guards medianCache: sketches may be constructed from many
+	// goroutines at once (the sharded ingestion engine builds replicas
+	// concurrently with live workers).
+	medianMu    sync.Mutex
+	medianCache = map[float64]float64{}
+)
 
 // MedianAbsStable returns the median of |X| for X standard symmetric
 // p-stable, computed by a deterministic fixed-seed Monte-Carlo quantile and
 // cached per p. For p = 1 (Cauchy) the exact value is tan(pi/4) = 1; for
 // p = 2 the CMS output is N(0, 2), so the value is sqrt(2)*Phi^-1(3/4).
 func MedianAbsStable(p float64) float64 {
+	medianMu.Lock()
+	defer medianMu.Unlock()
 	if v, ok := medianCache[p]; ok {
 		return v
 	}

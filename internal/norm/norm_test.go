@@ -210,3 +210,38 @@ func BenchmarkAMSAdd(b *testing.B) {
 		a.AddFloat(uint64(i), 1)
 	}
 }
+
+func TestMergeSameSeedMatchesSerial(t *testing.T) {
+	st := stream.RandomTurnstile(200, 2000, 30, rand.New(rand.NewPCG(61, 62)))
+	for _, tc := range []struct {
+		name string
+		mk   func(seed uint64) Estimator
+	}{
+		{"ams", func(seed uint64) Estimator { return NewAMS(7, 5, rand.New(rand.NewPCG(seed, seed+1))) }},
+		{"stable", func(seed uint64) Estimator { return NewStable(1.2, 40, rand.New(rand.NewPCG(seed, seed+1))) }},
+	} {
+		a, b := tc.mk(63), tc.mk(63)
+		st[:1000].Feed(a)
+		st[1000:].Feed(b)
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("%s: same-seed merge failed: %v", tc.name, err)
+		}
+		// The merged estimate must agree with a serial estimator up to float
+		// addition reordering (counters are sums of the same terms).
+		serial := tc.mk(63)
+		st.Feed(serial)
+		got, want := a.Estimate(nil), serial.Estimate(nil)
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("%s: merged estimate %v != serial %v", tc.name, got, want)
+		}
+		if err := a.Merge(tc.mk(64)); err == nil {
+			t.Fatalf("%s: expected error merging differently seeded sketches", tc.name)
+		}
+	}
+	// Cross-type merges are rejected.
+	ams := NewAMS(7, 5, rand.New(rand.NewPCG(65, 66)))
+	stb := NewStable(1.2, 40, rand.New(rand.NewPCG(65, 66)))
+	if err := ams.Merge(stb); err == nil {
+		t.Fatal("expected error merging AMS with Stable")
+	}
+}

@@ -27,6 +27,7 @@ package sparse
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 
@@ -82,17 +83,45 @@ func (rc *Recoverer) Add(i int, delta int64) {
 // Process implements stream.Sink.
 func (rc *Recoverer) Process(u stream.Update) { rc.Add(u.Index, u.Delta) }
 
+// ProcessBatch implements stream.BatchSink: the syndrome slice and
+// verification point stay in registers across the batch. Equivalent to
+// repeated Process calls.
+func (rc *Recoverer) ProcessBatch(batch []stream.Update) {
+	synd := rc.synd
+	fp := rc.fp
+	for _, u := range batch {
+		d := field.FromInt64(u.Delta)
+		a := field.New(uint64(u.Index) + 1)
+		pw := field.Elem(1)
+		for j := range synd {
+			synd[j] = field.Add(synd[j], field.Mul(d, pw))
+			pw = field.Mul(pw, a)
+		}
+		fp = field.Add(fp, field.Mul(d, field.Pow(rc.rho, uint64(u.Index))))
+	}
+	rc.fp = fp
+}
+
+// Compatible reports whether other is a same-seed replica: identical
+// parameters and an identical verification point (the fingerprint of shared
+// construction randomness).
+func (rc *Recoverer) Compatible(other *Recoverer) bool {
+	return other != nil && rc.n == other.n && len(rc.synd) == len(other.synd) && rc.rho == other.rho
+}
+
 // Merge adds the measurements of another recoverer built with identical
-// parameters and randomness (sketch linearity). It panics on mismatched
-// shapes; differing rho values make the merge meaningless and also panic.
-func (rc *Recoverer) Merge(other *Recoverer) {
-	if len(rc.synd) != len(other.synd) || rc.rho != other.rho {
-		panic("sparse: merging incompatible recoverers")
+// parameters and randomness (sketch linearity). Mismatched shapes or
+// differing verification points — the signature of replicas that do not
+// share a seed — are reported as an error, leaving the receiver untouched.
+func (rc *Recoverer) Merge(other *Recoverer) error {
+	if !rc.Compatible(other) {
+		return errors.New("sparse: merging incompatible recoverers (same-seed replicas required)")
 	}
 	for j := range rc.synd {
 		rc.synd[j] = field.Add(rc.synd[j], other.synd[j])
 	}
 	rc.fp = field.Add(rc.fp, other.fp)
+	return nil
 }
 
 // IsZero reports whether all measurements are zero — true with certainty for

@@ -133,22 +133,21 @@ func TestMerge(t *testing.T) {
 	a.Add(3, 10)
 	b.Add(3, -10)
 	b.Add(60, 5)
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("same-seed merge failed: %v", err)
+	}
 	got, ok := a.Recover()
 	if !ok || len(got) != 1 || got[60] != 5 {
 		t.Fatalf("merged recovery got %v ok=%v", got, ok)
 	}
 }
 
-func TestMergeIncompatiblePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on incompatible merge")
-		}
-	}()
+func TestMergeIncompatibleRejected(t *testing.T) {
 	a := New(10, 2, rand.New(rand.NewPCG(9, 9)))
 	b := New(10, 2, rand.New(rand.NewPCG(10, 10)))
-	a.Merge(b)
+	if err := a.Merge(b); err == nil {
+		t.Error("expected error on differently seeded merge")
+	}
 }
 
 func TestRecoverProperty(t *testing.T) {

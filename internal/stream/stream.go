@@ -36,11 +36,48 @@ type Sink interface {
 	Process(u Update)
 }
 
+// BatchSink is the contract of sketches with a tight batched ingestion path:
+// ProcessBatch(batch) must leave the sketch in exactly the state that
+// repeated Process calls over the same updates in the same order would.
+// Batched paths amortize hash evaluations, bounds checks and interface
+// dispatch across the batch, and are what the sharded ingestion engine
+// (internal/engine) drives.
+type BatchSink interface {
+	Sink
+	ProcessBatch(batch []Update)
+}
+
+// ProcessAll delivers a batch through the sink's ProcessBatch fast path when
+// it has one, falling back to one Process call per update.
+func ProcessAll(s Sink, batch []Update) {
+	if bs, ok := s.(BatchSink); ok {
+		bs.ProcessBatch(batch)
+		return
+	}
+	for _, u := range batch {
+		s.Process(u)
+	}
+}
+
 // Feed replays the stream into one or more sketches.
 func (s Stream) Feed(sinks ...Sink) {
 	for _, u := range s {
 		for _, sk := range sinks {
 			sk.Process(u)
+		}
+	}
+}
+
+// FeedBatch replays the stream in contiguous batches of the given size,
+// using each sink's ProcessBatch fast path where available.
+func (s Stream) FeedBatch(batchSize int, sinks ...Sink) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	for lo := 0; lo < len(s); lo += batchSize {
+		hi := min(lo+batchSize, len(s))
+		for _, sk := range sinks {
+			ProcessAll(sk, s[lo:hi])
 		}
 	}
 }
@@ -246,6 +283,17 @@ func DecrementAll(n int) Stream {
 	s := make(Stream, n)
 	for i := range s {
 		s[i] = Update{Index: i, Delta: -1}
+	}
+	return s
+}
+
+// IncrementAll returns the (i, +1) for i in [n] stream — the negation of
+// DecrementAll, used to compensate a doubly counted pigeonhole prefix when
+// merging duplicate finders.
+func IncrementAll(n int) Stream {
+	s := make(Stream, n)
+	for i := range s {
+		s[i] = Update{Index: i, Delta: 1}
 	}
 	return s
 }

@@ -26,6 +26,7 @@
 package streamsample
 
 import (
+	"errors"
 	"math/rand/v2"
 
 	"repro/internal/core"
@@ -33,6 +34,9 @@ import (
 	"repro/internal/heavyhitters"
 	"repro/internal/stream"
 )
+
+// errNilMerge is returned by every Merge wrapper handed a nil sketch.
+var errNilMerge = errors.New("streamsample: merging a nil sketch")
 
 // Update is one turnstile update: x[Index] += Delta.
 type Update = stream.Update
@@ -113,6 +117,20 @@ func (s *LpSampler) Update(i int, delta int64) {
 // Process implements the stream.Sink interface used by internal generators.
 func (s *LpSampler) Process(u Update) { s.inner.Process(u) }
 
+// ProcessBatch implements the stream.BatchSink fast path: hash evaluations
+// and scaling factors are amortized across the batch.
+func (s *LpSampler) ProcessBatch(batch []Update) { s.inner.ProcessBatch(batch) }
+
+// Merge adds another sampler's state; both must be built with the same
+// parameters and WithSeed value so they share randomness. After merging,
+// this sampler summarizes the sum of the two vectors.
+func (s *LpSampler) Merge(other *LpSampler) error {
+	if other == nil {
+		return errNilMerge
+	}
+	return s.inner.Merge(other.inner)
+}
+
 // Sample returns an index distributed ≈ proportionally to |x_i|^p, with a
 // (1±ε)-accurate estimate of x_i. ok is false when the sampler fails
 // (probability ≤ δ; always for the zero vector).
@@ -151,6 +169,9 @@ func (s *L0Sampler) Update(i int, delta int64) {
 // Process implements the stream.Sink interface.
 func (s *L0Sampler) Process(u Update) { s.inner.Process(u) }
 
+// ProcessBatch implements the stream.BatchSink fast path.
+func (s *L0Sampler) ProcessBatch(batch []Update) { s.inner.ProcessBatch(batch) }
+
 // Sample returns a uniform support element and its exact value x_i.
 func (s *L0Sampler) Sample() (index int, value int64, ok bool) {
 	out, ok := s.inner.Sample()
@@ -159,8 +180,14 @@ func (s *L0Sampler) Sample() (index int, value int64, ok bool) {
 
 // Merge adds another sampler's state; both must be built with the same
 // dimension and WithSeed value so they share randomness. After merging, this
-// sampler summarizes the sum of the two vectors.
-func (s *L0Sampler) Merge(other *L0Sampler) { s.inner.Merge(other.inner) }
+// sampler summarizes the sum of the two vectors. Replicas that do not share
+// a seed are rejected with an error.
+func (s *L0Sampler) Merge(other *L0Sampler) error {
+	if other == nil {
+		return errNilMerge
+	}
+	return s.inner.Merge(other.inner)
+}
 
 // SpaceBits reports the sketch size.
 func (s *L0Sampler) SpaceBits() int64 { return s.inner.SpaceBits() }
@@ -183,6 +210,22 @@ func NewDuplicateFinder(n int, opts ...Option) *DuplicateFinder {
 
 // Observe consumes the next letter of the stream.
 func (d *DuplicateFinder) Observe(letter int) { d.inner.ProcessItem(letter) }
+
+// Process implements stream.Sink on the letters-as-updates encoding.
+func (d *DuplicateFinder) Process(u Update) { d.inner.Process(u) }
+
+// ProcessBatch implements the stream.BatchSink fast path.
+func (d *DuplicateFinder) ProcessBatch(batch []Update) { d.inner.ProcessBatch(batch) }
+
+// Merge combines another same-seed finder's observations; the pigeonhole
+// prefix each constructor fed is compensated so the merged finder behaves as
+// if it had seen the concatenated stream.
+func (d *DuplicateFinder) Merge(other *DuplicateFinder) error {
+	if other == nil {
+		return errNilMerge
+	}
+	return d.inner.Merge(other.inner)
+}
 
 // Find returns a letter that appeared at least twice. ok is false with
 // probability at most δ; a returned letter is wrong only with low
@@ -227,6 +270,18 @@ func (h *HeavyHitters) Update(i int, delta int64) {
 
 // Process implements the stream.Sink interface.
 func (h *HeavyHitters) Process(u Update) { h.inner.Process(u) }
+
+// ProcessBatch implements the stream.BatchSink fast path.
+func (h *HeavyHitters) ProcessBatch(batch []Update) { h.inner.ProcessBatch(batch) }
+
+// Merge adds another sketch's state; both must be built with the same
+// parameters and WithSeed value so they share randomness.
+func (h *HeavyHitters) Merge(other *HeavyHitters) error {
+	if other == nil {
+		return errNilMerge
+	}
+	return h.inner.Merge(other.inner)
+}
 
 // Report returns the heavy-hitter set.
 func (h *HeavyHitters) Report() []int { return h.inner.HeavyHitters() }

@@ -32,7 +32,9 @@ func TestPublicL0SamplerAndMerge(t *testing.T) {
 	a.Update(10, 2)
 	b.Update(3, -5) // cancels across sketches after merge
 	b.Update(64, 1)
-	a.Merge(b)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("same-seed merge failed: %v", err)
+	}
 	idx, val, ok := a.Sample()
 	if !ok {
 		t.Fatal("merged sampler failed")
@@ -104,5 +106,20 @@ func TestProcessMatchesUpdate(t *testing.T) {
 	ib, _, okb := b.Sample()
 	if ia != ib || oka != okb {
 		t.Fatal("Update and Process must be equivalent")
+	}
+}
+
+func TestPublicMergeNilRejected(t *testing.T) {
+	if err := NewL0Sampler(64, WithSeed(1)).Merge(nil); err == nil {
+		t.Error("L0Sampler.Merge(nil) must error")
+	}
+	if err := NewLpSampler(1, 64, WithSeed(1)).Merge(nil); err == nil {
+		t.Error("LpSampler.Merge(nil) must error")
+	}
+	if err := NewDuplicateFinder(64, WithSeed(1)).Merge(nil); err == nil {
+		t.Error("DuplicateFinder.Merge(nil) must error")
+	}
+	if err := NewHeavyHitters(1, 0.2, 64, WithSeed(1)).Merge(nil); err == nil {
+		t.Error("HeavyHitters.Merge(nil) must error")
 	}
 }
