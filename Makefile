@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench lint lint-vet lint-fmt fmt
+.PHONY: build test race bench microbench profile lint lint-vet lint-fmt fmt
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,21 @@ race:
 # the serial-vs-engine ingestion comparison still run, not a measurement.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# The PR-2 kernel micro-benchmarks (field multiply / exponentiation, scalar
+# vs flat-batch hash kernels, count-sketch hot paths) at a benchtime large
+# enough to be meaningful in CI; the zero-allocation contract is enforced by
+# the accompanying tests, the numbers land in the job log. BENCH_PR2.json
+# holds the committed baseline-vs-after snapshot.
+microbench:
+	$(GO) test -run '^$$' -bench 'Mul$$|Pow|Eval|Scalar|Batch' -benchtime 1000x \
+		./internal/field ./internal/hash ./internal/countsketch
+
+# CPU profile of the 10M-update batched ingest (the headline workload):
+# writes cpu.out for `go tool pprof cpu.out`.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestSerialBatched$$' -benchtime 2x \
+		-cpuprofile cpu.out .
 
 lint: lint-vet lint-fmt
 

@@ -48,7 +48,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	ingest := flag.String("ingest", "", "drive the stream through a sketch instead of printing it: countsketch | countmin | l0 | lp | hh")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "engine shard count (-ingest)")
-	batch := flag.Int("batch", 1024, "engine batch size (-ingest)")
+	batch := flag.Int("batch", 2048, "engine batch size (-ingest)")
 	flag.Parse()
 
 	// Reject a bad -ingest sink before the (possibly multi-second) stream

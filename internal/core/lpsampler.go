@@ -81,8 +81,12 @@ type LpSampler struct {
 	rNorm  *norm.Stable // shared sketch estimating ||x||_p
 	diag   Diagnostics
 
-	// Scratch buffers for ProcessBatch: the scaled batch (z-space) is built
-	// once per copy and reused by count-sketch and AMS.
+	// Scratch buffers for ProcessBatch, grown on demand and reused forever:
+	// the batch's key view, the per-copy scaling factors t_i from the k-wise
+	// Float64Batch kernel, and the guard-filtered scaled batch (z-space)
+	// shared by count-sketch and AMS. Steady-state calls allocate nothing.
+	scratchKey []uint64
+	scratchT   []float64
 	scratchIdx []uint64
 	scratchZ   []float64
 }
@@ -215,29 +219,33 @@ func (s *LpSampler) Process(u stream.Update) {
 	}
 }
 
-// ProcessBatch implements stream.BatchSink. The scaled z-batch (t_i^{-1/p}
-// amortized once per update) is built copy-major and fed through the batched
-// count-sketch and AMS hot paths, so each repetition's hashes stay hot for
-// the whole batch. The resulting state matches repeated Process calls.
+// ProcessBatch implements stream.BatchSink. The batch's keys are extracted
+// once; each repetition then evaluates its k-wise scaling row through the
+// flat Float64Batch kernel (all k coefficients stay hot for the whole batch),
+// builds the guard-filtered scaled z-batch, and feeds it through the batched
+// count-sketch and AMS hot paths. The resulting state matches repeated
+// Process calls; steady-state calls allocate nothing.
 func (s *LpSampler) ProcessBatch(batch []stream.Update) {
 	s.rNorm.ProcessBatch(batch)
 	invP := 1 / s.cfg.P
-	if cap(s.scratchIdx) < len(batch) {
-		s.scratchIdx = make([]uint64, len(batch))
-		s.scratchZ = make([]float64, len(batch))
+	n := len(batch)
+	keys := stream.Keys(batch, &s.scratchKey)
+	if cap(s.scratchT) < n {
+		s.scratchT = make([]float64, n)
+		s.scratchIdx = make([]uint64, n)
+		s.scratchZ = make([]float64, n)
 	}
-	idx := s.scratchIdx[:0]
-	zd := s.scratchZ[:0]
+	ts := s.scratchT[:n]
 	for _, c := range s.copies {
-		idx, zd = idx[:0], zd[:0]
-		for _, u := range batch {
-			i := uint64(u.Index)
-			ti := c.t.Float64(i)
+		c.t.Float64Batch(keys, ts)
+		idx, zd := s.scratchIdx[:0], s.scratchZ[:0]
+		for t, u := range batch {
+			ti := ts[t]
 			if ti < s.tMin {
 				c.guarded = true
 				continue
 			}
-			idx = append(idx, i)
+			idx = append(idx, keys[t])
 			zd = append(zd, float64(u.Delta)*math.Pow(ti, -invP))
 		}
 		c.cs.AddBatch(idx, zd)

@@ -28,8 +28,14 @@ import (
 type Sketch struct {
 	width uint64
 	depth int
-	h     []*hash.KWise
+	h     *hash.FlatFamily
 	cells [][]int64
+
+	// Batch scratch (key/delta views of the batch, per-row kernel buckets),
+	// grown on demand: steady-state ProcessBatch calls allocate nothing.
+	scratchIdx []uint64
+	scratchDel []int64
+	scratchBkt []uint64
 }
 
 // New creates a sketch with the given width (buckets per row) and depth
@@ -45,7 +51,7 @@ func New(width, depth int, r *rand.Rand) *Sketch {
 	s := &Sketch{
 		width: uint64(width),
 		depth: depth,
-		h:     hash.Family(depth, 2, r),
+		h:     hash.NewFlatFamily(depth, 2, r),
 		cells: make([][]int64, depth),
 	}
 	for j := range s.cells {
@@ -65,22 +71,31 @@ func NewForGuarantee(eps, delta float64, r *rand.Rand) *Sketch {
 // Add applies x_i += delta.
 func (s *Sketch) Add(i uint64, delta int64) {
 	for j := 0; j < s.depth; j++ {
-		s.cells[j][s.h[j].Bucket(i, s.width)] += delta
+		s.cells[j][s.h.Bucket(j, i, s.width)] += delta
 	}
 }
 
 // Process implements stream.Sink.
 func (s *Sketch) Process(u stream.Update) { s.Add(uint64(u.Index), u.Delta) }
 
-// ProcessBatch implements stream.BatchSink: row-major delivery keeps one
-// row's cells and hash hot across the whole batch. Equivalent to repeated
-// Process calls.
+// ProcessBatch implements stream.BatchSink: the batch's keys are extracted
+// once, then each row runs the flat BucketBatch kernel (coefficients in
+// registers, Lemire reduction, no divide) and folds the deltas into its
+// cells. Equivalent to repeated Process calls; steady-state calls allocate
+// nothing.
 func (s *Sketch) ProcessBatch(batch []stream.Update) {
+	n := len(batch)
+	idx := stream.Keys(batch, &s.scratchIdx)
+	del := stream.Int64Deltas(batch, &s.scratchDel)
+	if cap(s.scratchBkt) < n {
+		s.scratchBkt = make([]uint64, n)
+	}
+	bkt := s.scratchBkt[:n]
 	for j := 0; j < s.depth; j++ {
+		s.h.BucketBatch(j, s.width, idx, bkt)
 		cells := s.cells[j]
-		hj := s.h[j]
-		for _, u := range batch {
-			cells[hj.Bucket(uint64(u.Index), s.width)] += u.Delta
+		for t, b := range bkt {
+			cells[b] += del[t]
 		}
 	}
 }
@@ -92,7 +107,7 @@ func (s *Sketch) Merge(other *Sketch) error {
 	if other == nil || s.width != other.width || s.depth != other.depth {
 		return errors.New("countmin: merging sketches of different shapes")
 	}
-	if !hash.FamilyEqual(s.h, other.h) {
+	if !s.h.Equal(other.h) {
 		return errors.New("countmin: merging sketches with different seeds (same-seed replicas required)")
 	}
 	for j := range s.cells {
@@ -109,7 +124,7 @@ func (s *Sketch) Merge(other *Sketch) error {
 func (s *Sketch) QueryMin(i uint64) int64 {
 	min := int64(math.MaxInt64)
 	for j := 0; j < s.depth; j++ {
-		if c := s.cells[j][s.h[j].Bucket(i, s.width)]; c < min {
+		if c := s.cells[j][s.h.Bucket(j, i, s.width)]; c < min {
 			min = c
 		}
 	}
@@ -121,7 +136,7 @@ func (s *Sketch) QueryMin(i uint64) int64 {
 func (s *Sketch) QueryMedian(i uint64) int64 {
 	ests := make([]int64, s.depth)
 	for j := 0; j < s.depth; j++ {
-		ests[j] = s.cells[j][s.h[j].Bucket(i, s.width)]
+		ests[j] = s.cells[j][s.h.Bucket(j, i, s.width)]
 	}
 	sort.Slice(ests, func(a, b int) bool { return ests[a] < ests[b] })
 	if s.depth%2 == 1 {
@@ -157,9 +172,5 @@ func (s *Sketch) L1() int64 {
 
 // SpaceBits reports cells plus seeds at 64 bits per word.
 func (s *Sketch) SpaceBits() int64 {
-	bits := int64(s.depth) * int64(s.width) * 64
-	for j := 0; j < s.depth; j++ {
-		bits += s.h[j].SpaceBits()
-	}
-	return bits
+	return int64(s.depth)*int64(s.width)*64 + s.h.SpaceBits()
 }

@@ -1,0 +1,79 @@
+package countsketch
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func benchSketchAndBatch() (*Sketch, stream.Stream) {
+	s := New(64, 12, rand.New(rand.NewPCG(3, 5)))
+	return s, stream.RandomTurnstile(1<<16, 8192, 100, rand.New(rand.NewPCG(17, 29)))
+}
+
+// BenchmarkProcessBatch is the engine-worker hot path: the fused
+// bucket+sign kernel over every row of the PR-1 acceptance sketch shape
+// (m=64, 12 rows). ReportAllocs documents the zero-allocation contract.
+func BenchmarkProcessBatch(b *testing.B) {
+	s, st := benchSketchAndBatch()
+	s.ProcessBatch(st) // warm the scratch so steady state is measured
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ProcessBatch(st)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(st)), "ns/update")
+}
+
+// BenchmarkAddBatch is the Lp sampler's real-valued path (pre-scaled batch).
+func BenchmarkAddBatch(b *testing.B) {
+	s, st := benchSketchAndBatch()
+	idx := make([]uint64, len(st))
+	del := make([]float64, len(st))
+	for t, u := range st {
+		idx[t] = uint64(u.Index)
+		del[t] = float64(u.Delta)
+	}
+	s.AddBatch(idx, del)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddBatch(idx, del)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(idx)), "ns/update")
+}
+
+// BenchmarkProcessSerial is the scalar Process path over the same updates,
+// for the serial-vs-batched comparison in the README.
+func BenchmarkProcessSerial(b *testing.B) {
+	s, st := benchSketchAndBatch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range st {
+			s.Process(u)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(st)), "ns/update")
+}
+
+// TestProcessBatchZeroAlloc pins the acceptance criterion: once the scratch
+// is warm, ProcessBatch and AddBatch allocate zero bytes per call.
+func TestProcessBatchZeroAlloc(t *testing.T) {
+	s, st := benchSketchAndBatch()
+	s.ProcessBatch(st)
+	if n := testing.AllocsPerRun(10, func() { s.ProcessBatch(st) }); n != 0 {
+		t.Errorf("ProcessBatch allocates %v times per call, want 0", n)
+	}
+	idx := make([]uint64, len(st))
+	del := make([]float64, len(st))
+	for i, u := range st {
+		idx[i] = uint64(u.Index)
+		del[i] = float64(u.Delta)
+	}
+	s.AddBatch(idx, del)
+	if n := testing.AllocsPerRun(10, func() { s.AddBatch(idx, del) }); n != 0 {
+		t.Errorf("AddBatch allocates %v times per call, want 0", n)
+	}
+}

@@ -16,6 +16,11 @@
 // randomly scaled vector z (z_i = x_i / t_i^{1/p}); for space accounting each
 // cell counts as one O(log n)-bit word, the paper's convention after its
 // (omitted) discretization step.
+//
+// The (h_j, g_j) pairs live in two flat hash.FlatFamily structures, and the
+// batched hot paths drive the fused hash.BucketSignBatch kernel row-major
+// with per-sketch scratch buffers: steady-state ProcessBatch/AddBatch calls
+// allocate nothing.
 package countsketch
 
 import (
@@ -36,9 +41,17 @@ type Sketch struct {
 	m       int
 	rows    int
 	buckets uint64
-	h       []*hash.KWise
-	g       []*hash.KWise
+	h       *hash.FlatFamily
+	g       *hash.FlatFamily
 	cells   [][]float64
+
+	// Batch scratch, grown on demand and reused forever after: key and delta
+	// views of the incoming batch, plus the per-row bucket/sign kernel
+	// outputs. Not goroutine-safe — same contract as the cells themselves.
+	scratchIdx []uint64
+	scratchDel []float64
+	scratchBkt []uint64
+	scratchSgn []float64
 }
 
 // New creates a count-sketch with parameter m and the given number of rows
@@ -54,8 +67,8 @@ func New(m, rows int, r *rand.Rand) *Sketch {
 		m:       m,
 		rows:    rows,
 		buckets: uint64(BucketFactor * m),
-		h:       hash.Family(rows, 2, r),
-		g:       hash.Family(rows, 2, r),
+		h:       hash.NewFlatFamily(rows, 2, r),
+		g:       hash.NewFlatFamily(rows, 2, r),
 		cells:   make([][]float64, rows),
 	}
 	for j := range s.cells {
@@ -73,8 +86,8 @@ func (s *Sketch) Rows() int { return s.rows }
 // Add applies the update x_i += delta for real-valued delta.
 func (s *Sketch) Add(i uint64, delta float64) {
 	for j := 0; j < s.rows; j++ {
-		k := s.h[j].Bucket(i, s.buckets)
-		s.cells[j][k] += float64(s.g[j].Sign(i)) * delta
+		k := s.h.Bucket(j, i, s.buckets)
+		s.cells[j][k] += float64(s.g.Sign(j, i)) * delta
 	}
 }
 
@@ -83,29 +96,43 @@ func (s *Sketch) Process(u stream.Update) {
 	s.Add(uint64(u.Index), float64(u.Delta))
 }
 
-// ProcessBatch implements stream.BatchSink: row-major delivery keeps one
-// row's cells and hash pair hot across the whole batch instead of cycling
-// through all rows per update. State after the call is identical to feeding
-// the updates one Process call at a time.
-func (s *Sketch) ProcessBatch(batch []stream.Update) {
-	for j := 0; j < s.rows; j++ {
-		cells := s.cells[j]
-		hj, gj := s.h[j], s.g[j]
-		for _, u := range batch {
-			i := uint64(u.Index)
-			cells[hj.Bucket(i, s.buckets)] += float64(gj.Sign(i)) * float64(u.Delta)
-		}
+// growKernel ensures the per-row kernel outputs can hold n entries.
+func (s *Sketch) growKernel(n int) {
+	if cap(s.scratchBkt) < n {
+		s.scratchBkt = make([]uint64, n)
+		s.scratchSgn = make([]float64, n)
 	}
+}
+
+// ProcessBatch implements stream.BatchSink: the batch is split once into key
+// and delta views, then delivered row-major through the fused kernel. State
+// after the call is identical to feeding the updates one Process call at a
+// time (per-cell accumulation order is preserved).
+func (s *Sketch) ProcessBatch(batch []stream.Update) {
+	idx := stream.Keys(batch, &s.scratchIdx)
+	del := stream.FloatDeltas(batch, &s.scratchDel)
+	s.growKernel(len(batch))
+	s.addBatch(idx, del)
 }
 
 // AddBatch is the real-valued batched hot path (the Lp sampler feeds the
 // scaled vector z through it): indices[t] receives deltas[t], row-major.
 func (s *Sketch) AddBatch(indices []uint64, deltas []float64) {
+	s.growKernel(len(indices))
+	s.addBatch(indices, deltas)
+}
+
+// addBatch runs the fused bucket+sign kernel once per row and folds the batch
+// into that row's cells: all hash coefficients stay in registers across the
+// batch, the kernel outputs stay L1-resident, and nothing allocates.
+func (s *Sketch) addBatch(idx []uint64, del []float64) {
+	n := len(idx)
+	bkt, sgn := s.scratchBkt[:n], s.scratchSgn[:n]
 	for j := 0; j < s.rows; j++ {
+		hash.BucketSignBatch(s.h, s.g, j, s.buckets, idx, bkt, sgn)
 		cells := s.cells[j]
-		hj, gj := s.h[j], s.g[j]
-		for t, i := range indices {
-			cells[hj.Bucket(i, s.buckets)] += float64(gj.Sign(i)) * deltas[t]
+		for t, b := range bkt {
+			cells[b] += sgn[t] * del[t]
 		}
 	}
 }
@@ -118,7 +145,7 @@ func (s *Sketch) Merge(other *Sketch) error {
 	if other == nil || s.m != other.m || s.rows != other.rows || s.buckets != other.buckets {
 		return errors.New("countsketch: merging sketches of different shapes")
 	}
-	if !hash.FamilyEqual(s.h, other.h) || !hash.FamilyEqual(s.g, other.g) {
+	if !s.h.Equal(other.h) || !s.g.Equal(other.g) {
 		return errors.New("countsketch: merging sketches with different seeds (same-seed replicas required)")
 	}
 	for j := range s.cells {
@@ -134,8 +161,8 @@ func (s *Sketch) Merge(other *Sketch) error {
 func (s *Sketch) Estimate(i uint64) float64 {
 	ests := make([]float64, s.rows)
 	for j := 0; j < s.rows; j++ {
-		k := s.h[j].Bucket(i, s.buckets)
-		ests[j] = float64(s.g[j].Sign(i)) * s.cells[j][k]
+		k := s.h.Bucket(j, i, s.buckets)
+		ests[j] = float64(s.g.Sign(j, i)) * s.cells[j][k]
 	}
 	return median(ests)
 }
@@ -188,11 +215,7 @@ func (s *Sketch) Top(n, m int) []TopEntry {
 // SpaceBits reports cells plus hash seeds at 64 bits per word, matching the
 // paper's O(m log n)-counters => O(m log^2 n)-bits accounting.
 func (s *Sketch) SpaceBits() int64 {
-	bits := int64(s.rows) * int64(s.buckets) * 64
-	for j := 0; j < s.rows; j++ {
-		bits += s.h[j].SpaceBits() + s.g[j].SpaceBits()
-	}
-	return bits
+	return int64(s.rows)*int64(s.buckets)*64 + s.h.SpaceBits() + s.g.SpaceBits()
 }
 
 // StateBits reports only the cell contents — the transmissible part in a

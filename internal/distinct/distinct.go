@@ -47,9 +47,15 @@ type Estimator struct {
 	n      int
 	levels int
 	reps   int
-	member []*hash.KWise  // one membership hash per repetition (nested levels)
-	rho    []field.Elem   // one fingerprint point per repetition
-	fp     [][]field.Elem // fp[k][j]: fingerprint of level k, repetition j
+	member *hash.FlatFamily  // one membership hash row per repetition (nested levels)
+	rho    []field.Elem      // one fingerprint point per repetition
+	rhoPow []*field.PowCache // square tables making rho_j^i cost ~popcount(i) Muls
+	fp     [][]field.Elem    // fp[k][j]: fingerprint of level k, repetition j
+
+	// Batch scratch (key view of the batch, per-repetition membership
+	// uniforms), grown on demand: steady-state ProcessBatch allocates nothing.
+	scratchIdx []uint64
+	scratchU   []float64
 }
 
 // New constructs an estimator for dimension n with the given repetition
@@ -70,8 +76,9 @@ func New(n, reps int, r *rand.Rand) *Estimator {
 		n:      n,
 		levels: levels,
 		reps:   reps,
-		member: hash.Family(reps, 2, r),
+		member: hash.NewFlatFamily(reps, 2, r),
 		rho:    make([]field.Elem, reps),
+		rhoPow: make([]*field.PowCache, reps),
 		fp:     make([][]field.Elem, levels),
 	}
 	for j := range e.rho {
@@ -80,6 +87,7 @@ func New(n, reps int, r *rand.Rand) *Estimator {
 			rho = field.New(r.Uint64())
 		}
 		e.rho[j] = rho
+		e.rhoPow[j] = field.NewPowCache(rho)
 	}
 	for k := range e.fp {
 		e.fp[k] = make([]field.Elem, reps)
@@ -93,8 +101,8 @@ func New(n, reps int, r *rand.Rand) *Estimator {
 func (e *Estimator) Process(u stream.Update) {
 	d := field.FromInt64(u.Delta)
 	for j := 0; j < e.reps; j++ {
-		h := e.member[j].Float64(uint64(u.Index))
-		contrib := field.Mul(d, field.Pow(e.rho[j], uint64(u.Index)))
+		h := e.member.Float64(j, uint64(u.Index))
+		contrib := field.Mul(d, e.rhoPow[j].Pow(uint64(u.Index)))
 		q := 1.0
 		for k := 0; k < e.levels; k++ {
 			if h >= q {
@@ -106,15 +114,28 @@ func (e *Estimator) Process(u stream.Update) {
 	}
 }
 
-// ProcessBatch implements stream.BatchSink: repetition-major delivery keeps
-// one repetition's membership hash and fingerprint point hot across the
-// batch. Equivalent to repeated Process calls.
+// ProcessBatch implements stream.BatchSink: repetition-major delivery. The
+// batch's keys are extracted once; each repetition then evaluates its
+// membership row through the flat Float64Batch kernel and folds the
+// fingerprint contributions (rho_j^i via the repetition's PowCache) into its
+// level cells. Equivalent to repeated Process calls; steady-state calls
+// allocate nothing.
 func (e *Estimator) ProcessBatch(batch []stream.Update) {
+	n := len(batch)
+	idx := stream.Keys(batch, &e.scratchIdx)
+	if cap(e.scratchU) < n {
+		e.scratchU = make([]float64, n)
+	}
+	us := e.scratchU[:n]
 	for j := 0; j < e.reps; j++ {
-		mj, rhoj := e.member[j], e.rho[j]
-		for _, u := range batch {
-			h := mj.Float64(uint64(u.Index))
-			contrib := field.Mul(field.FromInt64(u.Delta), field.Pow(rhoj, uint64(u.Index)))
+		e.member.Float64Batch(j, idx, us)
+		pw := e.rhoPow[j]
+		for t, u := range batch {
+			h := us[t]
+			if h >= 1 {
+				continue
+			}
+			contrib := field.Mul(field.FromInt64(u.Delta), pw.Pow(idx[t]))
 			q := 1.0
 			for k := 0; k < e.levels; k++ {
 				if h >= q {
@@ -134,7 +155,7 @@ func (e *Estimator) Merge(other *Estimator) error {
 	if other == nil || e.n != other.n || e.levels != other.levels || e.reps != other.reps {
 		return errors.New("distinct: merging estimators of different shapes")
 	}
-	if !hash.FamilyEqual(e.member, other.member) {
+	if !e.member.Equal(other.member) {
 		return errors.New("distinct: merging estimators with different seeds (same-seed replicas required)")
 	}
 	for j := range e.rho {
@@ -183,11 +204,7 @@ func (e *Estimator) Estimate() int64 {
 
 // SpaceBits reports fingerprints plus per-repetition seeds.
 func (e *Estimator) SpaceBits() int64 {
-	bits := int64(e.levels*e.reps) * 64
-	for _, h := range e.member {
-		bits += h.SpaceBits() + 64 // membership seed + rho
-	}
-	return bits
+	return int64(e.levels*e.reps)*64 + e.member.SpaceBits() + int64(e.reps)*64 // + rho per repetition
 }
 
 // StateBits reports the transmissible fingerprints only (public-coin model).

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/countsketch"
+	"repro/internal/distinct"
+	"repro/internal/norm"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+)
+
+// TestBatchedHotPathsZeroAlloc pins the PR-2 acceptance criterion across
+// every BatchSink the engine drives: after one warm-up call grows the
+// per-sketch scratch, steady-state ProcessBatch calls allocate nothing.
+// (The L0 sampler is exercised through its sparse levels plus its own
+// membership scratch; the Lp sampler covers countsketch.AddBatch and
+// norm batch paths end to end.)
+func TestBatchedHotPathsZeroAlloc(t *testing.T) {
+	const n = 1 << 10
+	st := stream.RandomTurnstile(n, 512, 50, rand.New(rand.NewPCG(91, 92)))
+	sinks := []struct {
+		name string
+		sink stream.BatchSink
+	}{
+		{"countsketch", countsketch.New(16, 6, seeded(1))},
+		{"countmin", countmin.New(64, 5, seeded(2))},
+		{"distinct", distinct.New(n, 8, seeded(3))},
+		{"sparse", sparse.New(n, 8, seeded(4))},
+		{"ams", norm.NewAMS(5, 4, seeded(5))},
+		{"stable", norm.NewStable(1.4, 20, seeded(6))},
+		{"l0sampler", core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, seeded(7))},
+		{"lpsampler", core.NewLpSampler(core.LpConfig{P: 1.2, N: n, Eps: 0.3, Delta: 0.3, Copies: 3}, seeded(8))},
+	}
+	for _, tc := range sinks {
+		tc.sink.ProcessBatch(st) // grow scratch
+		if got := testing.AllocsPerRun(5, func() { tc.sink.ProcessBatch(st) }); got != 0 {
+			t.Errorf("%s: ProcessBatch allocates %v times per call, want 0", tc.name, got)
+		}
+	}
+}
+
+// TestShardRoutingBalanced pins the router's mix step: dense small indices —
+// the realistic stream domain — must spread across all shards, not collapse
+// onto shard 0 (which a raw multiply-shift reduction of the index would do).
+func TestShardRoutingBalanced(t *testing.T) {
+	for _, shards := range []int{2, 3, 8} {
+		e := New(Config{Shards: shards},
+			func(int) *countmin.Sketch { return countmin.New(8, 2, seeded(9)) },
+			func(dst, src *countmin.Sketch) error { return dst.Merge(src) })
+		const n = 1 << 16
+		counts := make([]int, shards)
+		for i := 0; i < n; i++ {
+			counts[e.shardOf(i)]++
+		}
+		e.Close()
+		mean := float64(n) / float64(shards)
+		for s, c := range counts {
+			if float64(c) < 0.8*mean || float64(c) > 1.2*mean {
+				t.Errorf("shards=%d: shard %d owns %d of %d indices (mean %.0f)", shards, s, c, n, mean)
+			}
+		}
+	}
+}

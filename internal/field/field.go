@@ -101,6 +101,41 @@ func Pow(a Elem, e uint64) Elem {
 	return r
 }
 
+// PowCache precomputes base^(2^i) for i < 64 so repeated exponentiations of
+// one base cost a single Mul per set bit of the exponent, instead of the full
+// square-and-multiply ladder of Pow (~61 squarings). The fingerprint hot
+// paths (sparse recovery and the distinct-elements estimator evaluate
+// rho^index once per update per repetition) are the intended users: for
+// stream indices below 2^b the cost drops from ~61+b/2 to at most b
+// multiplications.
+type PowCache struct {
+	sq [64]Elem // sq[i] = base^(2^i)
+}
+
+// NewPowCache builds the square table for base.
+func NewPowCache(base Elem) *PowCache {
+	var pc PowCache
+	pc.sq[0] = base
+	for i := 1; i < len(pc.sq); i++ {
+		pc.sq[i] = Mul(pc.sq[i-1], pc.sq[i-1])
+	}
+	return &pc
+}
+
+// Base returns the cached base (sq[0]).
+func (pc *PowCache) Base() Elem { return pc.sq[0] }
+
+// Pow returns base^e, identical to Pow(base, e) for every e.
+func (pc *PowCache) Pow(e uint64) Elem {
+	r := Elem(1)
+	for e != 0 {
+		i := bits.TrailingZeros64(e)
+		r = Mul(r, pc.sq[i])
+		e &= e - 1
+	}
+	return r
+}
+
 // Inv returns the multiplicative inverse a^(Modulus-2). Inv(0) returns 0;
 // callers that can receive zero must check first.
 func Inv(a Elem) Elem {

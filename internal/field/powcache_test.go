@@ -1,0 +1,55 @@
+package field
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestPowCacheMatchesPow: the square-table exponentiation is exactly the
+// ladder Pow for every exponent shape — small indices, random 64-bit
+// exponents, and the boundary cases 0 and 1.
+func TestPowCacheMatchesPow(t *testing.T) {
+	r := rand.New(rand.NewPCG(71, 72))
+	for trial := 0; trial < 50; trial++ {
+		base := New(r.Uint64())
+		pc := NewPowCache(base)
+		if pc.Base() != base {
+			t.Fatalf("Base() = %d, want %d", pc.Base(), base)
+		}
+		for _, e := range []uint64{0, 1, 2, 3, 63, 64, 65, 1 << 20, r.Uint64(), r.Uint64() >> 40} {
+			if got, want := pc.Pow(e), Pow(base, e); got != want {
+				t.Fatalf("base %d: PowCache.Pow(%d) = %d, want %d", base, e, got, want)
+			}
+		}
+	}
+	pc := NewPowCache(0)
+	if pc.Pow(0) != 1 || pc.Pow(5) != 0 {
+		t.Fatalf("zero base: Pow(0)=%d Pow(5)=%d, want 1, 0", pc.Pow(0), pc.Pow(5))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: the two exponentiation paths the fingerprint sketches
+// use. (BenchmarkMul — the unit of work of every hash kernel — lives in
+// field_test.go.)
+// ---------------------------------------------------------------------------
+
+func BenchmarkPowLadder(b *testing.B) {
+	base := New(0x123456789ABCDEF)
+	b.ReportAllocs()
+	var sink Elem
+	for i := 0; i < b.N; i++ {
+		sink += Pow(base, uint64(i)&0xFFFF)
+	}
+	_ = sink
+}
+
+func BenchmarkPowCache(b *testing.B) {
+	pc := NewPowCache(New(0x123456789ABCDEF))
+	b.ReportAllocs()
+	var sink Elem
+	for i := 0; i < b.N; i++ {
+		sink += pc.Pow(uint64(i) & 0xFFFF)
+	}
+	_ = sink
+}

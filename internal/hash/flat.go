@@ -1,0 +1,274 @@
+package hash
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"slices"
+
+	"repro/internal/field"
+)
+
+// invModulus converts a field element to a unit-interval real with one
+// multiply instead of a divide. Every Float64 derivation in the package —
+// scalar and batched — goes through toUnit, so the two paths are bit-identical.
+var invModulus = 1 / float64(field.Modulus)
+
+// toUnit maps a field value to (0, 1]: never zero, so callers may divide by
+// powers of it (the t_i^{-1/p} scaling factors of Figure 1).
+func toUnit(v field.Elem) float64 { return (float64(v) + 1) * invModulus }
+
+// Bucket maps a field value v to a bucket in [0, m) by Lemire's multiply-shift
+// range reduction: floor(v·m / 2^61), computed as the high word of the 128-bit
+// product (v<<3)·m. It replaces the hardware-divide `v % m` on every sketch
+// row. For v uniform over the field, each bucket's probability deviates from
+// 1/m by at most 1/(2^61-1) — the same discretization bias budget as the mod
+// reduction it replaces, so all pairwise-independence arguments go through
+// unchanged. v < 2^61 always (canonical field form), so v<<3 cannot overflow,
+// and the result is < m for every m >= 1.
+func Bucket(v field.Elem, m uint64) uint64 {
+	hi, _ := bits.Mul64(uint64(v)<<3, m)
+	return hi
+}
+
+// signFloat maps a field value to ±1.0 from its low bit, branch-free.
+func signFloat(v field.Elem) float64 {
+	return float64(int64(uint64(v)&1)<<1 - 1)
+}
+
+// FlatFamily is a structure-of-arrays k-wise independent hash family: `rows`
+// independent degree-(k-1) polynomials over GF(2^61-1) whose coefficients all
+// live in one contiguous slice, row-major. The flat layout is what the fused
+// batch kernels below iterate over — one row's two (or k) coefficients stay in
+// registers for a whole batch, instead of being re-fetched through a *KWise
+// pointer chain per key as the scalar API does.
+//
+// A FlatFamily drawn from r is coefficient-for-coefficient identical to
+// Family(rows, k, r) drawn from an identically positioned r: the scalar KWise
+// API is a thin row view over this storage (see Row/Views), so same-seed
+// equality checks interoperate across both representations.
+type FlatFamily struct {
+	rows int
+	k    int
+	coef []field.Elem // len rows*k; coef[j*k+i] multiplies x^i in row j
+}
+
+// NewFlatFamily draws rows independent k-wise functions from r, in the same
+// randomness order as Family(rows, k, r).
+func NewFlatFamily(rows, k int, r *rand.Rand) *FlatFamily {
+	if rows < 1 {
+		panic("hash: rows must be >= 1")
+	}
+	if k < 1 {
+		panic("hash: k must be >= 1")
+	}
+	coef := make([]field.Elem, rows*k)
+	for i := range coef {
+		coef[i] = field.New(r.Uint64())
+	}
+	return &FlatFamily{rows: rows, k: k, coef: coef}
+}
+
+// Rows returns the number of independent functions in the family.
+func (f *FlatFamily) Rows() int { return f.rows }
+
+// K returns the independence parameter shared by all rows.
+func (f *FlatFamily) K() int { return f.k }
+
+// rowCoef returns row j's coefficient slice (capacity-clamped so appends by a
+// buggy caller cannot bleed into the next row).
+func (f *FlatFamily) rowCoef(j int) []field.Elem {
+	return f.coef[j*f.k : (j+1)*f.k : (j+1)*f.k]
+}
+
+// Row returns row j as a scalar KWise view sharing this family's storage.
+// The view stays valid for the family's lifetime; mutating neither is
+// possible through the public API.
+func (f *FlatFamily) Row(j int) *KWise { return &KWise{coef: f.rowCoef(j)} }
+
+// Views returns all rows as KWise views over the shared flat storage —
+// the compatibility bridge for callers holding []*KWise.
+func (f *FlatFamily) Views() []*KWise {
+	out := make([]*KWise, f.rows)
+	for j := range out {
+		out[j] = f.Row(j)
+	}
+	return out
+}
+
+// Equal reports whether two families are the same polynomials — the same-seed
+// replica check used by every Merge path.
+func (f *FlatFamily) Equal(other *FlatFamily) bool {
+	if other == nil || f.rows != other.rows || f.k != other.k {
+		return false
+	}
+	return slices.Equal(f.coef, other.coef)
+}
+
+// SpaceBits reports the seed footprint: rows*k field elements at word size.
+func (f *FlatFamily) SpaceBits() int64 { return int64(f.rows) * int64(f.k) * 64 }
+
+// Eval returns row j's field value at key x.
+func (f *FlatFamily) Eval(j int, x uint64) field.Elem { return evalPoly(f.rowCoef(j), x) }
+
+// Bucket maps key x to a bucket in [0, m) through row j.
+func (f *FlatFamily) Bucket(j int, x, m uint64) uint64 { return Bucket(f.Eval(j, x), m) }
+
+// Sign maps key x to ±1 through row j.
+func (f *FlatFamily) Sign(j int, x uint64) int64 {
+	if uint64(f.Eval(j, x))&1 == 1 {
+		return 1
+	}
+	return -1
+}
+
+// Float64 maps key x to a uniform real in (0, 1] through row j.
+func (f *FlatFamily) Float64(j int, x uint64) float64 { return toUnit(f.Eval(j, x)) }
+
+// EvalBatch writes row j's field value at each key of xs into out[:len(xs)].
+func (f *FlatFamily) EvalBatch(j int, xs []uint64, out []field.Elem) {
+	evalBatch(f.rowCoef(j), xs, out)
+}
+
+// BucketBatch writes row j's bucket (Lemire reduction to [0, m)) for each key
+// of xs into out[:len(xs)].
+func (f *FlatFamily) BucketBatch(j int, m uint64, xs []uint64, out []uint64) {
+	bucketBatch(f.rowCoef(j), m, xs, out)
+}
+
+// SignBatch writes row j's sign (±1.0) for each key of xs into out[:len(xs)].
+func (f *FlatFamily) SignBatch(j int, xs []uint64, out []float64) {
+	signBatch(f.rowCoef(j), xs, out)
+}
+
+// Float64Batch writes row j's unit-interval value for each key of xs into
+// out[:len(xs)], bit-identical to scalar Float64 per key.
+func (f *FlatFamily) Float64Batch(j int, xs []uint64, out []float64) {
+	float64Batch(f.rowCoef(j), xs, out)
+}
+
+// BucketSignBatch is the fused count-sketch row kernel: one pass over xs
+// evaluating bucket row j of h and sign row j of g together. For the pairwise
+// (k=2) families every sketch row uses, each key costs two a·x+b folds — the
+// two Horner chains collapse to a single loop with all four coefficients in
+// registers — plus one Lemire multiply, with no divide anywhere.
+func BucketSignBatch(h, g *FlatFamily, j int, m uint64, xs []uint64, buckets []uint64, signs []float64) {
+	hc, gc := h.rowCoef(j), g.rowCoef(j)
+	buckets = buckets[:len(xs)]
+	signs = signs[:len(xs)]
+	if len(hc) == 2 && len(gc) == 2 {
+		h0, h1 := hc[0], hc[1]
+		g0, g1 := gc[0], gc[1]
+		for t, x := range xs {
+			xe := field.New(x)
+			buckets[t] = Bucket(field.Add(field.Mul(h1, xe), h0), m)
+			signs[t] = signFloat(field.Add(field.Mul(g1, xe), g0))
+		}
+		return
+	}
+	for t, x := range xs {
+		buckets[t] = Bucket(evalPoly(hc, x), m)
+		signs[t] = signFloat(evalPoly(gc, x))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Coefficient-slice kernels (shared by FlatFamily rows and KWise views)
+// ---------------------------------------------------------------------------
+
+// evalPoly is Horner evaluation of the degree-(len(coef)-1) polynomial at x,
+// with the pairwise case — every count-sketch/count-min row, also on the
+// scalar Process paths — specialized to a single a·x+b fold.
+func evalPoly(coef []field.Elem, x uint64) field.Elem {
+	if len(coef) == 2 {
+		return field.Add(field.Mul(coef[1], field.New(x)), coef[0])
+	}
+	xe := field.New(x)
+	var acc field.Elem
+	for i := len(coef) - 1; i >= 0; i-- {
+		acc = field.Add(field.Mul(acc, xe), coef[i])
+	}
+	return acc
+}
+
+func evalBatch(coef []field.Elem, xs []uint64, out []field.Elem) {
+	out = out[:len(xs)]
+	switch len(coef) {
+	case 2:
+		c0, c1 := coef[0], coef[1]
+		for t, x := range xs {
+			out[t] = field.Add(field.Mul(c1, field.New(x)), c0)
+		}
+	case 4:
+		c0, c1, c2, c3 := coef[0], coef[1], coef[2], coef[3]
+		for t, x := range xs {
+			xe := field.New(x)
+			acc := field.Add(field.Mul(c3, xe), c2)
+			acc = field.Add(field.Mul(acc, xe), c1)
+			out[t] = field.Add(field.Mul(acc, xe), c0)
+		}
+	default:
+		for t, x := range xs {
+			out[t] = evalPoly(coef, x)
+		}
+	}
+}
+
+func bucketBatch(coef []field.Elem, m uint64, xs []uint64, out []uint64) {
+	out = out[:len(xs)]
+	if len(coef) == 2 {
+		c0, c1 := coef[0], coef[1]
+		for t, x := range xs {
+			out[t] = Bucket(field.Add(field.Mul(c1, field.New(x)), c0), m)
+		}
+		return
+	}
+	for t, x := range xs {
+		out[t] = Bucket(evalPoly(coef, x), m)
+	}
+}
+
+func signBatch(coef []field.Elem, xs []uint64, out []float64) {
+	out = out[:len(xs)]
+	switch len(coef) {
+	case 2:
+		c0, c1 := coef[0], coef[1]
+		for t, x := range xs {
+			out[t] = signFloat(field.Add(field.Mul(c1, field.New(x)), c0))
+		}
+	case 4:
+		c0, c1, c2, c3 := coef[0], coef[1], coef[2], coef[3]
+		for t, x := range xs {
+			xe := field.New(x)
+			acc := field.Add(field.Mul(c3, xe), c2)
+			acc = field.Add(field.Mul(acc, xe), c1)
+			out[t] = signFloat(field.Add(field.Mul(acc, xe), c0))
+		}
+	default:
+		for t, x := range xs {
+			out[t] = signFloat(evalPoly(coef, x))
+		}
+	}
+}
+
+func float64Batch(coef []field.Elem, xs []uint64, out []float64) {
+	out = out[:len(xs)]
+	switch len(coef) {
+	case 2:
+		c0, c1 := coef[0], coef[1]
+		for t, x := range xs {
+			out[t] = toUnit(field.Add(field.Mul(c1, field.New(x)), c0))
+		}
+	case 4:
+		c0, c1, c2, c3 := coef[0], coef[1], coef[2], coef[3]
+		for t, x := range xs {
+			xe := field.New(x)
+			acc := field.Add(field.Mul(c3, xe), c2)
+			acc = field.Add(field.Mul(acc, xe), c1)
+			out[t] = toUnit(field.Add(field.Mul(acc, xe), c0))
+		}
+	default:
+		for t, x := range xs {
+			out[t] = toUnit(evalPoly(coef, x))
+		}
+	}
+}

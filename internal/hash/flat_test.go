@@ -1,0 +1,236 @@
+package hash
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/field"
+)
+
+// TestFlatFamilyMatchesKWise: a FlatFamily and a Family drawn from
+// identically positioned randomness are the same polynomials, and every batch
+// kernel is bit-identical to the scalar KWise path, for the independence
+// parameters the sketches actually use (pairwise, AMS's 4-wise, and a
+// precision-sampling k=10).
+func TestFlatFamilyMatchesKWise(t *testing.T) {
+	const rows = 5
+	keys := make([]uint64, 257) // odd length exercises kernel tails
+	r := rand.New(rand.NewPCG(11, 13))
+	for i := range keys {
+		keys[i] = r.Uint64() >> (i % 33) // mix of huge and small keys
+	}
+	keys[0], keys[1] = 0, 1
+
+	for _, k := range []int{2, 4, 10} {
+		flat := NewFlatFamily(rows, k, rand.New(rand.NewPCG(3, 4)))
+		fam := Family(rows, k, rand.New(rand.NewPCG(3, 4)))
+		if flat.Rows() != rows || flat.K() != k {
+			t.Fatalf("k=%d: FlatFamily shape (%d,%d)", k, flat.Rows(), flat.K())
+		}
+		evals := make([]field.Elem, len(keys))
+		buckets := make([]uint64, len(keys))
+		signs := make([]float64, len(keys))
+		floats := make([]float64, len(keys))
+		for j := 0; j < rows; j++ {
+			if !flat.Row(j).Equal(fam[j]) {
+				t.Fatalf("k=%d row %d: flat row differs from Family row", k, j)
+			}
+			const m = 6 * 64
+			flat.EvalBatch(j, keys, evals)
+			flat.BucketBatch(j, m, keys, buckets)
+			flat.SignBatch(j, keys, signs)
+			flat.Float64Batch(j, keys, floats)
+			for t2, x := range keys {
+				if want := fam[j].Eval(x); evals[t2] != want {
+					t.Fatalf("k=%d row %d key %d: EvalBatch %d != scalar %d", k, j, x, evals[t2], want)
+				}
+				if want := fam[j].Bucket(x, m); buckets[t2] != want {
+					t.Fatalf("k=%d row %d key %d: BucketBatch %d != scalar %d", k, j, x, buckets[t2], want)
+				}
+				if want := float64(fam[j].Sign(x)); signs[t2] != want {
+					t.Fatalf("k=%d row %d key %d: SignBatch %v != scalar %v", k, j, x, signs[t2], want)
+				}
+				if want := fam[j].Float64(x); floats[t2] != want {
+					t.Fatalf("k=%d row %d key %d: Float64Batch %v != scalar %v", k, j, x, floats[t2], want)
+				}
+				if got, want := flat.Eval(j, x), fam[j].Eval(x); got != want {
+					t.Fatalf("k=%d row %d key %d: flat scalar Eval %d != KWise %d", k, j, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBucketSignBatchMatchesScalar: the fused count-sketch kernel agrees with
+// the scalar Bucket/Sign pair on both the k=2 fast path and the generic path.
+func TestBucketSignBatchMatchesScalar(t *testing.T) {
+	keys := make([]uint64, 100)
+	r := rand.New(rand.NewPCG(21, 22))
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	for _, k := range []int{2, 4} {
+		h := NewFlatFamily(3, k, rand.New(rand.NewPCG(5, 6)))
+		g := NewFlatFamily(3, k, rand.New(rand.NewPCG(7, 8)))
+		buckets := make([]uint64, len(keys))
+		signs := make([]float64, len(keys))
+		for j := 0; j < 3; j++ {
+			const m = 384
+			BucketSignBatch(h, g, j, m, keys, buckets, signs)
+			for t2, x := range keys {
+				if want := h.Bucket(j, x, m); buckets[t2] != want {
+					t.Fatalf("k=%d row %d: fused bucket %d != scalar %d", k, j, buckets[t2], want)
+				}
+				if want := float64(g.Sign(j, x)); signs[t2] != want {
+					t.Fatalf("k=%d row %d: fused sign %v != scalar %v", k, j, signs[t2], want)
+				}
+			}
+		}
+	}
+}
+
+// TestLemireBucketDeterministicInRange: the multiply-shift reduction is a
+// deterministic function of (v, m) and always lands in [0, m), across bucket
+// counts including non-powers of two and the sketch sizes in actual use.
+func TestLemireBucketDeterministicInRange(t *testing.T) {
+	ms := []uint64{1, 2, 3, 5, 6, 7, 13, 384, 1000, 1 << 16, 1000003, (1 << 20) + 7}
+	r := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 20000; trial++ {
+		v := field.New(r.Uint64())
+		for _, m := range ms {
+			b := Bucket(v, m)
+			if b >= m {
+				t.Fatalf("Bucket(%d, %d) = %d out of range", v, m, b)
+			}
+			if b2 := Bucket(v, m); b2 != b {
+				t.Fatalf("Bucket(%d, %d) nondeterministic: %d then %d", v, m, b, b2)
+			}
+		}
+	}
+	// Boundary values map to the ends of the range.
+	if got := Bucket(0, 13); got != 0 {
+		t.Fatalf("Bucket(0, 13) = %d, want 0", got)
+	}
+	if got := Bucket(field.Elem(field.Modulus-1), 13); got != 12 {
+		t.Fatalf("Bucket(max, 13) = %d, want 12", got)
+	}
+}
+
+// TestLemireBucketUniformity: bucket frequencies of hashed keys stay near
+// uniform for a non-power-of-two m (the reduction must not skew low or high
+// buckets beyond the 2^-61 discretization budget).
+func TestLemireBucketUniformity(t *testing.T) {
+	h := NewKWise(2, rand.New(rand.NewPCG(41, 42)))
+	const m, nkeys = 12, 1 << 16
+	counts := make([]int, m)
+	for x := uint64(0); x < nkeys; x++ {
+		counts[h.Bucket(x, m)]++
+	}
+	mean := float64(nkeys) / m
+	for b, c := range counts {
+		if d := float64(c) - mean; d > 6*82 || d < -6*82 { // 6*sqrt(mean)≈6*74, slack
+			t.Errorf("bucket %d count %d too far from mean %.0f", b, c, mean)
+		}
+	}
+}
+
+// TestViewsShareStorage: KWise views over a FlatFamily are equal to the rows
+// they wrap and interoperate with FamilyEqual.
+func TestViewsShareStorage(t *testing.T) {
+	f := NewFlatFamily(4, 3, rand.New(rand.NewPCG(51, 52)))
+	views := f.Views()
+	fam := Family(4, 3, rand.New(rand.NewPCG(51, 52)))
+	if !FamilyEqual(views, fam) {
+		t.Fatal("FlatFamily views differ from Family drawn from the same seed")
+	}
+	g := NewFlatFamily(4, 3, rand.New(rand.NewPCG(53, 54)))
+	if f.Equal(g) {
+		t.Fatal("different seeds compare Equal")
+	}
+	if !f.Equal(f) {
+		t.Fatal("family not Equal to itself")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: scalar KWise chains vs the flat batch kernels.
+// ---------------------------------------------------------------------------
+
+func benchKeys(n int) []uint64 {
+	r := rand.New(rand.NewPCG(61, 62))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64() >> 16
+	}
+	return keys
+}
+
+// BenchmarkScalarBucketSignK2 is the pre-kernel count-sketch row cost: two
+// scalar pairwise evaluations per key through the KWise API.
+func BenchmarkScalarBucketSignK2(b *testing.B) {
+	h := NewKWise(2, rand.New(rand.NewPCG(1, 1)))
+	g := NewKWise(2, rand.New(rand.NewPCG(2, 2)))
+	keys := benchKeys(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		x := keys[i&4095]
+		sink += h.Bucket(x, 384) + uint64(g.Sign(x))
+	}
+	_ = sink
+}
+
+// BenchmarkBucketSignBatchK2 is the fused flat kernel over the same work,
+// reported per key.
+func BenchmarkBucketSignBatchK2(b *testing.B) {
+	h := NewFlatFamily(1, 2, rand.New(rand.NewPCG(1, 1)))
+	g := NewFlatFamily(1, 2, rand.New(rand.NewPCG(2, 2)))
+	keys := benchKeys(4096)
+	buckets := make([]uint64, len(keys))
+	signs := make([]float64, len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BucketSignBatch(h, g, 0, 384, keys, buckets, signs)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(keys)), "ns/key")
+}
+
+// BenchmarkScalarFloat64K10 vs BenchmarkFloat64BatchK10: the Lp sampler's
+// high-independence scaling-factor evaluation, scalar vs batched.
+func BenchmarkScalarFloat64K10(b *testing.B) {
+	h := NewKWise(10, rand.New(rand.NewPCG(1, 1)))
+	keys := benchKeys(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += h.Float64(keys[i&4095])
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64BatchK10(b *testing.B) {
+	f := NewFlatFamily(1, 10, rand.New(rand.NewPCG(1, 1)))
+	keys := benchKeys(4096)
+	out := make([]float64, len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Float64Batch(0, keys, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(keys)), "ns/key")
+}
+
+func BenchmarkEvalBatchK2(b *testing.B) {
+	f := NewFlatFamily(1, 2, rand.New(rand.NewPCG(1, 1)))
+	keys := benchKeys(4096)
+	out := make([]field.Elem, len(keys))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.EvalBatch(0, keys, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(keys)), "ns/key")
+}

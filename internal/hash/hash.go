@@ -10,10 +10,16 @@
 //   - uniform reals t_i in (0,1] (the precision-sampling scaling factors of
 //     Figure 1, which require k-wise independence with k = 10*ceil(1/|p-1|)).
 //
-// Deriving buckets by reduction mod m and signs/uniforms from the field value
-// introduces bias at most 2^-61 per evaluation, far below the paper's n^-c
-// "low probability" budget; this is the standard discretization the paper
-// itself omits.
+// Buckets are derived by Lemire's multiply-shift range reduction (see Bucket)
+// and signs/uniforms from the field value; each introduces bias at most 2^-61
+// per evaluation, far below the paper's n^-c "low probability" budget — the
+// standard discretization the paper itself omits.
+//
+// Two representations share one storage layout: FlatFamily (flat.go) packs
+// all rows' coefficients contiguously and exposes the fused batch kernels the
+// sketch hot paths drive; KWise is a scalar one-row view over the same
+// coefficient slices, kept as the compatibility API for serial paths and
+// same-seed Merge checks.
 package hash
 
 import (
@@ -23,6 +29,8 @@ import (
 )
 
 // KWise is a k-wise independent hash function from uint64 keys to GF(2^61-1).
+// It is a one-row view over flat coefficient storage: functions returned by
+// Family share one contiguous allocation.
 type KWise struct {
 	coef []field.Elem // degree k-1 polynomial, coef[i] multiplies x^i
 }
@@ -34,29 +42,19 @@ func NewKWise(k int, r *rand.Rand) *KWise {
 	if k < 1 {
 		panic("hash: k must be >= 1")
 	}
-	coef := make([]field.Elem, k)
-	for i := range coef {
-		coef[i] = field.New(r.Uint64())
-	}
-	return &KWise{coef: coef}
+	return NewFlatFamily(1, k, r).Row(0)
 }
 
 // K returns the independence parameter of the family.
 func (h *KWise) K() int { return len(h.coef) }
 
 // Eval returns the field value of the hash at key x.
-func (h *KWise) Eval(x uint64) field.Elem {
-	xe := field.New(x)
-	var acc field.Elem
-	for i := len(h.coef) - 1; i >= 0; i-- {
-		acc = field.Add(field.Mul(acc, xe), h.coef[i])
-	}
-	return acc
-}
+func (h *KWise) Eval(x uint64) field.Elem { return evalPoly(h.coef, x) }
 
-// Bucket maps key x to a bucket in [0, m).
+// Bucket maps key x to a bucket in [0, m) via the Lemire reduction of the
+// field value — identical, key for key, to the batched BucketBatch kernel.
 func (h *KWise) Bucket(x, m uint64) uint64 {
-	return uint64(h.Eval(x)) % m
+	return Bucket(h.Eval(x), m)
 }
 
 // Sign maps key x to +1 or -1 with (nearly) equal probability.
@@ -70,9 +68,22 @@ func (h *KWise) Sign(x uint64) int64 {
 // Float64 maps key x to a uniform real in (0, 1]. The value is never zero, so
 // it is safe to divide by powers of it (the scaling factors t_i^{-1/p} of
 // Figure 1).
-func (h *KWise) Float64(x uint64) float64 {
-	return (float64(uint64(h.Eval(x))) + 1) / float64(field.Modulus)
+func (h *KWise) Float64(x uint64) float64 { return toUnit(h.Eval(x)) }
+
+// EvalBatch writes the field value at each key of xs into out[:len(xs)].
+func (h *KWise) EvalBatch(xs []uint64, out []field.Elem) { evalBatch(h.coef, xs, out) }
+
+// BucketBatch writes the bucket of each key of xs into out[:len(xs)].
+func (h *KWise) BucketBatch(m uint64, xs []uint64, out []uint64) {
+	bucketBatch(h.coef, m, xs, out)
 }
+
+// SignBatch writes the sign (±1.0) of each key of xs into out[:len(xs)].
+func (h *KWise) SignBatch(xs []uint64, out []float64) { signBatch(h.coef, xs, out) }
+
+// Float64Batch writes the unit-interval value of each key of xs into
+// out[:len(xs)], bit-identical to scalar Float64 per key.
+func (h *KWise) Float64Batch(xs []uint64, out []float64) { float64Batch(h.coef, xs, out) }
 
 // Equal reports whether two hash functions are the same polynomial, i.e.
 // were drawn from identically positioned randomness. Merge paths use it to
@@ -96,13 +107,11 @@ func (h *KWise) SpaceBits() int64 {
 }
 
 // Family draws many independent KWise functions with a shared independence k,
-// as count-sketch needs one (h_j, g_j) pair per row j in [l].
+// as count-sketch needs one (h_j, g_j) pair per row j in [l]. The returned
+// functions are views over a single flat coefficient allocation, drawn in the
+// same randomness order as NewFlatFamily(count, k, r).
 func Family(count, k int, r *rand.Rand) []*KWise {
-	fs := make([]*KWise, count)
-	for i := range fs {
-		fs[i] = NewKWise(k, r)
-	}
-	return fs
+	return NewFlatFamily(count, k, r).Views()
 }
 
 // FamilyEqual reports whether two families are element-wise Equal.

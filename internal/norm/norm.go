@@ -66,8 +66,14 @@ type Estimator interface {
 type AMS struct {
 	groups   int
 	perGroup int
-	signs    []*hash.KWise
+	signs    *hash.FlatFamily // one 4-wise sign row per counter
 	counters []float64
+
+	// Batch scratch (key/delta views of the batch, per-counter kernel signs),
+	// grown on demand: steady-state batched calls allocate nothing.
+	scratchIdx []uint64
+	scratchDel []float64
+	scratchSgn []float64
 }
 
 // NewAMS creates an AMS sketch with the given number of groups (median width,
@@ -84,7 +90,7 @@ func NewAMS(groups, perGroup int, r *rand.Rand) *AMS {
 	return &AMS{
 		groups:   groups,
 		perGroup: perGroup,
-		signs:    hash.Family(n, 4, r),
+		signs:    hash.NewFlatFamily(n, 4, r),
 		counters: make([]float64, n),
 	}
 }
@@ -92,19 +98,31 @@ func NewAMS(groups, perGroup int, r *rand.Rand) *AMS {
 // AddFloat applies x_i += delta.
 func (a *AMS) AddFloat(i uint64, delta float64) {
 	for j := range a.counters {
-		a.counters[j] += float64(a.signs[j].Sign(i)) * delta
+		a.counters[j] += float64(a.signs.Sign(j, i)) * delta
 	}
 }
 
-// AddFloatBatch applies the batch counter-major, keeping one sign hash hot
-// per pass. Cell-by-cell accumulation order matches repeated AddFloat calls,
-// so the resulting state is bit-identical.
+// growSigns ensures the per-counter kernel output can hold n entries.
+func (a *AMS) growSigns(n int) {
+	if cap(a.scratchSgn) < n {
+		a.scratchSgn = make([]float64, n)
+	}
+}
+
+// AddFloatBatch applies the batch counter-major: each counter's 4-wise sign
+// row runs once through the flat SignBatch kernel, then the deltas fold in.
+// Per-counter accumulation order matches repeated AddFloat calls, so the
+// resulting state is bit-identical; steady-state calls allocate nothing.
 func (a *AMS) AddFloatBatch(indices []uint64, deltas []float64) {
+	a.growSigns(len(indices))
+	sgn := a.scratchSgn[:len(indices)]
 	for j := range a.counters {
-		sj := a.signs[j]
-		for t, i := range indices {
-			a.counters[j] += float64(sj.Sign(i)) * deltas[t]
+		a.signs.SignBatch(j, indices, sgn)
+		cj := a.counters[j]
+		for t, g := range sgn {
+			cj += g * deltas[t]
 		}
+		a.counters[j] = cj
 	}
 }
 
@@ -113,12 +131,7 @@ func (a *AMS) Process(u stream.Update) { a.AddFloat(uint64(u.Index), float64(u.D
 
 // ProcessBatch implements stream.BatchSink.
 func (a *AMS) ProcessBatch(batch []stream.Update) {
-	for j := range a.counters {
-		sj := a.signs[j]
-		for _, u := range batch {
-			a.counters[j] += float64(sj.Sign(uint64(u.Index))) * float64(u.Delta)
-		}
-	}
+	a.AddFloatBatch(stream.Keys(batch, &a.scratchIdx), stream.FloatDeltas(batch, &a.scratchDel))
 }
 
 // Merge adds another AMS sketch's counters; other must be a same-seed *AMS
@@ -131,7 +144,7 @@ func (a *AMS) Merge(other Estimator) error {
 	if a.groups != o.groups || a.perGroup != o.perGroup {
 		return errors.New("norm: merging AMS sketches of different shapes")
 	}
-	if !hash.FamilyEqual(a.signs, o.signs) {
+	if !a.signs.Equal(o.signs) {
 		return errors.New("norm: merging AMS sketches with different seeds (same-seed replicas required)")
 	}
 	for j := range a.counters {
@@ -149,7 +162,7 @@ func (a *AMS) Estimate(subtract map[uint64]float64) float64 {
 			j := gi*a.perGroup + k
 			c := a.counters[j]
 			for i, v := range subtract {
-				c -= float64(a.signs[j].Sign(i)) * v
+				c -= float64(a.signs.Sign(j, i)) * v
 			}
 			sum += c * c
 		}
@@ -174,11 +187,7 @@ func (a *AMS) UpperEstimate(subtract map[uint64]float64) float64 {
 
 // SpaceBits reports counters plus 4-wise seeds.
 func (a *AMS) SpaceBits() int64 {
-	bits := int64(len(a.counters)) * 64
-	for _, s := range a.signs {
-		bits += s.SpaceBits()
-	}
-	return bits
+	return int64(len(a.counters))*64 + a.signs.SpaceBits()
 }
 
 // StateBits reports counters only.
@@ -192,8 +201,18 @@ func (a *AMS) StateBits() int64 { return int64(len(a.counters)) * 64 }
 type Stable struct {
 	p        float64
 	counters []float64
-	seeds    []*hash.KWise // one k-wise hash per counter, yields 2 uniforms per key
-	scale    float64       // median of |Stable_p|
+	seeds    *hash.FlatFamily // one k-wise hash row per counter, yields 2 uniforms per key
+	scale    float64          // median of |Stable_p|
+
+	// Batch scratch (index/delta views of the batch, doubled key views
+	// 2i/2i+1, per-counter uniforms), grown on demand: steady-state batched
+	// calls allocate nothing.
+	scratchIdx []uint64
+	scratchDel []float64
+	scratchK1  []uint64
+	scratchK2  []uint64
+	scratchU1  []float64
+	scratchU2  []float64
 }
 
 // NewStable creates a p-stable sketch with the given number of counters
@@ -208,7 +227,7 @@ func NewStable(p float64, counters int, r *rand.Rand) *Stable {
 	return &Stable{
 		p:        p,
 		counters: make([]float64, counters),
-		seeds:    hash.Family(counters, 8, r),
+		seeds:    hash.NewFlatFamily(counters, 8, r),
 		scale:    MedianAbsStable(p),
 	}
 }
@@ -218,8 +237,8 @@ func NewStable(p float64, counters int, r *rand.Rand) *Stable {
 // from the row's hash.
 func (s *Stable) stableAt(j int, i uint64) float64 {
 	// Two (almost-)uniforms from disjoint key spaces of the same hash.
-	u1 := s.seeds[j].Float64(2 * i)
-	u2 := s.seeds[j].Float64(2*i + 1)
+	u1 := s.seeds.Float64(j, 2*i)
+	u2 := s.seeds.Float64(j, 2*i+1)
 	return cmsStable(s.p, u1, u2)
 }
 
@@ -245,14 +264,42 @@ func (s *Stable) AddFloat(i uint64, delta float64) {
 	}
 }
 
-// AddFloatBatch applies the batch counter-major: one row's hash seed stays
-// hot while the expensive CMS transform runs over the whole batch. State is
-// bit-identical to repeated AddFloat calls.
+// growKeys ensures the doubled-key and uniform scratch can hold n entries and
+// fills the key views from indices (2i and 2i+1 — the disjoint key spaces of
+// stableAt).
+func (s *Stable) growKeys(indices []uint64) {
+	n := len(indices)
+	if cap(s.scratchK1) < n {
+		s.scratchK1 = make([]uint64, n)
+		s.scratchK2 = make([]uint64, n)
+		s.scratchU1 = make([]float64, n)
+		s.scratchU2 = make([]float64, n)
+	}
+	k1, k2 := s.scratchK1[:n], s.scratchK2[:n]
+	for t, i := range indices {
+		k1[t] = 2 * i
+		k2[t] = 2*i + 1
+	}
+}
+
+// AddFloatBatch applies the batch counter-major: each counter's 8-wise row
+// produces both CMS uniforms for the whole batch through the flat
+// Float64Batch kernel, then the transform and deltas fold in. State is
+// bit-identical to repeated AddFloat calls; steady-state calls allocate
+// nothing.
 func (s *Stable) AddFloatBatch(indices []uint64, deltas []float64) {
+	s.growKeys(indices)
+	n := len(indices)
+	k1, k2 := s.scratchK1[:n], s.scratchK2[:n]
+	u1, u2 := s.scratchU1[:n], s.scratchU2[:n]
 	for j := range s.counters {
-		for t, i := range indices {
-			s.counters[j] += s.stableAt(j, i) * deltas[t]
+		s.seeds.Float64Batch(j, k1, u1)
+		s.seeds.Float64Batch(j, k2, u2)
+		cj := s.counters[j]
+		for t := range u1 {
+			cj += cmsStable(s.p, u1[t], u2[t]) * deltas[t]
 		}
+		s.counters[j] = cj
 	}
 }
 
@@ -261,11 +308,7 @@ func (s *Stable) Process(u stream.Update) { s.AddFloat(uint64(u.Index), float64(
 
 // ProcessBatch implements stream.BatchSink.
 func (s *Stable) ProcessBatch(batch []stream.Update) {
-	for j := range s.counters {
-		for _, u := range batch {
-			s.counters[j] += s.stableAt(j, uint64(u.Index)) * float64(u.Delta)
-		}
-	}
+	s.AddFloatBatch(stream.Keys(batch, &s.scratchIdx), stream.FloatDeltas(batch, &s.scratchDel))
 }
 
 // Merge adds another p-stable sketch's counters; other must be a same-seed
@@ -278,7 +321,7 @@ func (s *Stable) Merge(other Estimator) error {
 	if s.p != o.p || len(s.counters) != len(o.counters) {
 		return errors.New("norm: merging Stable sketches of different shapes")
 	}
-	if !hash.FamilyEqual(s.seeds, o.seeds) {
+	if !s.seeds.Equal(o.seeds) {
 		return errors.New("norm: merging Stable sketches with different seeds (same-seed replicas required)")
 	}
 	for j := range s.counters {
@@ -317,11 +360,7 @@ func (s *Stable) UpperEstimate(subtract map[uint64]float64) float64 {
 
 // SpaceBits reports counters plus seeds.
 func (s *Stable) SpaceBits() int64 {
-	bits := int64(len(s.counters)) * 64
-	for _, h := range s.seeds {
-		bits += h.SpaceBits()
-	}
-	return bits
+	return int64(len(s.counters))*64 + s.seeds.SpaceBits()
 }
 
 // StateBits reports counters only.

@@ -37,11 +37,12 @@ import (
 
 // Recoverer maintains the linear measurements of one vector x in Z^n.
 type Recoverer struct {
-	n    int
-	s    int
-	synd []field.Elem // 2s power-sum syndromes
-	rho  field.Elem   // random verification point
-	fp   field.Elem   // F = sum_i x_i rho^i
+	n      int
+	s      int
+	synd   []field.Elem    // 2s power-sum syndromes
+	rho    field.Elem      // random verification point
+	rhoPow *field.PowCache // square table making rho^i cost ~popcount(i) Muls
+	fp     field.Elem      // F = sum_i x_i rho^i
 }
 
 // New creates a recoverer for vectors of dimension n with sparsity budget s.
@@ -59,6 +60,7 @@ func New(n, s int, r *rand.Rand) *Recoverer {
 	for rc.rho == 0 {
 		rc.rho = field.New(r.Uint64())
 	}
+	rc.rhoPow = field.NewPowCache(rc.rho)
 	return rc
 }
 
@@ -77,15 +79,17 @@ func (rc *Recoverer) Add(i int, delta int64) {
 		rc.synd[j] = field.Add(rc.synd[j], field.Mul(d, pw))
 		pw = field.Mul(pw, a)
 	}
-	rc.fp = field.Add(rc.fp, field.Mul(d, field.Pow(rc.rho, uint64(i))))
+	rc.fp = field.Add(rc.fp, field.Mul(d, rc.rhoPow.Pow(uint64(i))))
 }
 
 // Process implements stream.Sink.
 func (rc *Recoverer) Process(u stream.Update) { rc.Add(u.Index, u.Delta) }
 
 // ProcessBatch implements stream.BatchSink: the syndrome slice and
-// verification point stay in registers across the batch. Equivalent to
-// repeated Process calls.
+// verification point stay in registers across the batch, and the fingerprint
+// powers rho^i come from the PowCache square table (one Mul per set bit of i
+// instead of a full square-and-multiply ladder). Equivalent to repeated
+// Process calls; nothing allocates.
 func (rc *Recoverer) ProcessBatch(batch []stream.Update) {
 	synd := rc.synd
 	fp := rc.fp
@@ -97,7 +101,7 @@ func (rc *Recoverer) ProcessBatch(batch []stream.Update) {
 			synd[j] = field.Add(synd[j], field.Mul(d, pw))
 			pw = field.Mul(pw, a)
 		}
-		fp = field.Add(fp, field.Mul(d, field.Pow(rc.rho, uint64(u.Index))))
+		fp = field.Add(fp, field.Mul(d, rc.rhoPow.Pow(uint64(u.Index))))
 	}
 	rc.fp = fp
 }
@@ -193,7 +197,7 @@ func (rc *Recoverer) Recover() (map[int]int64, bool) {
 	}
 	var f field.Elem
 	for t, pos := range positions {
-		f = field.Add(f, field.Mul(vals[t], field.Pow(rc.rho, uint64(pos))))
+		f = field.Add(f, field.Mul(vals[t], rc.rhoPow.Pow(uint64(pos))))
 	}
 	if f != rc.fp {
 		return nil, false

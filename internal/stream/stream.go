@@ -47,6 +47,50 @@ type BatchSink interface {
 	ProcessBatch(batch []Update)
 }
 
+// Keys writes the update indices of batch into *buf as uint64 hash keys,
+// growing the buffer on demand (never shrinking it), and returns the filled
+// view. The sketches' batched hot paths share these extraction helpers so
+// the grow-and-split policy lives in one place and steady-state calls
+// allocate nothing.
+func Keys(batch []Update, buf *[]uint64) []uint64 {
+	if cap(*buf) < len(batch) {
+		*buf = make([]uint64, len(batch))
+	}
+	keys := (*buf)[:len(batch)]
+	for t, u := range batch {
+		keys[t] = uint64(u.Index)
+	}
+	return keys
+}
+
+// FloatDeltas writes the update deltas of batch into *buf as float64,
+// growing the buffer on demand, and returns the filled view.
+func FloatDeltas(batch []Update, buf *[]float64) []float64 {
+	if cap(*buf) < len(batch) {
+		*buf = make([]float64, len(batch))
+	}
+	del := (*buf)[:len(batch)]
+	for t, u := range batch {
+		del[t] = float64(u.Delta)
+	}
+	return del
+}
+
+// Int64Deltas writes the update deltas of batch into *buf, growing the
+// buffer on demand, and returns the filled view — a flat 8-byte view that
+// integer sketches fold from once per row instead of re-reading the 16-byte
+// Update structs.
+func Int64Deltas(batch []Update, buf *[]int64) []int64 {
+	if cap(*buf) < len(batch) {
+		*buf = make([]int64, len(batch))
+	}
+	del := (*buf)[:len(batch)]
+	for t, u := range batch {
+		del[t] = u.Delta
+	}
+	return del
+}
+
 // ProcessAll delivers a batch through the sink's ProcessBatch fast path when
 // it has one, falling back to one Process call per update.
 func ProcessAll(s Sink, batch []Update) {
