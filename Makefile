@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench microbench profile lint lint-vet lint-fmt fmt
+.PHONY: build test race bench microbench bench-l0 profile lint lint-vet lint-fmt fmt
 
 build:
 	$(GO) build ./...
@@ -21,14 +21,26 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
-# The PR-2 kernel micro-benchmarks (field multiply / exponentiation, scalar
-# vs flat-batch hash kernels, count-sketch hot paths) at a benchtime large
-# enough to be meaningful in CI; the zero-allocation contract is enforced by
-# the accompanying tests, the numbers land in the job log. BENCH_PR2.json
-# holds the committed baseline-vs-after snapshot.
+# Kernel micro-benchmarks (field multiply / exponentiation, scalar vs
+# flat-batch hash kernels, count-sketch hot paths, the PR-3 Nisan
+# prefix-stack PRG kernel and transposed syndrome kernel) at a benchtime
+# large enough to be meaningful in CI; the zero-allocation contract is
+# enforced by the accompanying tests, the numbers land in the job log.
+# BENCH_PR2.json / BENCH_PR3.json hold the committed baseline-vs-after
+# snapshots.
 microbench:
-	$(GO) test -run '^$$' -bench 'Mul$$|Pow|Eval|Scalar|Batch' -benchtime 1000x \
-		./internal/field ./internal/hash ./internal/countsketch
+	$(GO) test -run '^$$' -bench 'Mul$$|Pow|Eval|Scalar|Batch|Block' -benchtime 1000x \
+		./internal/field ./internal/hash ./internal/countsketch \
+		./internal/prng ./internal/sparse
+
+# The L0 fast-path benchmarks (the PR-3 headline): the 1M-update serial and
+# engine ingest through the Theorem 2 sampler, plus the prng/sparse kernels
+# underneath and the graphsketch edge-ingest path built on top.
+bench-l0:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestL0' -benchtime 2x .
+	$(GO) test -run '^$$' -bench 'Block' -benchtime 100000x ./internal/prng
+	$(GO) test -run '^$$' -bench 'ProcessBatchS10|ProcessScalarS10' -benchtime 2000x ./internal/sparse
+	$(GO) test -run '^$$' -bench 'GraphIngest' -benchtime 20x ./internal/graphsketch
 
 # CPU profile of the 10M-update batched ingest (the headline workload):
 # writes cpu.out for `go tool pprof cpu.out`.

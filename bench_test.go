@@ -121,6 +121,19 @@ func BenchmarkIngestL0Serial(b *testing.B) {
 	reportThroughput(b, len(st))
 }
 
+// BenchmarkIngestL0SerialNested is the serial L0 ingest with the dyadic
+// nested level assignment (L0Config.NestedLevels): one PRG tree walk per
+// update decides every level's membership at once.
+func BenchmarkIngestL0SerialNested(b *testing.B) {
+	st := ingestWorkload()[:1_000_000]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk := core.NewL0Sampler(core.L0Config{N: ingestN, Delta: 0.2, NestedLevels: true}, rand.New(rand.NewPCG(7, 11)))
+		st.Feed(sk)
+	}
+	reportThroughput(b, len(st))
+}
+
 func BenchmarkIngestL0Engine(b *testing.B) {
 	st := ingestWorkload()[:1_000_000]
 	b.ResetTimer()

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand/v2"
 	"sort"
 
+	"repro/internal/field"
 	"repro/internal/prng"
 	"repro/internal/sparse"
 	"repro/internal/stream"
@@ -21,30 +23,65 @@ type L0Config struct {
 	// SOverride forces the per-level sparse-recovery budget s
 	// (default ⌈4 log₂(1/δ)⌉ as in the proof of Theorem 2).
 	SOverride int
+	// NestedLevels switches level membership from independent per-(level,
+	// coordinate) coins (substitution #2: i.i.d. I_k) to the paper's §2.1
+	// nested reading I_1 ⊆ I_2 ⊆ ... ⊆ I_K: one PRG block u_i per
+	// coordinate decides every level at once via the dyadic thresholds
+	// "i ∈ I_k iff u_i < 2^k/n · Modulus". Membership still holds
+	// per-coordinate with probability ~2^k/n at every level, but one tree
+	// walk replaces ⌊log n⌋ of them per update, and the PRG only has to
+	// stretch to n blocks instead of n log n.
+	NestedLevels bool
 }
 
 // L0Sampler samples a uniformly random element of the support of x, together
 // with the exact value x_i (sparse recovery is exact, hence "zero relative
 // error"). Structure, following §2.1:
 //
-//   - subsets I_k ⊆ [n] for k = 1..⌊log n⌋ with E|I_k| = 2^k, plus I_0 = [n];
+//   - subsets I_k ⊆ [n] for k = 1..K with E|I_k| = 2^k, where K is the last
+//     level with 2^K < n, plus I_0 = [n] (levels whose inclusion probability
+//     reaches 1 duplicate I_0 and are not materialized);
 //   - an exact s-sparse recoverer (Lemma 5) on x restricted to each I_k;
 //   - the sample is a uniformly random nonzero coordinate of the first level
 //     that recovers a nonzero s-sparse vector.
 //
 // All membership bits and the final uniform choice are drawn from Nisan's
 // PRG with an O(log² n)-bit seed, exactly as the derandomization step of
-// Theorem 2 prescribes (membership is i.i.d. per (level, coordinate) —
-// substitution #2 in DESIGN.md).
+// Theorem 2 prescribes. Membership is decided per (level, coordinate) by
+// comparing a raw 61-bit PRG block against a precomputed integer threshold
+// T_k with T_k/Modulus ~ 2^k/n — no float division on the update path — and
+// the per-update blocks are fetched through the generator's prefix-sharing
+// batch kernel: the blocks of one update live at consecutive addresses
+// i·stride + (k-1), so one partial tree walk serves all levels.
+//
+// With NestedLevels the sets are nested as in the paper's original
+// formulation (one block per coordinate, dyadic thresholds); the default
+// remains independent per-level coins (substitution #2 in DESIGN.md).
 type L0Sampler struct {
 	n      int
 	s      int
+	nested bool
 	levels []*sparse.Recoverer
 	gen    *prng.Nisan
 
-	// scratch holds the per-level membership-filtered sub-batch during
-	// ProcessBatch, reused across calls.
-	scratch []stream.Update
+	// thresholds[k]: coordinate i belongs to I_k iff its membership block
+	// is < thresholds[k]; thresholds[0] = Modulus (I_0 = [n]).
+	thresholds []uint64
+	// stride is the number of PRG blocks reserved per coordinate in the
+	// default i.i.d. mode: the next power of two above the number of
+	// PRG-tested levels, so one update's blocks share their high address
+	// bits (and hence their h_j prefix applications) maximally.
+	stride uint64
+	// sampleBase is the first PRG block reserved for Sample's uniform
+	// support choices — block sampleBase+k serves recovery level k.
+	sampleBase uint64
+
+	// Reusable scratch for the batched paths (grown once, then steady
+	// state allocates nothing): per-update block addresses and values,
+	// and one membership-filtered sub-batch per tested level.
+	idxScratch []uint64
+	blkScratch []uint64
+	lvlBufs    [][]stream.Update
 }
 
 // NewL0Sampler constructs the sampler, drawing the PRG seed and the
@@ -63,80 +100,143 @@ func NewL0Sampler(cfg L0Config, r *rand.Rand) *L0Sampler {
 			s = 4
 		}
 	}
-	numLevels := 1
-	for 1<<numLevels < cfg.N {
-		numLevels++
+	// K = last level whose inclusion probability 2^K/n is below 1. Levels
+	// at probability >= 1 would be copies of I_0 = [n]; the sampler keeps
+	// exactly one full level.
+	K := 0
+	for uint64(1)<<(K+1) < uint64(cfg.N) {
+		K++
 	}
-	numLevels++ // levels 0..⌊log n⌋
+	numLevels := K + 1
+	stride := uint64(1)
+	for stride < uint64(K) {
+		stride <<= 1
+	}
 	l := &L0Sampler{
-		n:      cfg.N,
-		s:      s,
-		levels: make([]*sparse.Recoverer, numLevels),
-		// One membership block per (level, coordinate) pair for levels
-		// >= 1, plus one block for the final uniform choice.
-		gen: prng.New(uint64(numLevels)*uint64(cfg.N)*prng.BlockBits+prng.BlockBits, r),
+		n:          cfg.N,
+		s:          s,
+		nested:     cfg.NestedLevels,
+		levels:     make([]*sparse.Recoverer, numLevels),
+		thresholds: make([]uint64, numLevels),
+		stride:     stride,
+	}
+	// Membership blocks per coordinate (stride in i.i.d. mode, one in
+	// nested mode) plus one reserved block per level for Sample.
+	if l.nested {
+		l.sampleBase = uint64(cfg.N)
+	} else {
+		l.sampleBase = uint64(cfg.N) * stride
+	}
+	l.gen = prng.New((l.sampleBase+uint64(numLevels))*prng.BlockBits, r)
+	l.thresholds[0] = field.Modulus
+	for k := 1; k < numLevels; k++ {
+		l.thresholds[k] = prng.Threshold(float64(uint64(1)<<k) / float64(cfg.N))
 	}
 	for k := range l.levels {
 		l.levels[k] = sparse.New(cfg.N, s, r)
 	}
+	if K > 0 {
+		l.idxScratch = make([]uint64, K)
+		l.blkScratch = make([]uint64, K)
+	}
+	l.lvlBufs = make([][]stream.Update, numLevels)
 	return l
 }
 
 // S returns the per-level sparsity budget.
 func (l *L0Sampler) S() int { return l.s }
 
-// Levels returns the number of subsampling levels (⌊log n⌋ + 1).
+// Levels returns the number of subsampling levels (level 0 plus every level
+// with inclusion probability below 1).
 func (l *L0Sampler) Levels() int { return len(l.levels) }
 
-// member reports whether coordinate i belongs to I_k. Level 0 is all of [n];
-// level k >= 1 includes i with probability 2^k/n, decided by one PRG block.
+// NestedLevels reports whether the sampler uses the nested dyadic level
+// assignment.
+func (l *L0Sampler) NestedLevels() bool { return l.nested }
+
+// memberBlocks fills l.blkScratch with the membership blocks governing
+// coordinate i at tested levels 1..K (blkScratch[k-1] decides level k) and
+// returns the slice. In i.i.d. mode these are the K consecutive blocks at
+// i·stride, one fresh draw per level; in nested mode the single block at
+// address i is replicated, realizing the nested sets.
+func (l *L0Sampler) memberBlocks(i int) []uint64 {
+	K := len(l.levels) - 1
+	blks := l.blkScratch[:K]
+	if l.nested {
+		idx := l.idxScratch[:1]
+		idx[0] = uint64(i)
+		l.gen.BlockBatch(blks[:1], idx)
+		for t := 1; t < K; t++ {
+			blks[t] = blks[0]
+		}
+		return blks
+	}
+	idx := l.idxScratch[:K]
+	base := uint64(i) * l.stride
+	for t := range idx {
+		idx[t] = base + uint64(t)
+	}
+	l.gen.BlockBatch(blks, idx)
+	return blks
+}
+
+// member reports whether coordinate i belongs to I_k. Level 0 is all of [n].
 func (l *L0Sampler) member(k, i int) bool {
 	if k == 0 {
 		return true
 	}
-	q := float64(uint64(1)<<k) / float64(l.n)
-	if q >= 1 {
-		return true
-	}
-	return l.gen.Float64At(uint64(k-1)*uint64(l.n)+uint64(i)) < q
+	return l.memberBlocks(i)[k-1] < l.thresholds[k]
 }
 
 // Process implements stream.Sink: the update reaches the recoverer of every
-// level whose subset contains the coordinate.
+// level whose subset contains the coordinate. One prefix-stack walk fetches
+// all membership blocks; levels are then integer-threshold compares.
 func (l *L0Sampler) Process(u stream.Update) {
-	for k := range l.levels {
-		if l.member(k, u.Index) {
-			l.levels[k].Process(u)
+	l.levels[0].Process(u)
+	if len(l.levels) == 1 {
+		return
+	}
+	blks := l.memberBlocks(u.Index)
+	for t, blk := range blks {
+		if blk < l.thresholds[t+1] {
+			l.levels[t+1].Process(u)
 		}
 	}
 }
 
-// ProcessBatch implements stream.BatchSink: level-major delivery. For each
-// level the membership probability and PRG block base are computed once, the
-// batch is filtered into a reusable scratch buffer, and the survivors go
-// through the recoverer's batched path. State matches repeated Process calls.
+// ProcessBatch implements stream.BatchSink: update-major delivery. Level 0
+// consumes the whole batch directly; for the tested levels, each update's
+// membership blocks come from one batched PRG walk and the update is routed
+// into per-level sub-batches, which then flow through the recoverers'
+// transposed batch kernel. State matches repeated Process calls exactly
+// (field arithmetic is exact and per-level orders are preserved); nothing
+// allocates at steady state.
 func (l *L0Sampler) ProcessBatch(batch []stream.Update) {
-	if cap(l.scratch) < len(batch) {
-		l.scratch = make([]stream.Update, 0, len(batch))
+	if len(batch) == 0 {
+		return
 	}
-	for k := range l.levels {
-		if k == 0 {
-			l.levels[0].ProcessBatch(batch)
-			continue
-		}
-		q := float64(uint64(1)<<k) / float64(l.n)
-		if q >= 1 {
-			l.levels[k].ProcessBatch(batch)
-			continue
-		}
-		base := uint64(k-1) * uint64(l.n)
-		sub := l.scratch[:0]
-		for _, u := range batch {
-			if l.gen.Float64At(base+uint64(u.Index)) < q {
-				sub = append(sub, u)
+	l.levels[0].ProcessBatch(batch)
+	K := len(l.levels) - 1
+	if K == 0 {
+		return
+	}
+	bufs := l.lvlBufs
+	for k := 1; k <= K; k++ {
+		bufs[k] = bufs[k][:0]
+	}
+	thresholds := l.thresholds
+	for _, u := range batch {
+		blks := l.memberBlocks(u.Index)
+		for t, blk := range blks {
+			if blk < thresholds[t+1] {
+				bufs[t+1] = append(bufs[t+1], u)
 			}
 		}
-		l.levels[k].ProcessBatch(sub)
+	}
+	for k := 1; k <= K; k++ {
+		if len(bufs[k]) > 0 {
+			l.levels[k].ProcessBatch(bufs[k])
+		}
 	}
 }
 
@@ -149,15 +249,20 @@ func (l *L0Sampler) Sample() (Sample, bool) {
 		if !ok || len(rec) == 0 || len(rec) > l.s {
 			continue
 		}
-		// Uniform choice among the recovered support, randomness from the
-		// PRG's reserved final block.
+		// Uniform choice among the recovered support. The randomness is the
+		// PRG block reserved for THIS level (block sampleBase+k), so samples
+		// resolved at different levels draw distinct pseudorandom values,
+		// and the index comes from a width-based integer reduction
+		// ⌊block·|support|/2^61⌋ — unbiased to within 2^-61 per element,
+		// with no float conversion.
 		support := make([]int, 0, len(rec))
 		for i := range rec {
 			support = append(support, i)
 		}
 		sort.Ints(support)
-		u := l.gen.Float64At(uint64(len(l.levels)-1) * uint64(l.n))
-		idx := support[int(u*float64(len(support)))%len(support)]
+		blk := l.gen.Block(l.sampleBase + uint64(k))
+		hi, lo := bits.Mul64(blk, uint64(len(support)))
+		idx := support[hi<<3|lo>>61]
 		return Sample{Index: idx, Estimate: float64(rec[idx])}, true
 	}
 	return Sample{}, false
@@ -168,12 +273,13 @@ func (l *L0Sampler) Sample() (Sample, bool) {
 // an identically seeded *rand.Rand), so that the merged sampler summarizes
 // the sum of the two underlying vectors. Linearity is what downstream
 // applications like graph connectivity sketches and the sharded ingestion
-// engine rely on. Incompatible shapes or mismatched per-level verification
-// points (the fingerprint of differently seeded replicas) are reported as an
-// error; validation runs before any mutation, so a failed merge leaves the
-// receiver untouched.
+// engine rely on. Incompatible shapes, differing level-assignment modes, or
+// mismatched per-level verification points (the fingerprint of differently
+// seeded replicas) are reported as an error; validation runs before any
+// mutation, so a failed merge leaves the receiver untouched.
 func (l *L0Sampler) Merge(other *L0Sampler) error {
-	if other == nil || l.n != other.n || l.s != other.s || len(l.levels) != len(other.levels) {
+	if other == nil || l.n != other.n || l.s != other.s ||
+		len(l.levels) != len(other.levels) || l.nested != other.nested {
 		return errors.New("core: merging incompatible L0 samplers")
 	}
 	for k := range l.levels {

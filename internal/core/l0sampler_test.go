@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 
@@ -186,6 +187,202 @@ func TestL0SamplerSOverride(t *testing.T) {
 	s := NewL0Sampler(L0Config{N: 128, Delta: 0.2, SOverride: 17}, r)
 	if s.S() != 17 {
 		t.Errorf("SOverride ignored: s=%d", s.S())
+	}
+}
+
+// TestL0ProcessBatchMatchesProcess pins the update-major batched path to the
+// scalar path bit-for-bit (ExportState compares every syndrome and
+// fingerprint of every level), in both level-assignment modes and across
+// batch sizes that exercise the transposed kernel's groups and tails.
+func TestL0ProcessBatchMatchesProcess(t *testing.T) {
+	for _, nested := range []bool{false, true} {
+		for _, length := range []int{1, 3, 64, 1000} {
+			r := rand.New(rand.NewPCG(11, uint64(length)))
+			st := stream.RandomTurnstile(777, length, 50, r)
+			mk := func() *L0Sampler {
+				return NewL0Sampler(L0Config{N: 777, Delta: 0.2, NestedLevels: nested},
+					rand.New(rand.NewPCG(21, 22)))
+			}
+			scalar, batched := mk(), mk()
+			for _, u := range st {
+				scalar.Process(u)
+			}
+			batched.ProcessBatch(st)
+			a, b := scalar.ExportState(), batched.ExportState()
+			if len(a) != len(b) {
+				t.Fatalf("nested=%v len=%d: state sizes differ", nested, length)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("nested=%v len=%d: state byte %d differs", nested, length, i)
+				}
+			}
+		}
+	}
+}
+
+// TestL0NestedMembershipIsNested: with NestedLevels the subsets must satisfy
+// I_1 ⊆ I_2 ⊆ ... — the §2.1 dyadic reading — while the default mode has no
+// such constraint.
+func TestL0NestedMembershipIsNested(t *testing.T) {
+	r := rand.New(rand.NewPCG(31, 32))
+	s := NewL0Sampler(L0Config{N: 4096, Delta: 0.2, NestedLevels: true}, r)
+	for i := 0; i < 4096; i += 7 {
+		for k := 1; k < s.Levels()-1; k++ {
+			if s.member(k, i) && !s.member(k+1, i) {
+				t.Fatalf("coordinate %d in I_%d but not I_%d", i, k, k+1)
+			}
+		}
+	}
+}
+
+// TestL0NestedLevelSizes: E|I_k| = 2^k must hold under the dyadic threshold
+// assignment; check each tested level's size within 6 standard deviations.
+func TestL0NestedLevelSizes(t *testing.T) {
+	r := rand.New(rand.NewPCG(33, 34))
+	const n = 1 << 14
+	s := NewL0Sampler(L0Config{N: n, Delta: 0.2, NestedLevels: true}, r)
+	for k := 1; k < s.Levels(); k++ {
+		count := 0
+		for i := 0; i < n; i++ {
+			if s.member(k, i) {
+				count++
+			}
+		}
+		mean := float64(uint64(1) << k)
+		sd := math.Sqrt(mean * (1 - mean/n))
+		if math.Abs(float64(count)-mean) > 6*sd+1 {
+			t.Errorf("level %d: |I_k| = %d, want %.0f ± %.0f", k, count, mean, 6*sd)
+		}
+	}
+}
+
+// TestL0NestedSmallSupportNeverFails mirrors the default-mode guarantee in
+// nested mode: |J| <= s is recovered exactly by level 0 with probability 1.
+func TestL0NestedSmallSupportNeverFails(t *testing.T) {
+	r := rand.New(rand.NewPCG(35, 36))
+	for trial := 0; trial < 30; trial++ {
+		s := NewL0Sampler(L0Config{N: 512, Delta: 0.25, NestedLevels: true}, r)
+		support := 1 + trial%s.S()
+		st := stream.SparseVector(512, support, 1000, r)
+		truth := st.Apply(512)
+		st.Feed(s)
+		out, ok := s.Sample()
+		if !ok {
+			t.Fatalf("trial %d: failed on %d-sparse vector", trial, support)
+		}
+		if truth.Get(out.Index) == 0 || out.Estimate != float64(truth.Get(out.Index)) {
+			t.Fatalf("trial %d: sampled (%d, %v), want exact support element",
+				trial, out.Index, out.Estimate)
+		}
+	}
+}
+
+// TestL0NestedUniformity: the sampling distribution under NestedLevels must
+// be as uniform over the support as the default mode's (Theorem 2's
+// guarantee does not depend on which of the two level constructions is
+// used).
+func TestL0NestedUniformity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	r := rand.New(rand.NewPCG(37, 38))
+	const n = 256
+	values := map[int]int64{5: 1, 50: -1000000, 100: 3, 150: 77, 200: -2, 250: 999}
+	var st stream.Stream
+	for i, v := range values {
+		st = append(st, stream.Update{Index: i, Delta: v})
+	}
+	truth := st.Apply(n)
+	target := truth.LpDistribution(0)
+	counts := map[int]int{}
+	got := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		s := NewL0Sampler(L0Config{N: n, Delta: 0.2, NestedLevels: true}, r)
+		st.Feed(s)
+		out, ok := s.Sample()
+		if !ok {
+			continue
+		}
+		counts[out.Index]++
+		got++
+	}
+	if got < trials*9/10 {
+		t.Fatalf("only %d/%d trials succeeded on 6-sparse input", got, trials)
+	}
+	tv := vector.EmpiricalTV(counts, target, got)
+	if tv > 0.12 {
+		t.Errorf("TV from uniform = %.3f too large", tv)
+	}
+}
+
+// TestL0NestedMidSupportValuesExact: supports above s recover at subsampled
+// levels; values must stay exact in nested mode too.
+func TestL0NestedMidSupportValuesExact(t *testing.T) {
+	r := rand.New(rand.NewPCG(39, 40))
+	const n = 1024
+	st := stream.SparseVector(n, 100, 500, r)
+	truth := st.Apply(n)
+	okCount := 0
+	for trial := 0; trial < 20; trial++ {
+		s := NewL0Sampler(L0Config{N: n, Delta: 0.2, NestedLevels: true}, r)
+		st.Feed(s)
+		out, ok := s.Sample()
+		if !ok {
+			continue
+		}
+		okCount++
+		if float64(truth.Get(out.Index)) != out.Estimate {
+			t.Fatalf("value %v != exact %d", out.Estimate, truth.Get(out.Index))
+		}
+	}
+	if okCount < 14 {
+		t.Errorf("only %d/20 trials succeeded", okCount)
+	}
+}
+
+// TestL0MergeRejectsModeMismatch: nested and i.i.d. samplers must not merge
+// even when their recoverers happen to share seeds.
+func TestL0MergeRejectsModeMismatch(t *testing.T) {
+	a := NewL0Sampler(L0Config{N: 128, Delta: 0.2}, rand.New(rand.NewPCG(41, 42)))
+	b := NewL0Sampler(L0Config{N: 128, Delta: 0.2, NestedLevels: true}, rand.New(rand.NewPCG(41, 42)))
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging different level-assignment modes must fail")
+	}
+}
+
+// TestL0SampleLevelRandomness pins the Sample randomness fix: the uniform
+// support choice at recovery level k reads the PRG block reserved for THAT
+// level (sampleBase+k) and reduces it with the width-based integer map
+// ⌊block·m/2^61⌋ — so the drawn rank differs across levels instead of
+// repeating one reserved block everywhere.
+func TestL0SampleLevelRandomness(t *testing.T) {
+	r := rand.New(rand.NewPCG(43, 44))
+	s := NewL0Sampler(L0Config{N: 512, Delta: 0.2}, r)
+	// 4-sparse vector: level 0 recovers; Sample must pick
+	// support[⌊Block(sampleBase+0)·4/2^61⌋].
+	support := []int{7, 100, 200, 300}
+	for _, i := range support {
+		s.Process(stream.Update{Index: i, Delta: int64(i)})
+	}
+	out, ok := s.Sample()
+	if !ok {
+		t.Fatal("sampler failed on 4-sparse vector")
+	}
+	blk := s.gen.Block(s.sampleBase)
+	want := support[blk*4>>61] // floor(blk·4 / 2^61); blk < 2^61 so blk·4 cannot overflow
+	if out.Index != want {
+		t.Fatalf("Sample picked %d, want %d from level-0 reserved block", out.Index, want)
+	}
+	// Distinct levels read distinct reserved blocks (the pre-fix code read
+	// one shared block for every level and every call).
+	seen := map[uint64]bool{}
+	for k := 0; k < s.Levels(); k++ {
+		seen[s.gen.Block(s.sampleBase+uint64(k))] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("per-level sample blocks collapse to one value")
 	}
 }
 

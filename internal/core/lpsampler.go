@@ -2,6 +2,27 @@
 // O(ε^{-max(1,p)} log² n)-space approximate Lp sampler for p in (0,2)
 // (Figure 1 / Theorem 1) and the O(log² n)-bit zero relative error L0
 // sampler (Theorem 2).
+//
+// # Level assignment in the L0 sampler
+//
+// §2.1 defines subsampling sets I_k ⊆ [n] with E|I_k| = 2^k. Two readings
+// are implemented, selected by L0Config.NestedLevels:
+//
+//   - Default (i.i.d., DESIGN.md substitution #2): membership is an
+//     independent Bernoulli(2^k/n) coin per (level, coordinate), each drawn
+//     from its own Nisan PRG block. The analysis of Theorem 2 only uses
+//     per-level marginals, so independence across levels is admissible and
+//     keeps levels statistically decoupled.
+//   - NestedLevels (the paper's nested reading): one PRG block u_i per
+//     coordinate and dyadic thresholds, i ∈ I_k iff u_i < 2^k/n · Modulus,
+//     giving I_1 ⊆ I_2 ⊆ ... exactly as in §2.1. Same per-level marginals,
+//     one PRG tree walk per update instead of ⌊log n⌋, and a PRG stretched
+//     to n instead of n·log n blocks (smaller seed). Validated by the E3
+//     uniformity experiment and the nested-mode distribution tests.
+//
+// In both modes membership is decided by integer threshold compares on raw
+// 61-bit blocks fetched through the PRG's prefix-sharing batch kernel — the
+// L0 ingestion fast path.
 package core
 
 import (

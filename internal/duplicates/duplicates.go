@@ -120,10 +120,26 @@ func (f *PositiveFinder) SpaceBits() int64 { return f.sampler.SpaceBits() }
 // size for the Theorem 7 reduction).
 func (f *PositiveFinder) StateBits() int64 { return f.sampler.StateBits() }
 
+// itemsToUpdates converts letters to +1 updates in a reusable buffer — the
+// shared shim between the item-stream APIs of §3 and the batched update
+// sinks underneath.
+func itemsToUpdates(letters []int, buf *[]stream.Update) []stream.Update {
+	b := (*buf)[:0]
+	if cap(b) < len(letters) {
+		b = make([]stream.Update, 0, len(letters))
+	}
+	for _, it := range letters {
+		b = append(b, stream.Update{Index: it, Delta: 1})
+	}
+	*buf = b
+	return b
+}
+
 // Finder is the Theorem 3 algorithm for item streams of length n+1 over [n].
 type Finder struct {
-	n  int
-	pf *PositiveFinder
+	n   int
+	pf  *PositiveFinder
+	buf []stream.Update
 }
 
 // NewFinder creates the finder. The constructor feeds the (i, -1) prefix for
@@ -137,6 +153,12 @@ func NewFinder(n int, delta float64, r *rand.Rand) *Finder {
 // ProcessItem consumes one letter of the stream.
 func (f *Finder) ProcessItem(letter int) {
 	f.pf.Process(stream.Update{Index: letter, Delta: 1})
+}
+
+// ProcessItems consumes a batch of letters through the sampler's batched
+// hot path, reusing an internal conversion buffer.
+func (f *Finder) ProcessItems(letters []int) {
+	f.pf.ProcessBatch(itemsToUpdates(letters, &f.buf))
 }
 
 // Process implements stream.Sink on the letters-as-updates encoding
@@ -179,6 +201,7 @@ type ShortFinder struct {
 	s   int
 	rec *sparse.Recoverer
 	pf  *PositiveFinder
+	buf []stream.Update
 }
 
 // NewShortFinder creates the finder for streams of length n-s.
@@ -209,6 +232,51 @@ func (sf *ShortFinder) ProcessItem(letter int) {
 	sf.pf.Process(u)
 }
 
+// Process implements stream.Sink on the letters-as-updates encoding, so a
+// ShortFinder can sit behind the ingestion engine like the Theorem 3
+// finder.
+func (sf *ShortFinder) Process(u stream.Update) {
+	sf.rec.Process(u)
+	sf.pf.Process(u)
+}
+
+// ProcessBatch implements stream.BatchSink: both the 5s-sparse recoverer
+// (transposed syndrome kernel) and the L1 sampler consume the batch through
+// their batched paths.
+func (sf *ShortFinder) ProcessBatch(batch []stream.Update) {
+	sf.rec.ProcessBatch(batch)
+	sf.pf.ProcessBatch(batch)
+}
+
+// ProcessItems consumes a batch of letters through both batched paths.
+func (sf *ShortFinder) ProcessItems(letters []int) {
+	sf.ProcessBatch(itemsToUpdates(letters, &sf.buf))
+}
+
+// Merge combines another same-seed replica's observations. Both replicas'
+// constructors fed the (i, -1) pigeonhole prefix to the recoverer and the
+// sampler, so a plain linear merge counts that prefix twice; Merge
+// compensates with +1 per letter on both structures, exactly like
+// Finder.Merge. Validation runs before any mutation.
+func (sf *ShortFinder) Merge(other *ShortFinder) error {
+	if other == nil || sf.n != other.n || sf.s != other.s {
+		return errors.New("duplicates: merging short finders of different shapes")
+	}
+	if !sf.rec.Compatible(other.rec) {
+		return errors.New("duplicates: merging short finders with different seeds (same-seed replicas required)")
+	}
+	if err := sf.pf.Merge(other.pf); err != nil {
+		return err
+	}
+	if err := sf.rec.Merge(other.rec); err != nil {
+		return err
+	}
+	inc := stream.IncrementAll(sf.n)
+	sf.rec.ProcessBatch(inc)
+	sf.pf.ProcessBatch(inc)
+	return nil
+}
+
 // Find resolves the stream: exact answer when x is 5s-sparse (including the
 // certain NO-DUPLICATE on duplicate-free streams), else the sampler's
 // positive coordinate, else Fail.
@@ -235,6 +303,7 @@ type LongFinder struct {
 	useSampler bool
 	items      *reservoir.Items
 	finder     *positiveItemFinder
+	buf        []stream.Update
 }
 
 // positiveItemFinder adapts PositiveFinder to item streams without the
@@ -284,6 +353,19 @@ func (lf *LongFinder) ProcessItem(letter int) {
 		return
 	}
 	lf.items.ProcessItem(letter)
+}
+
+// ProcessItems consumes a batch of letters; in sampler mode the batch flows
+// through the L1 sampler's batched path, in position-sampling mode the
+// reservoir consumes items one by one (its per-item work is O(1) already).
+func (lf *LongFinder) ProcessItems(letters []int) {
+	if lf.useSampler {
+		lf.finder.pf.ProcessBatch(itemsToUpdates(letters, &lf.buf))
+		return
+	}
+	for _, it := range letters {
+		lf.items.ProcessItem(it)
+	}
 }
 
 // Find reports a duplicate or Fail.

@@ -320,3 +320,100 @@ func TestFinderMergeRejectsMismatch(t *testing.T) {
 		t.Fatal("expected error merging finders of different alphabet sizes")
 	}
 }
+
+// TestProcessItemsMatchesProcessItem: batched item ingestion must leave every
+// finder in the same state as the one-letter-at-a-time loop (same-seed
+// replicas, identical Find outcomes on a deterministic final query).
+func TestProcessItemsMatchesProcessItem(t *testing.T) {
+	const n = 256
+	items := stream.DuplicateItems(n, 17, rand.New(rand.NewPCG(71, 72)))
+
+	fa := NewFinder(n, 0.1, rand.New(rand.NewPCG(73, 74)))
+	fb := NewFinder(n, 0.1, rand.New(rand.NewPCG(73, 74)))
+	for _, it := range items {
+		fa.ProcessItem(it)
+	}
+	fb.ProcessItems(items)
+	if ra, rb := fa.Find(), fb.Find(); ra != rb {
+		t.Fatalf("Finder: scalar %+v != batched %+v", ra, rb)
+	}
+
+	// ShortFinder: the recoverer state must match bit-for-bit (Find breaks
+	// ties among multiple duplicates in map order, so compare state, not the
+	// specific letter) and both paths must report a genuine duplicate.
+	short := stream.ShortItems(n, 16, true, 3, rand.New(rand.NewPCG(75, 76)))
+	sa := NewShortFinder(n, 16, 0.1, rand.New(rand.NewPCG(77, 78)))
+	sb := NewShortFinder(n, 16, 0.1, rand.New(rand.NewPCG(77, 78)))
+	for _, it := range short {
+		sa.ProcessItem(it)
+	}
+	sb.ProcessItems(short)
+	stateA, stateB := sa.rec.ExportState(), sb.rec.ExportState()
+	for i := range stateA {
+		if stateA[i] != stateB[i] {
+			t.Fatalf("ShortFinder: recoverer state differs at byte %d", i)
+		}
+	}
+	counts := map[int]int{}
+	for _, it := range short {
+		counts[it]++
+	}
+	for name, res := range map[string]Result{"scalar": sa.Find(), "batched": sb.Find()} {
+		if res.Kind != Duplicate || counts[res.Index] < 2 {
+			t.Fatalf("ShortFinder %s: %+v is not a genuine duplicate", name, res)
+		}
+	}
+
+	long := stream.LongItems(n, 64, rand.New(rand.NewPCG(79, 80)))
+	la := NewLongFinder(n, 64, 0.1, 1, rand.New(rand.NewPCG(81, 82)))
+	lb := NewLongFinder(n, 64, 0.1, 1, rand.New(rand.NewPCG(81, 82)))
+	for _, it := range long {
+		la.ProcessItem(it)
+	}
+	lb.ProcessItems(long)
+	if ra, rb := la.Find(), lb.Find(); ra != rb {
+		t.Fatalf("LongFinder(sampler): scalar %+v != batched %+v", ra, rb)
+	}
+}
+
+// TestShortFinderMergeEqualsWhole: two same-seed ShortFinder replicas fed
+// halves of an item stream, merged, must hold exactly the state of one
+// finder that saw the whole stream (the pigeonhole prefix is compensated,
+// as in Finder.Merge).
+func TestShortFinderMergeEqualsWhole(t *testing.T) {
+	const n, s = 256, 16
+	items := stream.ShortItems(n, s, true, 3, rand.New(rand.NewPCG(91, 92)))
+	mk := func() *ShortFinder { return NewShortFinder(n, s, 0.1, rand.New(rand.NewPCG(93, 94))) }
+	whole, a, b := mk(), mk(), mk()
+	whole.ProcessItems(items)
+	half := len(items) / 2
+	a.ProcessItems(items[:half])
+	b.ProcessItems(items[half:])
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	wa, ma := whole.rec.ExportState(), a.rec.ExportState()
+	for i := range wa {
+		if wa[i] != ma[i] {
+			t.Fatalf("merged recoverer state differs from whole-stream state at byte %d", i)
+		}
+	}
+	if wk, mk := whole.Find().Kind, a.Find().Kind; wk != mk {
+		t.Fatalf("whole-stream Find kind %v != merged %v", wk, mk)
+	}
+}
+
+// TestShortFinderMergeRejectsMismatch: differently seeded or differently
+// shaped replicas must be rejected before any mutation.
+func TestShortFinderMergeRejectsMismatch(t *testing.T) {
+	a := NewShortFinder(256, 16, 0.1, rand.New(rand.NewPCG(95, 96)))
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge must fail")
+	}
+	if err := a.Merge(NewShortFinder(128, 16, 0.1, rand.New(rand.NewPCG(95, 96)))); err == nil {
+		t.Error("different-n merge must fail")
+	}
+	if err := a.Merge(NewShortFinder(256, 16, 0.1, rand.New(rand.NewPCG(97, 98)))); err == nil {
+		t.Error("different-seed merge must fail")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/countsketch"
 	"repro/internal/distinct"
 	"repro/internal/norm"
+	"repro/internal/prng"
 	"repro/internal/sparse"
 	"repro/internal/stream"
 )
@@ -33,12 +34,36 @@ func TestBatchedHotPathsZeroAlloc(t *testing.T) {
 		{"ams", norm.NewAMS(5, 4, seeded(5))},
 		{"stable", norm.NewStable(1.4, 20, seeded(6))},
 		{"l0sampler", core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, seeded(7))},
+		{"l0sampler-nested", core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2, NestedLevels: true}, seeded(7))},
 		{"lpsampler", core.NewLpSampler(core.LpConfig{P: 1.2, N: n, Eps: 0.3, Delta: 0.3, Copies: 3}, seeded(8))},
 	}
 	for _, tc := range sinks {
 		tc.sink.ProcessBatch(st) // grow scratch
 		if got := testing.AllocsPerRun(5, func() { tc.sink.ProcessBatch(st) }); got != 0 {
 			t.Errorf("%s: ProcessBatch allocates %v times per call, want 0", tc.name, got)
+		}
+	}
+}
+
+// TestNisanBatchKernelZeroAlloc pins the PRG prefix-stack kernel the L0
+// fast path leans on: after the first call allocates the stack, steady-state
+// BlockBatch calls allocate nothing — for both the run-structured index
+// pattern of the i.i.d. membership path and arbitrary index orders.
+func TestNisanBatchKernelZeroAlloc(t *testing.T) {
+	g := prng.New(1<<22, seeded(10))
+	run := make([]uint64, 16)
+	scattered := make([]uint64, 64)
+	dst := make([]uint64, 64)
+	for i := range run {
+		run[i] = 4096 + uint64(i)
+	}
+	for i := range scattered {
+		scattered[i] = uint64(i) * 2654435761
+	}
+	g.BlockBatch(dst[:len(run)], run) // grow the prefix stack
+	for _, idx := range [][]uint64{run, scattered} {
+		if got := testing.AllocsPerRun(10, func() { g.BlockBatch(dst[:len(idx)], idx) }); got != 0 {
+			t.Errorf("BlockBatch(%d indices) allocates %v times per call, want 0", len(idx), got)
 		}
 	}
 }

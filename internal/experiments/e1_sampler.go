@@ -112,12 +112,14 @@ func E3L0Sampler(cfg Config) Table {
 		ID:     "E3",
 		Title:  "L0 sampler: uniformity, exactness, space (Theorem 2 vs [12])",
 		Claim:  "zero relative error L0 sampling in O(log² n) bits; [12] needs O(log³ n)",
-		Header: []string{"n", "support", "trials", "success", "TV(unif)", "TV(floor)", "value-exact", "ours(bits)", "FIS(bits)"},
+		Header: []string{"n", "support", "levels", "trials", "success", "TV(unif)", "TV(floor)", "value-exact", "ours(bits)", "FIS(bits)"},
 	}
 	for _, scen := range []struct {
 		n, support int
+		nested     bool
 	}{
-		{256, 6}, {1024, 100}, {1024, 1024},
+		{256, 6, false}, {1024, 100, false}, {1024, 1024, false},
+		{256, 6, true}, {1024, 100, true}, {1024, 1024, true},
 	} {
 		trials := cfg.trials(300)
 		st := stream.SparseVector(scen.n, scen.support, 1000, r)
@@ -127,7 +129,7 @@ func E3L0Sampler(cfg Config) Table {
 		got, exact := 0, 0
 		var oursBits, fisBits int64
 		for trial := 0; trial < trials; trial++ {
-			s := core.NewL0Sampler(core.L0Config{N: scen.n, Delta: 0.2}, r)
+			s := core.NewL0Sampler(core.L0Config{N: scen.n, Delta: 0.2, NestedLevels: scen.nested}, r)
 			st.Feed(s)
 			oursBits = s.SpaceBits()
 			out, ok := s.Sample()
@@ -145,13 +147,18 @@ func E3L0Sampler(cfg Config) Table {
 		fisBits = fis.SpaceBits()
 		tv := vector.EmpiricalTV(counts, target, got)
 		floor := tvNoiseFloor(r, target, got)
+		mode := "iid"
+		if scen.nested {
+			mode = "nested"
+		}
 		t.Rows = append(t.Rows, []string{
-			f("%d", scen.n), f("%d", scen.support), f("%d", trials), pct(got, trials),
+			f("%d", scen.n), f("%d", scen.support), mode, f("%d", trials), pct(got, trials),
 			f("%.3f", tv), f("%.3f", floor), pct(exact, got), f("%d", oursBits), f("%d", fisBits),
 		})
 	}
 	t.Notes = append(t.Notes,
 		"value-exact = sampled value equals x_i exactly (the 'zero relative error' claim)",
+		"levels = iid (independent per-level coins, DESIGN substitution #2) or nested (§2.1 dyadic I_1 ⊆ I_2 ⊆ ...)",
 		"TV(floor) = empirical TV of perfect uniform sampling at the same sample count;",
 		"matching TV and floor (e.g. support 1024 at 300 samples) means the sampler is as uniform as measurable")
 	return t

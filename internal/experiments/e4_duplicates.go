@@ -30,8 +30,8 @@ func E4Duplicates(cfg Config) Table {
 				items := stream.DuplicateItems(n, force, r)
 				oracle := baseline.NewBitmap(n)
 				fd := duplicates.NewFinder(n, 0.1, r)
+				fd.ProcessItems(items)
 				for _, it := range items {
-					fd.ProcessItem(it)
 					oracle.ProcessItem(it)
 				}
 				space = fd.SpaceBits()
@@ -88,9 +88,7 @@ func E5DuplicatesShort(cfg Config) Table {
 		for trial := 0; trial < trials; trial++ {
 			items := stream.ShortItems(n, s, false, 0, r)
 			sf := duplicates.NewShortFinder(n, s, 0.1, r)
-			for _, it := range items {
-				sf.ProcessItem(it)
-			}
+			sf.ProcessItems(items)
 			space = sf.SpaceBits()
 			if sf.Find().Kind == duplicates.NoDuplicate {
 				noDupOK++
@@ -109,9 +107,7 @@ func E5DuplicatesShort(cfg Config) Table {
 			for trial := 0; trial < trials; trial++ {
 				items := stream.ShortItems(n, s, true, dups, r)
 				sf := duplicates.NewShortFinder(n, s, 0.1, r)
-				for _, it := range items {
-					sf.ProcessItem(it)
-				}
+				sf.ProcessItems(items)
 				res := sf.Find()
 				if res.Kind != duplicates.Duplicate {
 					continue
@@ -158,10 +154,8 @@ func E6DuplicatesLong(cfg Config) Table {
 			items := stream.LongItems(n, s, r)
 			lfS := duplicates.NewLongFinder(n, s, 0.1, 1, r)
 			lfP := duplicates.NewLongFinder(n, s, 0.1, 2, r)
-			for _, it := range items {
-				lfS.ProcessItem(it)
-				lfP.ProcessItem(it)
-			}
+			lfS.ProcessItems(items)
+			lfP.ProcessItems(items)
 			bitsS, bitsP = lfS.SpaceBits(), lfP.SpaceBits()
 			if lfS.Find().Kind == duplicates.Duplicate {
 				foundS++

@@ -41,6 +41,14 @@ type Sketch struct {
 	slots  int
 	// sk[round][vertex]
 	sk [][]*core.L0Sampler
+
+	// Batched-ingestion scratch (AddEdges/RemoveEdges): per-vertex update
+	// buffers — identical across rounds, so they are built once per edge
+	// batch and replayed through every round's batched sampler path — and
+	// the list of vertices touched by the current batch. Reused across
+	// calls; steady state allocates nothing.
+	vertBufs [][]stream.Update
+	touched  []int
 }
 
 // New creates a sketch for graphs on v vertices with failure parameter
@@ -102,13 +110,72 @@ func (g *Sketch) apply(u, w int, sign int64) {
 	}
 }
 
+// applyBatch feeds a batch of edges through the samplers' batched hot path.
+// Each edge contributes ±1 to one slot of both endpoints' vectors in every
+// round; since the per-vertex update sequence is the same for all rounds,
+// it is materialized once and delivered rounds times via ProcessBatch —
+// turning 2·rounds scalar sampler updates per edge into per-vertex batches
+// that amortize the PRG walks and syndrome passes. Update order per sampler
+// matches the scalar loop, so the resulting state is bit-identical.
+func (g *Sketch) applyBatch(edges [][2]int, sign int64) {
+	if len(edges) == 0 {
+		return
+	}
+	// Validate the whole batch before touching any scratch: a mid-batch
+	// panic must not leave partially filled buffers behind (they would
+	// silently leak into the next call).
+	for _, e := range edges {
+		if e[0] == e[1] {
+			panic("graphsketch: self loop")
+		}
+	}
+	if g.vertBufs == nil {
+		g.vertBufs = make([][]stream.Update, g.v)
+	}
+	touched := g.touched[:0]
+	for _, e := range edges {
+		u, w := e[0], e[1]
+		lo, hi := u, w
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		slot := g.EdgeSlot(lo, hi)
+		if len(g.vertBufs[lo]) == 0 {
+			touched = append(touched, lo)
+		}
+		g.vertBufs[lo] = append(g.vertBufs[lo], stream.Update{Index: slot, Delta: sign})
+		if len(g.vertBufs[hi]) == 0 {
+			touched = append(touched, hi)
+		}
+		g.vertBufs[hi] = append(g.vertBufs[hi], stream.Update{Index: slot, Delta: -sign})
+	}
+	for t := 0; t < g.rounds; t++ {
+		row := g.sk[t]
+		for _, v := range touched {
+			row[v].ProcessBatch(g.vertBufs[v])
+		}
+	}
+	for _, v := range touched {
+		g.vertBufs[v] = g.vertBufs[v][:0]
+	}
+	g.touched = touched[:0]
+}
+
 // AddEdge inserts the undirected edge {u,w}.
 func (g *Sketch) AddEdge(u, w int) { g.apply(u, w, 1) }
+
+// AddEdges inserts a batch of undirected edges through the batched L0
+// ingestion path — the fast way to load a graph or apply a burst of
+// insertions.
+func (g *Sketch) AddEdges(edges [][2]int) { g.applyBatch(edges, 1) }
 
 // RemoveEdge deletes the undirected edge {u,w}. Deleting an absent edge
 // corrupts the sketch (the model trusts the stream), as in any turnstile
 // structure.
 func (g *Sketch) RemoveEdge(u, w int) { g.apply(u, w, -1) }
+
+// RemoveEdges deletes a batch of undirected edges through the batched path.
+func (g *Sketch) RemoveEdges(edges [][2]int) { g.applyBatch(edges, -1) }
 
 // SpanningForest runs Borůvka over the sketches and returns the component
 // label of every vertex and the forest edges found. The sketches are

@@ -194,3 +194,140 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// TestAddEdgesMatchesScalar pins the batched edge path to the scalar one
+// bit-for-bit: same-seed sketches fed the same edges through AddEdges vs an
+// AddEdge loop must hold identical linear state in every (round, vertex)
+// sampler, and removals must cancel exactly.
+func TestAddEdgesMatchesScalar(t *testing.T) {
+	const v = 24
+	mk := func() *Sketch { return New(v, 0.2, rand.New(rand.NewPCG(51, 52))) }
+	scalar, batched := mk(), mk()
+	r := rand.New(rand.NewPCG(53, 54))
+	var edges [][2]int
+	for i := 0; i < 200; i++ {
+		u, w := r.IntN(v), r.IntN(v)
+		if u == w {
+			continue
+		}
+		edges = append(edges, [2]int{u, w})
+	}
+	for _, e := range edges {
+		scalar.AddEdge(e[0], e[1])
+	}
+	batched.AddEdges(edges)
+	for tr := 0; tr < scalar.rounds; tr++ {
+		for vert := 0; vert < v; vert++ {
+			a := scalar.sk[tr][vert].ExportState()
+			b := batched.sk[tr][vert].ExportState()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round %d vertex %d: state differs at byte %d", tr, vert, i)
+				}
+			}
+		}
+	}
+	// Batched removal of every edge must return the sketch to all-zero.
+	batched.RemoveEdges(edges)
+	for tr := 0; tr < batched.rounds; tr++ {
+		for vert := 0; vert < v; vert++ {
+			if _, ok := batched.sk[tr][vert].Sample(); ok {
+				t.Fatalf("round %d vertex %d: state nonzero after removing all edges", tr, vert)
+			}
+		}
+	}
+}
+
+// TestAddEdgesConnectivity runs the full Borůvka pipeline over a
+// batch-ingested graph.
+func TestAddEdgesConnectivity(t *testing.T) {
+	const v = 32
+	g := New(v, 0.1, rand.New(rand.NewPCG(55, 56)))
+	edges := make([][2]int, 0, v-1)
+	for i := 1; i < v; i++ {
+		edges = append(edges, [2]int{i - 1, i})
+	}
+	g.AddEdges(edges)
+	if !g.Connected() {
+		t.Fatal("batch-ingested path graph must be connected")
+	}
+}
+
+// BenchmarkGraphIngestBatched measures edge ingestion through AddEdges (the
+// batched L0 path); BenchmarkGraphIngestScalar is the same workload through
+// per-edge AddEdge calls. ns/op divided by the batch size is the per-edge
+// cost across all rounds × 2 endpoint samplers.
+func BenchmarkGraphIngestBatched(b *testing.B) {
+	const v = 64
+	g := New(v, 0.2, rand.New(rand.NewPCG(61, 62)))
+	r := rand.New(rand.NewPCG(63, 64))
+	edges := make([][2]int, 2048)
+	for i := range edges {
+		u := r.IntN(v)
+		w := r.IntN(v - 1)
+		if w >= u {
+			w++
+		}
+		edges[i] = [2]int{u, w}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddEdges(edges)
+	}
+	b.ReportMetric(float64(b.N*len(edges))/b.Elapsed().Seconds(), "edges/s")
+}
+
+func BenchmarkGraphIngestScalar(b *testing.B) {
+	const v = 64
+	g := New(v, 0.2, rand.New(rand.NewPCG(61, 62)))
+	r := rand.New(rand.NewPCG(63, 64))
+	edges := make([][2]int, 2048)
+	for i := range edges {
+		u := r.IntN(v)
+		w := r.IntN(v - 1)
+		if w >= u {
+			w++
+		}
+		edges[i] = [2]int{u, w}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range edges {
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	b.ReportMetric(float64(b.N*len(edges))/b.Elapsed().Seconds(), "edges/s")
+}
+
+// TestAddEdgesSelfLoopLeavesNoResidue: a batch containing a self loop must
+// panic before any update is buffered or delivered, so a recovering caller
+// can keep using the sketch.
+func TestAddEdgesSelfLoopLeavesNoResidue(t *testing.T) {
+	mk := func() *Sketch { return New(8, 0.2, rand.New(rand.NewPCG(65, 66))) }
+	poisoned, clean := mk(), mk()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on self loop in batch")
+			}
+		}()
+		poisoned.AddEdges([][2]int{{0, 1}, {3, 3}})
+	}()
+	// The failed batch must not have touched any sampler or scratch state:
+	// subsequent batched ingestion must match a never-poisoned sketch.
+	edges := [][2]int{{0, 1}, {1, 2}, {4, 5}}
+	poisoned.AddEdges(edges)
+	clean.AddEdges(edges)
+	for tr := 0; tr < clean.rounds; tr++ {
+		for v := 0; v < 8; v++ {
+			a := poisoned.sk[tr][v].ExportState()
+			b := clean.sk[tr][v].ExportState()
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round %d vertex %d: residue from failed batch at byte %d", tr, v, i)
+				}
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@
 package prng
 
 import (
+	"math/bits"
 	"math/rand/v2"
 
 	"repro/internal/field"
@@ -31,11 +32,21 @@ import (
 const BlockBits = 61
 
 // Nisan is an instance of Nisan's generator with random block access.
+//
+// Block and Bit are pure and safe for concurrent use. BlockBatch and
+// Float64Batch reuse a per-generator prefix stack and must not be called
+// concurrently with each other (one goroutine per generator, the same
+// discipline the sketches' scratch buffers already follow).
 type Nisan struct {
 	depth int
 	x0    field.Elem
 	ha    []field.Elem // multipliers of h_1..h_depth
 	hb    []field.Elem // offsets of h_1..h_depth
+
+	// stack[l] holds the partial walk state after consuming address bits
+	// depth-1..l (stack[depth] = x0): the prefix stack of BlockBatch,
+	// allocated lazily and reused across calls.
+	stack []field.Elem
 }
 
 // New constructs a generator able to emit at least outputBits pseudorandom
@@ -86,6 +97,93 @@ func (g *Nisan) Block(b uint64) uint64 {
 		}
 	}
 	return uint64(x)
+}
+
+// BlockBatch writes Block(idx[t]) into dst[t] for every t, walking the
+// generator tree once with an explicit prefix stack instead of re-deriving
+// each block from x0.
+//
+// The walk keeps, for every tree level l, the state reached after applying
+// the hash functions selected by the address bits above l. Consecutive
+// addresses that share a high-bit prefix re-enter the walk at the first
+// differing bit (found with one XOR + Len64), so only the suffix below that
+// bit pays h_j applications. Sorted or run-structured index sequences — the
+// L0 sampler queries a contiguous range of per-level blocks per update —
+// amortize to O(1) field operations per query instead of O(depth); arbitrary
+// orders remain correct, merely slower. dst and idx must have equal length.
+// Nothing allocates after the first call.
+func (g *Nisan) BlockBatch(dst []uint64, idx []uint64) {
+	if len(dst) != len(idx) {
+		panic("prng: BlockBatch dst/idx length mismatch")
+	}
+	if len(idx) == 0 {
+		return
+	}
+	if g.stack == nil {
+		g.stack = make([]field.Elem, g.depth+1)
+	}
+	var mask uint64
+	if g.depth > 0 {
+		mask = (1 << g.depth) - 1
+	}
+	stack := g.stack
+	stack[g.depth] = g.x0
+	// The first query pays the full walk: start above the top level.
+	prev := ^uint64(0)
+	start := g.depth
+	for t, b := range idx {
+		b &= mask
+		if t > 0 {
+			diff := prev ^ b
+			if diff == 0 {
+				dst[t] = dst[t-1]
+				continue
+			}
+			// Bits depth-1..Len64(diff) agree with the previous address, so
+			// the stack is valid down to that level; resume there.
+			start = bits.Len64(diff)
+		}
+		x := stack[start]
+		for j := start; j >= 1; j-- {
+			if b&(1<<(j-1)) != 0 {
+				x = field.Add(field.Mul(g.ha[j-1], x), g.hb[j-1])
+			}
+			stack[j-1] = x
+		}
+		dst[t] = uint64(x)
+		prev = b
+	}
+}
+
+// Float64Batch writes Float64At(idx[t]) into dst[t] via BlockBatch. The
+// membership hot paths avoid the float conversion entirely by comparing raw
+// blocks against Threshold values; this variant serves callers that need
+// uniforms in (0,1].
+func (g *Nisan) Float64Batch(dst []float64, idx []uint64, scratch []uint64) {
+	if len(dst) != len(idx) || len(scratch) < len(idx) {
+		panic("prng: Float64Batch length mismatch")
+	}
+	scratch = scratch[:len(idx)]
+	g.BlockBatch(scratch, idx)
+	for t, v := range scratch {
+		dst[t] = (float64(v) + 1) / float64(field.Modulus)
+	}
+}
+
+// Threshold converts an inclusion probability q into an integer cutoff T
+// such that a block value v is "in" iff v < T, with P(v < T) = T/Modulus for
+// a uniform block — within 2^-53 relative of q, the float mantissa budget,
+// and clamped so q >= 1 always includes (every block is < Modulus). The
+// compare replaces the Float64At division of the membership tests with one
+// integer comparison.
+func Threshold(q float64) uint64 {
+	if q >= 1 {
+		return field.Modulus
+	}
+	if q <= 0 {
+		return 0
+	}
+	return uint64(q * float64(field.Modulus))
 }
 
 // Bit returns the i-th pseudorandom bit of the output stream.

@@ -142,9 +142,54 @@ func TestDistinctSeedsDistinctStreams(t *testing.T) {
 	}
 }
 
+func TestBlockBatchZeroAlloc(t *testing.T) {
+	g := New(1<<24, rand.New(rand.NewPCG(10, 10)))
+	idx := make([]uint64, 64)
+	dst := make([]uint64, 64)
+	for i := range idx {
+		idx[i] = uint64(i) * 37
+	}
+	g.BlockBatch(dst, idx) // warm up the prefix stack
+	if got := testing.AllocsPerRun(10, func() { g.BlockBatch(dst, idx) }); got != 0 {
+		t.Errorf("BlockBatch allocates %v times per call, want 0", got)
+	}
+}
+
 func BenchmarkBlock(b *testing.B) {
 	g := New(1<<30, rand.New(rand.NewPCG(1, 1)))
 	for i := 0; i < b.N; i++ {
 		g.Block(uint64(i))
 	}
+}
+
+// BenchmarkBlockBatchRun measures the L0 fast path's access pattern: runs of
+// 16 consecutive blocks at a random base per "update". Compare against
+// BenchmarkBlockScalarRun, the same work through scalar Block calls.
+func BenchmarkBlockBatchRun(b *testing.B) {
+	g := New(1<<30, rand.New(rand.NewPCG(1, 1)))
+	idx := make([]uint64, 16)
+	dst := make([]uint64, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i) * 0x9E3779B97F4A7C15 >> 34 << 4
+		for t := range idx {
+			idx[t] = base + uint64(t)
+		}
+		g.BlockBatch(dst, idx)
+	}
+	b.ReportMetric(float64(b.N*16)/b.Elapsed().Seconds(), "blocks/s")
+}
+
+func BenchmarkBlockScalarRun(b *testing.B) {
+	g := New(1<<30, rand.New(rand.NewPCG(1, 1)))
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i) * 0x9E3779B97F4A7C15 >> 34 << 4
+		for t := uint64(0); t < 16; t++ {
+			sink += g.Block(base + t)
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(b.N*16)/b.Elapsed().Seconds(), "blocks/s")
 }

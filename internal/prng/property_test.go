@@ -61,6 +61,78 @@ func TestPropertyBitConsistentWithBlock(t *testing.T) {
 	}
 }
 
+// TestPropertyBlockBatchMatchesBlock: the prefix-stack batch kernel must
+// agree with scalar Block for every index sequence — sorted, reversed,
+// duplicated or arbitrary — across generator depths (including depth 0 and
+// indices beyond Blocks(), which wrap exactly like Block).
+func TestPropertyBlockBatchMatchesBlock(t *testing.T) {
+	f := func(seed uint64, bitsOut uint32, raw []uint16) bool {
+		g := New(1+uint64(bitsOut%(1<<22)), rand.New(rand.NewPCG(seed, seed^0x5555)))
+		idx := make([]uint64, len(raw))
+		for i, q := range raw {
+			idx[i] = uint64(q) * uint64(q) // spread beyond Blocks() to test wrap
+		}
+		dst := make([]uint64, len(idx))
+		g.BlockBatch(dst, idx)
+		for i, b := range idx {
+			if dst[i] != g.Block(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFloat64BatchMatchesFloat64At: the batch uniform kernel must
+// agree exactly with scalar Float64At for arbitrary index sequences.
+func TestPropertyFloat64BatchMatchesFloat64At(t *testing.T) {
+	f := func(seed uint64, raw []uint16) bool {
+		g := New(1<<18, rand.New(rand.NewPCG(seed, 0xF10A)))
+		idx := make([]uint64, len(raw))
+		for i, q := range raw {
+			idx[i] = uint64(q)
+		}
+		dst := make([]float64, len(idx))
+		scratch := make([]uint64, len(idx))
+		g.Float64Batch(dst, idx, scratch)
+		for i, b := range idx {
+			if dst[i] != g.Float64At(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyThresholdMatchesFloat64At: for any block value, the integer
+// threshold compare agrees with the float membership test except on the
+// <= 1-in-2^53 boundary cases where float rounding flips the comparison —
+// those may only disagree when the two sides are within one ULP.
+func TestPropertyThresholdMatchesFloat64At(t *testing.T) {
+	f := func(seed uint64, qRaw uint32, b uint32) bool {
+		g := New(1<<16, rand.New(rand.NewPCG(seed, 0xBEEF)))
+		q := float64(qRaw) / float64(1<<32)
+		blk := g.Block(uint64(b))
+		intIn := blk < Threshold(q)
+		floatIn := g.Float64At(uint64(b)) < q
+		if intIn == floatIn {
+			return true
+		}
+		// Disagreements must sit on the rounding boundary.
+		diff := (float64(blk)+1)/float64(1<<61-1) - q
+		return diff < 1e-15 && diff > -1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestPropertySeedDeterminism: same seed, same construction -> identical
 // generators.
 func TestPropertySeedDeterminism(t *testing.T) {

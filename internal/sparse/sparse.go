@@ -70,14 +70,22 @@ func (rc *Recoverer) S() int { return rc.s }
 // N returns the vector dimension.
 func (rc *Recoverer) N() int { return rc.n }
 
-// Add applies x_i += delta.
+// Add applies x_i += delta. The even and odd syndrome powers advance on two
+// independent chains stepping by a² (1, a², a⁴, … and a, a³, a⁵, …), so the
+// multiplier pipeline overlaps what a single pw·a chain would serialize;
+// len(synd) = 2s is always even, and the arithmetic is exactly that of the
+// single-chain loop.
 func (rc *Recoverer) Add(i int, delta int64) {
 	d := field.FromInt64(delta)
 	a := field.New(uint64(i) + 1)
-	pw := field.Elem(1)
-	for j := range rc.synd {
-		rc.synd[j] = field.Add(rc.synd[j], field.Mul(d, pw))
-		pw = field.Mul(pw, a)
+	a2 := field.Mul(a, a)
+	pe, po := field.Elem(1), a
+	synd := rc.synd
+	for j := 0; j+2 <= len(synd); j += 2 {
+		synd[j] = field.Add(synd[j], field.Mul(d, pe))
+		synd[j+1] = field.Add(synd[j+1], field.Mul(d, po))
+		pe = field.Mul(pe, a2)
+		po = field.Mul(po, a2)
 	}
 	rc.fp = field.Add(rc.fp, field.Mul(d, rc.rhoPow.Pow(uint64(i))))
 }
@@ -85,15 +93,51 @@ func (rc *Recoverer) Add(i int, delta int64) {
 // Process implements stream.Sink.
 func (rc *Recoverer) Process(u stream.Update) { rc.Add(u.Index, u.Delta) }
 
-// ProcessBatch implements stream.BatchSink: the syndrome slice and
-// verification point stay in registers across the batch, and the fingerprint
-// powers rho^i come from the PowCache square table (one Mul per set bit of i
-// instead of a full square-and-multiply ladder). Equivalent to repeated
-// Process calls; nothing allocates.
+// ProcessBatch implements stream.BatchSink through the transposed syndrome
+// kernel: updates are taken in register-blocked groups of four and the
+// syndromes are walked column-major — outer loop over syndrome index j,
+// inner over the group's per-update power registers. A scalar update's
+// dominant cost is the serial multiplicative chain pw_{j+1} = pw_j * a (2s
+// dependent field multiplies, each waiting on the last); transposing keeps
+// four independent chains in flight per j step, so the multiplier pipeline
+// stays full instead of draining between syndromes. Group order and field
+// arithmetic are exact, so the state is bit-identical to repeated Process
+// calls (pinned by TestPropertyTransposedBatchMatchesScalar); the leftover
+// tail (< 4 updates) runs the scalar loop. Nothing allocates.
 func (rc *Recoverer) ProcessBatch(batch []stream.Update) {
 	synd := rc.synd
 	fp := rc.fp
-	for _, u := range batch {
+	i := 0
+	for ; i+4 <= len(batch); i += 4 {
+		u0, u1, u2, u3 := batch[i], batch[i+1], batch[i+2], batch[i+3]
+		d0 := field.FromInt64(u0.Delta)
+		d1 := field.FromInt64(u1.Delta)
+		d2 := field.FromInt64(u2.Delta)
+		d3 := field.FromInt64(u3.Delta)
+		a0 := field.New(uint64(u0.Index) + 1)
+		a1 := field.New(uint64(u1.Index) + 1)
+		a2 := field.New(uint64(u2.Index) + 1)
+		a3 := field.New(uint64(u3.Index) + 1)
+		p0, p1, p2, p3 := field.Elem(1), field.Elem(1), field.Elem(1), field.Elem(1)
+		for j := range synd {
+			s := synd[j]
+			s = field.Add(s, field.Mul(d0, p0))
+			s = field.Add(s, field.Mul(d1, p1))
+			s = field.Add(s, field.Mul(d2, p2))
+			s = field.Add(s, field.Mul(d3, p3))
+			synd[j] = s
+			p0 = field.Mul(p0, a0)
+			p1 = field.Mul(p1, a1)
+			p2 = field.Mul(p2, a2)
+			p3 = field.Mul(p3, a3)
+		}
+		f := field.Add(field.Mul(d0, rc.rhoPow.Pow(uint64(u0.Index))), field.Mul(d1, rc.rhoPow.Pow(uint64(u1.Index))))
+		f = field.Add(f, field.Mul(d2, rc.rhoPow.Pow(uint64(u2.Index))))
+		f = field.Add(f, field.Mul(d3, rc.rhoPow.Pow(uint64(u3.Index))))
+		fp = field.Add(fp, f)
+	}
+	for ; i < len(batch); i++ {
+		u := batch[i]
 		d := field.FromInt64(u.Delta)
 		a := field.New(uint64(u.Index) + 1)
 		pw := field.Elem(1)

@@ -221,6 +221,40 @@ func BenchmarkAddS8(b *testing.B) {
 	}
 }
 
+// BenchmarkProcessBatchS10 measures the transposed syndrome kernel at the L0
+// sampler's default budget (s=10, 20 syndromes); BenchmarkProcessScalarS10 is
+// the same work through one-at-a-time Process calls.
+func BenchmarkProcessBatchS10(b *testing.B) {
+	rc := New(1<<16, 10, rand.New(rand.NewPCG(1, 1)))
+	batch := make([]stream.Update, 4096)
+	r := rand.New(rand.NewPCG(2, 2))
+	for i := range batch {
+		batch[i] = stream.Update{Index: r.IntN(1 << 16), Delta: int64(r.IntN(199) - 99)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc.ProcessBatch(batch)
+	}
+	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "updates/s")
+}
+
+func BenchmarkProcessScalarS10(b *testing.B) {
+	rc := New(1<<16, 10, rand.New(rand.NewPCG(1, 1)))
+	batch := make([]stream.Update, 4096)
+	r := rand.New(rand.NewPCG(2, 2))
+	for i := range batch {
+		batch[i] = stream.Update{Index: r.IntN(1 << 16), Delta: int64(r.IntN(199) - 99)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range batch {
+			rc.Process(u)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "updates/s")
+}
+
 func BenchmarkRecoverS8N4096(b *testing.B) {
 	r := rand.New(rand.NewPCG(1, 1))
 	rc := New(4096, 8, r)

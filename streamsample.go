@@ -49,6 +49,7 @@ type options struct {
 	delta   float64
 	copies  int
 	sBudget int
+	nested  bool
 }
 
 // Option configures a sampler at construction time.
@@ -72,6 +73,11 @@ func WithCopies(v int) Option { return func(o *options) { o.copies = v } }
 
 // WithSparsity overrides the per-level recovery budget of the L0 sampler.
 func WithSparsity(s int) Option { return func(o *options) { o.sBudget = s } }
+
+// WithNestedLevels switches the L0 sampler to the §2.1 nested dyadic level
+// assignment (I_1 ⊆ I_2 ⊆ ...): one PRG walk per update decides every
+// subsampling level at once, instead of independent per-level coins.
+func WithNestedLevels() Option { return func(o *options) { o.nested = true } }
 
 func buildOptions(opts []Option) options {
 	o := options{eps: 0.25, delta: 0.2}
@@ -155,9 +161,10 @@ type L0Sampler struct {
 func NewL0Sampler(n int, opts ...Option) *L0Sampler {
 	o := buildOptions(opts)
 	return &L0Sampler{inner: core.NewL0Sampler(core.L0Config{
-		N:         n,
-		Delta:     o.delta,
-		SOverride: o.sBudget,
+		N:            n,
+		Delta:        o.delta,
+		SOverride:    o.sBudget,
+		NestedLevels: o.nested,
 	}, o.rng())}
 }
 

@@ -123,3 +123,22 @@ func TestPublicMergeNilRejected(t *testing.T) {
 		t.Error("HeavyHitters.Merge(nil) must error")
 	}
 }
+
+func TestPublicL0SamplerNestedLevels(t *testing.T) {
+	s := NewL0Sampler(256, WithSeed(9), WithNestedLevels())
+	for i := 0; i < 40; i++ {
+		s.Update(i, int64(i+1))
+	}
+	idx, val, ok := s.Sample()
+	if !ok {
+		t.Fatal("nested-mode sampler failed on 40-sparse vector")
+	}
+	if idx < 0 || idx >= 40 || val != int64(idx+1) {
+		t.Fatalf("sampled (%d, %d), want exact support element", idx, val)
+	}
+	// Nested and default samplers are different constructions; merging them
+	// must be rejected even with a shared seed.
+	if err := NewL0Sampler(256, WithSeed(9)).Merge(s); err == nil {
+		t.Error("merging nested into default-mode sampler must error")
+	}
+}
