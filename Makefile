@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench microbench bench-l0 profile lint lint-vet lint-fmt fmt
+.PHONY: build test race bench microbench bench-l0 bench-query profile lint lint-vet lint-fmt fmt
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,10 @@ bench:
 # prefix-stack PRG kernel and transposed syndrome kernel) at a benchtime
 # large enough to be meaningful in CI; the zero-allocation contract is
 # enforced by the accompanying tests, the numbers land in the job log.
-# BENCH_PR2.json / BENCH_PR3.json hold the committed baseline-vs-after
-# snapshots.
-microbench:
+# BENCH_PR2.json / BENCH_PR3.json / BENCH_PR4.json hold the committed
+# baseline-vs-after snapshots. bench-query (the PR-4 query-side suite) is
+# part of the umbrella.
+microbench: bench-query
 	$(GO) test -run '^$$' -bench 'Mul$$|Pow|Eval|Scalar|Batch|Block' -benchtime 1000x \
 		./internal/field ./internal/hash ./internal/countsketch \
 		./internal/prng ./internal/sparse
@@ -41,6 +42,15 @@ bench-l0:
 	$(GO) test -run '^$$' -bench 'Block' -benchtime 100000x ./internal/prng
 	$(GO) test -run '^$$' -bench 'ProcessBatchS10|ProcessScalarS10' -benchtime 2000x ./internal/sparse
 	$(GO) test -run '^$$' -bench 'GraphIngest' -benchtime 20x ./internal/graphsketch
+
+# Query-side benchmarks (the PR-4 headline): memoized vs dirty L0 sampling,
+# the finite-difference recovery scan, and the end-to-end graphsketch
+# connectivity and duplicates queries built on top (the root BenchmarkQuery*
+# suite).
+bench-query:
+	$(GO) test -run '^$$' -bench 'L0SamplerSample' -benchtime 200x ./internal/core
+	$(GO) test -run '^$$' -bench 'RecoverScan|RecoverS8N4096' -benchtime 200x ./internal/sparse
+	$(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchtime 20x .
 
 # CPU profile of the 10M-update batched ingest (the headline workload):
 # writes cpu.out for `go tool pprof cpu.out`.

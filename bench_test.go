@@ -16,8 +16,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/countsketch"
+	"repro/internal/duplicates"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/graphsketch"
 	"repro/internal/stream"
 )
 
@@ -149,6 +151,71 @@ func BenchmarkIngestL0Engine(b *testing.B) {
 		}
 	}
 	reportThroughput(b, len(st))
+}
+
+// ---------------------------------------------------------------------------
+// Query-side throughput: repeated decodes on ingested sketches.
+// ---------------------------------------------------------------------------
+
+// BenchmarkQueryL0Sample measures repeated Sample() calls on an L0 sampler
+// holding the 1M-update ingest prefix: the Theorem 2 recovery path (Chien
+// scan + Vandermonde solve per level) and, after PR 4, the memoized decode
+// on an unchanged sketch.
+func BenchmarkQueryL0Sample(b *testing.B) {
+	st := ingestWorkload()[:1_000_000]
+	sk := core.NewL0Sampler(core.L0Config{N: ingestN, Delta: 0.2}, rand.New(rand.NewPCG(7, 11)))
+	st.FeedBatch(2048, sk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Sample()
+	}
+}
+
+// BenchmarkQueryGraphConnectivity is the end-to-end connectivity query: the
+// full Borůvka merge-and-sample pipeline over a batch-ingested random graph
+// (the sketch is consumed, so each iteration rebuilds it off the clock).
+func BenchmarkQueryGraphConnectivity(b *testing.B) {
+	const v = 48
+	r := rand.New(rand.NewPCG(71, 72))
+	edges := make([][2]int, 3*v)
+	for i := range edges {
+		u := r.IntN(v)
+		w := r.IntN(v - 1)
+		if w >= u {
+			w++
+		}
+		edges[i] = [2]int{u, w}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := graphsketch.New(v, 0.2, rand.New(rand.NewPCG(61, 62)))
+		g.AddEdges(edges)
+		b.StartTimer()
+		g.SpanningForest()
+	}
+}
+
+// BenchmarkQueryDuplicatesFind measures repeated duplicate queries against
+// an ingested Theorem 4 short stream (the exact sparse-recovery path).
+func BenchmarkQueryDuplicatesFind(b *testing.B) {
+	r := rand.New(rand.NewPCG(31, 32))
+	const n, s = 1 << 12, 8
+	sf := duplicates.NewShortFinder(n, s, 0.2, r)
+	letters := make([]int, 0, n-s)
+	for i := 0; i < n-2*s; i++ {
+		letters = append(letters, i)
+	}
+	for i := 0; i < s; i++ {
+		letters = append(letters, i)
+	}
+	sf.ProcessItems(letters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := sf.Find(); res.Kind != duplicates.Duplicate {
+			b.Fatalf("query failed: %+v", res)
+		}
+	}
 }
 
 func BenchmarkE1LpSamplerTV(b *testing.B)         { benchExperiment(b, "E1") }

@@ -82,6 +82,15 @@ type L0Sampler struct {
 	idxScratch []uint64
 	blkScratch []uint64
 	lvlBufs    [][]stream.Update
+
+	// Query-side memoization: Sample's outcome is cached until the next
+	// mutation (Process/ProcessBatch/Merge/ImportState). Per-level decodes
+	// are additionally memoized inside each sparse.Recoverer, so after a
+	// mutation only the levels it actually touched re-decode.
+	queryValid     bool
+	cachedSample   Sample
+	cachedOK       bool
+	supportScratch []int
 }
 
 // NewL0Sampler constructs the sampler, drawing the PRG seed and the
@@ -192,6 +201,7 @@ func (l *L0Sampler) member(k, i int) bool {
 // level whose subset contains the coordinate. One prefix-stack walk fetches
 // all membership blocks; levels are then integer-threshold compares.
 func (l *L0Sampler) Process(u stream.Update) {
+	l.queryValid = false
 	l.levels[0].Process(u)
 	if len(l.levels) == 1 {
 		return
@@ -215,6 +225,7 @@ func (l *L0Sampler) ProcessBatch(batch []stream.Update) {
 	if len(batch) == 0 {
 		return
 	}
+	l.queryValid = false
 	l.levels[0].ProcessBatch(batch)
 	K := len(l.levels) - 1
 	if K == 0 {
@@ -243,7 +254,22 @@ func (l *L0Sampler) ProcessBatch(batch []stream.Update) {
 // Sample returns a uniform sample from the support of x together with the
 // exact value x_i. ok is false when every level fails — probability at most
 // δ + O(n^{-c}) (Theorem 2), and always for the zero vector.
+//
+// Queries are memoized: on an unchanged sketch, repeated calls return the
+// cached outcome without touching the levels (and without allocating).
+// After a mutation, only the levels the mutation reached re-decode — the
+// others answer from their own caches.
 func (l *L0Sampler) Sample() (Sample, bool) {
+	if l.queryValid {
+		return l.cachedSample, l.cachedOK
+	}
+	l.cachedSample, l.cachedOK = l.resample()
+	l.queryValid = true
+	return l.cachedSample, l.cachedOK
+}
+
+// resample runs the actual level probe (the pre-memoization Sample).
+func (l *L0Sampler) resample() (Sample, bool) {
 	for k := range l.levels {
 		rec, ok := l.levels[k].Recover()
 		if !ok || len(rec) == 0 || len(rec) > l.s {
@@ -255,17 +281,27 @@ func (l *L0Sampler) Sample() (Sample, bool) {
 		// and the index comes from a width-based integer reduction
 		// ⌊block·|support|/2^61⌋ — unbiased to within 2^-61 per element,
 		// with no float conversion.
-		support := make([]int, 0, len(rec))
+		support := l.supportScratch[:0]
 		for i := range rec {
 			support = append(support, i)
 		}
 		sort.Ints(support)
+		l.supportScratch = support
 		blk := l.gen.Block(l.sampleBase + uint64(k))
 		hi, lo := bits.Mul64(blk, uint64(len(support)))
 		idx := support[hi<<3|lo>>61]
 		return Sample{Index: idx, Estimate: float64(rec[idx])}, true
 	}
 	return Sample{}, false
+}
+
+// RecoverLevel decodes the level-k restriction of x exactly (Lemma 5),
+// memoized per level. The returned map is owned by the level's recoverer
+// and valid until the next mutating call. Distinct levels share no decode
+// state, so concurrent RecoverLevel calls on different k are safe — the
+// parallel level-probe path (engine.RecoverAll) relies on exactly that.
+func (l *L0Sampler) RecoverLevel(k int) (map[int]int64, bool) {
+	return l.levels[k].Recover()
 }
 
 // Merge adds the linear state of another sampler built with the same
@@ -287,6 +323,7 @@ func (l *L0Sampler) Merge(other *L0Sampler) error {
 			return errors.New("core: merging L0 samplers with different seeds (same-seed replicas required)")
 		}
 	}
+	l.queryValid = false
 	for k := range l.levels {
 		if err := l.levels[k].Merge(other.levels[k]); err != nil {
 			return err
@@ -334,6 +371,7 @@ func (l *L0Sampler) ImportState(data []byte) error {
 	if len(data) != per*len(l.levels) {
 		return fmt.Errorf("core: state is %d bytes, want %d", len(data), per*len(l.levels))
 	}
+	l.queryValid = false
 	for k, lv := range l.levels {
 		if err := lv.ImportState(data[k*per : (k+1)*per]); err != nil {
 			return err

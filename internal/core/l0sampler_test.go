@@ -395,6 +395,9 @@ func BenchmarkL0SamplerProcess(b *testing.B) {
 	}
 }
 
+// BenchmarkL0SamplerSample measures repeated Sample() calls on an unchanged
+// sketch — a fresh multi-level decode per call before PR 4, the memoized
+// cached sample after it.
 func BenchmarkL0SamplerSample(b *testing.B) {
 	r := rand.New(rand.NewPCG(1, 1))
 	const n = 1 << 12
@@ -403,6 +406,24 @@ func BenchmarkL0SamplerSample(b *testing.B) {
 	st.Feed(s)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+// BenchmarkL0SamplerSampleDirty measures the real multi-level decode: a
+// canceling update pair re-dirties the sampler each iteration (leaving its
+// state unchanged), so Sample must re-run recovery on every level the
+// touched coordinate reaches — comparable before and after the memoization.
+func BenchmarkL0SamplerSampleDirty(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	const n = 1 << 12
+	s := NewL0Sampler(L0Config{N: n, Delta: 0.2}, r)
+	st := stream.SparseVector(n, 64, 100, r)
+	st.Feed(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(stream.Update{Index: 0, Delta: 1})
+		s.Process(stream.Update{Index: 0, Delta: -1})
 		s.Sample()
 	}
 }

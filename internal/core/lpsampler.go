@@ -110,6 +110,13 @@ type LpSampler struct {
 	scratchT   []float64
 	scratchIdx []uint64
 	scratchZ   []float64
+
+	// Query-side memoization: SampleAll's outputs (and the diagnostics they
+	// produced) are cached until the next mutation, so repeated queries on an
+	// unchanged sketch skip the per-repetition recovery stage entirely.
+	queryValid bool
+	cachedAll  []Sample
+	cachedDiag Diagnostics
 }
 
 // Diagnostics returns the per-repetition outcome counts of the most recent
@@ -221,6 +228,7 @@ func (s *LpSampler) Copies() int { return len(s.copies) }
 // Process implements stream.Sink: it feeds the update to every repetition
 // (scaled by t_i^{-1/p}) and to the shared norm sketch.
 func (s *LpSampler) Process(u stream.Update) {
+	s.queryValid = false
 	i := uint64(u.Index)
 	d := float64(u.Delta)
 	s.rNorm.Process(u)
@@ -247,6 +255,10 @@ func (s *LpSampler) Process(u stream.Update) {
 // count-sketch and AMS hot paths. The resulting state matches repeated
 // Process calls; steady-state calls allocate nothing.
 func (s *LpSampler) ProcessBatch(batch []stream.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	s.queryValid = false
 	s.rNorm.ProcessBatch(batch)
 	invP := 1 / s.cfg.P
 	n := len(batch)
@@ -289,6 +301,7 @@ func (s *LpSampler) Merge(other *LpSampler) error {
 			return errors.New("core: merging Lp samplers with different seeds (same-seed replicas required)")
 		}
 	}
+	s.queryValid = false
 	for ci, c := range s.copies {
 		oc := other.copies[ci]
 		if err := c.cs.Merge(oc.cs); err != nil {
@@ -318,7 +331,24 @@ func (s *LpSampler) Sample() (Sample, bool) {
 // — e.g. the duplicates reduction of Theorem 3, which accepts the first
 // sample whose estimate is positive — need the full list rather than just
 // the first success.
+//
+// Results are memoized: repeated calls on an unchanged sketch return the
+// cached outputs (and restore the matching Diagnostics) without re-running
+// recovery. The returned slice is owned by the sampler and valid until the
+// next mutating call — callers must not modify it.
 func (s *LpSampler) SampleAll() []Sample {
+	if s.queryValid {
+		s.diag = s.cachedDiag
+		return s.cachedAll
+	}
+	s.cachedAll = s.sampleAll()
+	s.cachedDiag = s.diag
+	s.queryValid = true
+	return s.cachedAll
+}
+
+// sampleAll runs the actual recovery stage (the pre-memoization SampleAll).
+func (s *LpSampler) sampleAll() []Sample {
 	s.diag = Diagnostics{}
 	r := s.rNorm.UpperEstimate(nil)
 	if r == 0 {

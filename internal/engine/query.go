@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Query-side parallelism: the ingestion engine shards updates across
+// workers; these helpers give the decode/query path the same treatment.
+// Multi-level sketches (the Theorem 2 L0 sampler probes O(log n) Lemma 5
+// recoverers; graph connectivity probes one sampler per component per
+// Borůvka round) decode their parts independently, so a bounded worker pool
+// turns query latency from the sum of the per-part decodes into the
+// maximum.
+
+// ParallelFor runs fn(i) for every i in [0, n) across a bounded pool of
+// worker goroutines. workers <= 0 selects GOMAXPROCS; the pool never
+// exceeds n. Work is handed out through an atomic counter, so unevenly
+// sized items (levels that early-exit their Chien scan vs. levels that walk
+// all of [n]) balance across workers. fn must be safe to call concurrently
+// for distinct i; calls for the same i never happen twice. On a single-CPU
+// machine (or workers == 1) the loop degrades to a plain serial for loop
+// with no goroutine or allocation overhead.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// LevelDecoder is a multi-level linear sketch whose levels decode
+// independently — the query-side counterpart of stream.BatchSink. The
+// Theorem 2 L0 sampler (*core.L0Sampler) is the canonical implementation:
+// Levels reports its subsampling depth and RecoverLevel runs (memoized)
+// Lemma 5 recovery on one level. RecoverLevel must be safe for concurrent
+// calls with distinct k.
+type LevelDecoder interface {
+	Levels() int
+	RecoverLevel(k int) (map[int]int64, bool)
+}
+
+// LevelDecode is one level's decode outcome as reported by RecoverAll.
+type LevelDecode struct {
+	// Level is the subsampling level index.
+	Level int
+	// Support maps coordinate -> exact value for a successful decode. The
+	// map is owned by the decoder's level and valid until its next
+	// mutation.
+	Support map[int]int64
+	// OK is false when the level reported DENSE.
+	OK bool
+}
+
+// RecoverAll decodes every level of d concurrently over ParallelFor's
+// worker pool and returns the outcomes in level order. Because per-level
+// decodes are memoized inside the sketch, RecoverAll doubles as a parallel
+// cache warmer: a subsequent Sample/Recover pass on the same unchanged
+// sketch answers from the caches without decoding anything — the
+// multi-level query path of the sharded engine.
+func RecoverAll(d LevelDecoder, workers int) []LevelDecode {
+	out := make([]LevelDecode, d.Levels())
+	ParallelFor(len(out), workers, func(k int) {
+		rec, ok := d.RecoverLevel(k)
+		out[k] = LevelDecode{Level: k, Support: rec, OK: ok}
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+	"repro/internal/stream"
+)
+
+// TestParallelForCoversEachIndexOnce: every index runs exactly once for
+// every worker-count shape (serial fallback, fewer workers than items, more
+// workers than items, default).
+func TestParallelForCoversEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 37
+		var counts [n]atomic.Int32
+		ParallelFor(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	ParallelFor(0, 4, func(int) { t.Error("fn called for n=0") })
+}
+
+// TestRecoverAllMatchesSerialSample: the parallel level probe must produce
+// exactly the per-level decodes of the serial path, and warming the caches
+// through it must leave Sample bit-identical to a never-parallelized
+// same-seed replica.
+func TestRecoverAllMatchesSerialSample(t *testing.T) {
+	const n = 1 << 10
+	st := stream.SparseVector(n, 24, 100, seeded(31))
+	mk := func() *core.L0Sampler {
+		return core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, seeded(32))
+	}
+	parallel, serial := mk(), mk()
+	st.Feed(parallel)
+	st.Feed(serial)
+
+	decodes := RecoverAll(parallel, 4)
+	if len(decodes) != parallel.Levels() {
+		t.Fatalf("RecoverAll returned %d levels, want %d", len(decodes), parallel.Levels())
+	}
+	for k, d := range decodes {
+		if d.Level != k {
+			t.Fatalf("decode %d labeled level %d", k, d.Level)
+		}
+		rec, ok := serial.RecoverLevel(k)
+		if d.OK != ok || len(d.Support) != len(rec) {
+			t.Fatalf("level %d: parallel (%v,%v) vs serial (%v,%v)", k, d.Support, d.OK, rec, ok)
+		}
+		for i, v := range rec {
+			if d.Support[i] != v {
+				t.Fatalf("level %d coord %d: parallel %d vs serial %d", k, d.Support[i], i, v)
+			}
+		}
+	}
+	ps, pok := parallel.Sample()
+	ss, sok := serial.Sample()
+	if pok != sok || ps != ss {
+		t.Fatalf("post-RecoverAll Sample (%+v,%v) differs from serial (%+v,%v)", ps, pok, ss, sok)
+	}
+}
+
+// TestQueryPathZeroAlloc extends the zero-allocation contract to the query
+// side: after the first decode warms each memoized cache, steady-state
+// repeated queries on an unchanged sketch — sparse Recover, L0 Sample, Lp
+// SampleAll — allocate nothing.
+func TestQueryPathZeroAlloc(t *testing.T) {
+	const n = 1 << 10
+	st := stream.SparseVector(n, 16, 50, seeded(21))
+
+	rc := sparse.New(n, 20, seeded(22))
+	st.Feed(rc)
+	if _, ok := rc.Recover(); !ok {
+		t.Fatal("sparse decode failed")
+	}
+	if got := testing.AllocsPerRun(10, func() { rc.Recover() }); got != 0 {
+		t.Errorf("sparse.Recover allocates %v times per call on a clean sketch, want 0", got)
+	}
+
+	l0 := core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, seeded(23))
+	st.Feed(l0)
+	if _, ok := l0.Sample(); !ok {
+		t.Fatal("L0 sample failed")
+	}
+	if got := testing.AllocsPerRun(10, func() { l0.Sample() }); got != 0 {
+		t.Errorf("L0Sampler.Sample allocates %v times per call on a clean sketch, want 0", got)
+	}
+
+	lp := core.NewLpSampler(core.LpConfig{P: 1.2, N: n, Eps: 0.3, Delta: 0.3, Copies: 3}, seeded(24))
+	st.FeedBatch(256, lp)
+	lp.SampleAll()
+	if got := testing.AllocsPerRun(10, func() { lp.SampleAll() }); got != 0 {
+		t.Errorf("LpSampler.SampleAll allocates %v times per call on a clean sketch, want 0", got)
+	}
+}

@@ -1,0 +1,263 @@
+package field
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func randPoly(r *rand.Rand, deg int) Poly {
+	p := make(Poly, deg+1)
+	for i := range p {
+		p[i] = New(r.Uint64())
+	}
+	// Force the exact degree so Degree() = deg.
+	for p[deg] == 0 {
+		p[deg] = New(r.Uint64())
+	}
+	return p
+}
+
+// TestPropertyFDStepperMatchesEval pins the finite-difference stepper
+// bit-identical to scalar Horner evaluation: for random polynomials of every
+// degree the Chien scan uses, stepping through a run of consecutive points
+// returns exactly Poly.Eval at each one — including runs that wrap the field
+// modulus and the zero and constant polynomials.
+func TestPropertyFDStepperMatchesEval(t *testing.T) {
+	f := func(seed uint64, degRaw uint8, x0Raw uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 999))
+		deg := int(degRaw) % 16
+		p := randPoly(r, deg)
+		x0 := New(x0Raw)
+		fd := NewFDStepper(p, x0)
+		x := x0
+		for i := 0; i < 200; i++ {
+			if got, want := fd.Next(), p.Eval(x); got != want {
+				t.Logf("deg %d point %d: fd %d, eval %d", deg, i, got, want)
+				return false
+			}
+			x = Add(x, 1)
+		}
+		// Reset must reposition exactly, reusing the table.
+		fd.Reset(p, x0)
+		return fd.Next() == p.Eval(x0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	// Degenerate polynomials.
+	for _, p := range []Poly{nil, {}, {0}, {7}, {0, 0}} {
+		fd := NewFDStepper(p, 3)
+		for i := 0; i < 5; i++ {
+			if got, want := fd.Next(), p.Eval(New(uint64(3+i))); got != want {
+				t.Errorf("poly %v point %d: fd %d, eval %d", p, i, got, want)
+			}
+		}
+	}
+	// A run crossing the modulus: x0 + i wraps to 0, 1, ...
+	r := rand.New(rand.NewPCG(5, 5))
+	p := randPoly(r, 4)
+	x0 := Elem(Modulus - 3)
+	fd := NewFDStepper(p, x0)
+	x := x0
+	for i := 0; i < 10; i++ {
+		if got, want := fd.Next(), p.Eval(x); got != want {
+			t.Fatalf("wrap point %d: fd %d, eval %d", i, got, want)
+		}
+		x = Add(x, 1)
+	}
+}
+
+// TestPropertyEvalBatchMatchesEval pins the transposed 4-wide multi-point
+// kernel bit-identical to scalar evaluation for every batch length
+// (exercising both the blocked groups and the scalar tail) and degree.
+func TestPropertyEvalBatchMatchesEval(t *testing.T) {
+	f := func(seed uint64, degRaw, lenRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 1234))
+		deg := int(degRaw) % 12
+		n := int(lenRaw) % 23
+		p := randPoly(r, deg)
+		xs := make([]Elem, n)
+		for i := range xs {
+			xs[i] = New(r.Uint64())
+		}
+		out := make([]Elem, n)
+		p.EvalBatch(xs, out)
+		for i, x := range xs {
+			if out[i] != p.Eval(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyVandermondeSolveMatchesGaussian: the O(e²) structured solver
+// must return exactly the unique solution of the transposed Vandermonde
+// system — cross-checked against forward substitution into the system and
+// against the generic Gaussian SolveLinear it replaces.
+func TestPropertyVandermondeSolveMatchesGaussian(t *testing.T) {
+	f := func(seed uint64, eRaw uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 4321))
+		e := 1 + int(eRaw)%12
+		// Distinct nonzero points (the decoded support locations a_i = i+1).
+		seen := map[Elem]bool{}
+		points := make([]Elem, 0, e)
+		for len(points) < e {
+			a := New(uint64(r.IntN(1<<20)) + 1)
+			if a != 0 && !seen[a] {
+				seen[a] = true
+				points = append(points, a)
+			}
+		}
+		truth := make([]Elem, e)
+		for t := range truth {
+			truth[t] = New(r.Uint64())
+		}
+		// y_j = Σ_t truth_t · a_t^j — the syndrome prefix of the vector.
+		y := make([]Elem, e)
+		for j := 0; j < e; j++ {
+			for t := range points {
+				y[j] = Add(y[j], Mul(truth[t], Pow(points[t], uint64(j))))
+			}
+		}
+		var vs VandermondeSolver
+		out := make([]Elem, e)
+		if !vs.Solve(points, y, out) {
+			return false
+		}
+		for t := range truth {
+			if out[t] != truth[t] {
+				return false
+			}
+		}
+		// Bit-identity with the generic Gaussian path.
+		mat := make([][]Elem, e)
+		yy := make([]Elem, e)
+		for j := 0; j < e; j++ {
+			mat[j] = make([]Elem, e)
+			for t, a := range points {
+				mat[j][t] = Pow(a, uint64(j))
+			}
+			yy[j] = y[j]
+		}
+		gauss, ok := SolveLinear(mat, yy)
+		if !ok {
+			return false
+		}
+		for t := range gauss {
+			if out[t] != gauss[t] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVandermondeSolveSingular: coincident points make the system singular
+// and must be reported, not mis-solved.
+func TestVandermondeSolveSingular(t *testing.T) {
+	var vs VandermondeSolver
+	out := make([]Elem, 2)
+	if vs.Solve([]Elem{5, 5}, []Elem{1, 2}, out) {
+		t.Error("repeated points must be singular")
+	}
+	if !vs.Solve(nil, nil, nil) {
+		t.Error("empty system is trivially solvable")
+	}
+}
+
+// bmRoundTrip builds the 2s power-sum syndromes of an e-sparse vector,
+// runs Berlekamp-Massey, and checks the result is exactly the locator
+// polynomial Π (1 - a_i x): degree e, constant term 1, and the reversed
+// polynomial vanishing precisely on the support points. It returns false
+// only on a genuine BM failure.
+func bmRoundTrip(t *testing.T, n, s int, support map[int]int64) bool {
+	t.Helper()
+	synd := make([]Elem, 2*s)
+	for j := range synd {
+		for i, v := range support {
+			synd[j] = Add(synd[j], Mul(FromInt64(v), Pow(New(uint64(i)+1), uint64(j))))
+		}
+	}
+	loc := BerlekampMassey(synd)
+	e := len(support)
+	if loc.Degree() != e {
+		t.Logf("n=%d s=%d |supp|=%d: locator degree %d", n, s, e, loc.Degree())
+		return false
+	}
+	if e > 0 && loc[0] != 1 {
+		t.Logf("locator constant term %d, want 1", loc[0])
+		return false
+	}
+	rev := loc.Reverse()
+	roots := 0
+	for i := 0; i < n; i++ {
+		isRoot := rev.Eval(New(uint64(i)+1)) == 0
+		if isRoot != (support[i] != 0) {
+			t.Logf("position %d: root=%v, in support=%v", i, isRoot, support[i] != 0)
+			return false
+		}
+		if isRoot {
+			roots++
+		}
+	}
+	return roots == e
+}
+
+// TestPropertyBerlekampMasseyRoundTrip: for random s-sparse vectors the
+// minimal connection polynomial of the syndrome sequence is exactly the
+// support locator — the identity Lemma 5 recovery rests on.
+func TestPropertyBerlekampMasseyRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 0xB512))
+		n := 16 + r.IntN(500)
+		s := 1 + r.IntN(10)
+		e := r.IntN(s + 1)
+		support := map[int]int64{}
+		for len(support) < e {
+			v := int64(r.IntN(2000)) - 1000
+			if v != 0 {
+				support[r.IntN(n)] = v
+			}
+		}
+		return bmRoundTrip(t, n, s, support)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzBerlekampMassey feeds adversarial support sets (positions and values
+// decoded from raw bytes, including repeated positions, canceling values and
+// boundary magnitudes) through the same round trip.
+func FuzzBerlekampMassey(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 5})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n, s = 256, 8
+		support := map[int]int64{}
+		for len(data) >= 3 && len(support) < s {
+			pos := int(binary.LittleEndian.Uint16(data)) % n
+			val := int64(int8(data[2]))
+			data = data[3:]
+			support[pos] += val
+		}
+		for i, v := range support {
+			if v == 0 {
+				delete(support, i)
+			}
+		}
+		if !bmRoundTrip(t, n, s, support) {
+			t.Errorf("round trip failed for support %v", support)
+		}
+	})
+}

@@ -6,7 +6,13 @@
 // package provides the element arithmetic, dense polynomials, a
 // Berlekamp-Massey minimal-LFSR solver and a small Gaussian elimination —
 // exactly the toolkit needed by the k-wise independent hash families
-// (internal/hash) and the exact sparse recovery of Lemma 5 (internal/sparse).
+// (internal/hash) and the exact sparse recovery of Lemma 5 (internal/sparse)
+// — plus the query-side evaluation kernels (eval.go): FDStepper walks
+// consecutive evaluation points by forward finite differences (e Adds per
+// point after O(e²) setup, the Chien-scan access pattern), Poly.EvalBatch is
+// the transposed 4-wide multi-point Horner for arbitrary point sets, and
+// VandermondeSolver solves the transposed Vandermonde value system of
+// Lemma 5 recovery in O(e²).
 package field
 
 import "math/bits"

@@ -31,6 +31,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/stream"
 )
 
@@ -204,13 +205,25 @@ func (g *Sketch) SpanningForest() (comp []int, forest [][2]int) {
 				panic(err)
 			}
 		}
-		progress := false
+		// Probe every component's merged sampler concurrently: the samples
+		// are independent L0 decodes on disjoint sketches, so the round's
+		// query cost is the slowest component rather than the sum. The
+		// union-find merge below stays sequential.
+		probes := make([]*core.L0Sampler, 0, len(merged))
 		for _, m := range merged {
-			out, ok := m.Sample()
-			if !ok {
+			probes = append(probes, m)
+		}
+		samples := make([]core.Sample, len(probes))
+		oks := make([]bool, len(probes))
+		engine.ParallelFor(len(probes), 0, func(i int) {
+			samples[i], oks[i] = probes[i].Sample()
+		})
+		progress := false
+		for i := range probes {
+			if !oks[i] {
 				continue
 			}
-			u, w := g.SlotEdge(out.Index)
+			u, w := g.SlotEdge(samples[i].Index)
 			cu, cw := find(u), find(w)
 			if cu != cw {
 				comp[cu] = cw

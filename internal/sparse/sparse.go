@@ -21,6 +21,19 @@
 // probability <= n/2^61 per query (a "low probability" event in the paper's
 // sense); we then report DENSE.
 //
+// Query engine (PR 4). The decode is built on three structured kernels:
+// the Chien scan walks its consecutive evaluation points a_i = 1..n with a
+// forward finite-difference stepper (field.FDStepper — e field Adds per
+// position instead of a degree-e Horner chain) and exits once all
+// e = deg(locator) roots are found; the value solve uses the O(e²)
+// transposed-Vandermonde algorithm (field.VandermondeSolver) in place of
+// generic Gaussian elimination; and syndrome verification advances one
+// shared power chain per support point rather than re-exponentiating. All
+// three are exact field arithmetic on the unique candidate, so decodes stay
+// bit-identical to the generic pipeline. Results are memoized behind a
+// dirty bit, so repeated queries on an unchanged sketch are O(1) and
+// allocation-free.
+//
 // Space: 2s+1 field elements plus the O(log n)-bit seed — the O(s log n) bits
 // Lemma 5 promises.
 package sparse
@@ -36,6 +49,13 @@ import (
 )
 
 // Recoverer maintains the linear measurements of one vector x in Z^n.
+//
+// The query side is memoized: Recover caches its decode and a dirty bit —
+// set by Add/Process/ProcessBatch/Merge/ImportState, cleared on decode —
+// short-circuits repeated queries on an unchanged sketch. All decode
+// scratch (the reversed locator, the finite-difference table, the support
+// and value buffers, the Vandermonde solver state) lives on the Recoverer
+// and is reused, so steady-state Recover calls allocate nothing.
 type Recoverer struct {
 	n      int
 	s      int
@@ -43,6 +63,18 @@ type Recoverer struct {
 	rho    field.Elem      // random verification point
 	rhoPow *field.PowCache // square table making rho^i cost ~popcount(i) Muls
 	fp     field.Elem      // F = sum_i x_i rho^i
+
+	// Query-side memoization and decode scratch.
+	dirty     bool          // measurements changed since the last decode
+	decoded   map[int]int64 // cached decode result (reused across decodes)
+	decodeOK  bool          // cached DENSE/sparse verdict
+	rev       field.Poly    // reversed locator buffer
+	fd        field.FDStepper
+	positions []int        // decoded support positions
+	pts       []field.Elem // evaluation points a_t = pos_t + 1
+	vals      []field.Elem // recovered values
+	pw        []field.Elem // shared per-position power chain (verification)
+	solver    field.VandermondeSolver
 }
 
 // New creates a recoverer for vectors of dimension n with sparsity budget s.
@@ -52,9 +84,10 @@ func New(n, s int, r *rand.Rand) *Recoverer {
 		s = 1
 	}
 	rc := &Recoverer{
-		n:    n,
-		s:    s,
-		synd: make([]field.Elem, 2*s),
+		n:     n,
+		s:     s,
+		synd:  make([]field.Elem, 2*s),
+		dirty: true,
 	}
 	rc.rho = field.New(r.Uint64())
 	for rc.rho == 0 {
@@ -76,6 +109,7 @@ func (rc *Recoverer) N() int { return rc.n }
 // len(synd) = 2s is always even, and the arithmetic is exactly that of the
 // single-chain loop.
 func (rc *Recoverer) Add(i int, delta int64) {
+	rc.dirty = true
 	d := field.FromInt64(delta)
 	a := field.New(uint64(i) + 1)
 	a2 := field.Mul(a, a)
@@ -105,6 +139,10 @@ func (rc *Recoverer) Process(u stream.Update) { rc.Add(u.Index, u.Delta) }
 // calls (pinned by TestPropertyTransposedBatchMatchesScalar); the leftover
 // tail (< 4 updates) runs the scalar loop. Nothing allocates.
 func (rc *Recoverer) ProcessBatch(batch []stream.Update) {
+	if len(batch) == 0 {
+		return
+	}
+	rc.dirty = true
 	synd := rc.synd
 	fp := rc.fp
 	i := 0
@@ -165,6 +203,7 @@ func (rc *Recoverer) Merge(other *Recoverer) error {
 	if !rc.Compatible(other) {
 		return errors.New("sparse: merging incompatible recoverers (same-seed replicas required)")
 	}
+	rc.dirty = true
 	for j := range rc.synd {
 		rc.synd[j] = field.Add(rc.synd[j], other.synd[j])
 	}
@@ -191,52 +230,100 @@ func (rc *Recoverer) IsZero() bool {
 // when the measurements decode to an s-sparse vector that passes
 // verification, and (nil, false) — DENSE — otherwise. For any truly s-sparse
 // x the first return is exactly x with probability 1 (Lemma 5).
+//
+// The decode is memoized: repeated calls on an unchanged sketch return the
+// cached result without re-decoding (and without allocating). The returned
+// map is owned by the Recoverer and valid until the next mutating call —
+// callers must not modify it and should copy what they need to keep.
 func (rc *Recoverer) Recover() (map[int]int64, bool) {
+	if rc.dirty {
+		rc.decodeOK = rc.decode()
+		rc.dirty = false
+	}
+	if !rc.decodeOK {
+		return nil, false
+	}
+	return rc.decoded, true
+}
+
+// decode runs one full recovery into rc.decoded. The pipeline is the
+// classical syndrome decoder of Lemma 5, rebuilt on the PR-4 query kernels:
+//
+//  1. Berlekamp-Massey finds the locator polynomial from the 2s syndromes.
+//  2. The Chien scan locates the support: position i is in it iff
+//     rev(loc)(a_i) = 0 with a_i = i+1. The points are consecutive, so a
+//     field.FDStepper walks them by forward differences — deg(loc) Adds per
+//     position instead of a full Horner chain — and the scan exits as soon
+//     as e = deg(loc) roots are found (a degree-e polynomial has no more).
+//  3. The values come from the transposed Vandermonde solve
+//     Σ_t v_t a_t^j = S_j (j < e) in O(e²) via field.VandermondeSolver.
+//  4. Verification replays all 2s syndromes through one shared per-position
+//     power chain (pw_t ← pw_t·a_t per syndrome step — two Muls per entry
+//     instead of a fresh field.Pow ladder), then checks the rho fingerprint.
+//
+// Every step is exact field arithmetic producing the unique candidate, so
+// decodes are bit-identical to the pre-PR-4 Horner-scan/Gaussian decoder.
+func (rc *Recoverer) decode() bool {
+	if rc.decoded == nil {
+		rc.decoded = make(map[int]int64, rc.s)
+	} else {
+		clear(rc.decoded)
+	}
 	if rc.IsZero() {
-		return map[int]int64{}, true
+		return true
 	}
 	loc := field.BerlekampMassey(rc.synd)
 	e := loc.Degree()
 	if e < 1 || e > rc.s {
-		return nil, false
+		return false
 	}
-	// Chien scan via the reversed locator: position i is in the support iff
-	// rev(loc)(a_i) = 0 with a_i = i+1.
-	rev := loc.Reverse()
-	positions := make([]int, 0, e)
+	// Reversed locator into reusable scratch.
+	if cap(rc.rev) < e+1 {
+		rc.rev = make(field.Poly, e+1)
+	}
+	rev := rc.rev[:e+1]
+	for i := 0; i <= e; i++ {
+		rev[i] = loc[e-i]
+	}
+	// Finite-difference Chien scan over the consecutive points 1..n, early
+	// exit once all e roots are found.
+	positions := rc.positions[:0]
+	rc.fd.Reset(rev, 1)
 	for i := 0; i < rc.n; i++ {
-		if rev.Eval(field.New(uint64(i)+1)) == 0 {
+		if rc.fd.Next() == 0 {
 			positions = append(positions, i)
-			if len(positions) > e {
+			if len(positions) == e {
 				break
 			}
 		}
 	}
+	rc.positions = positions
 	if len(positions) != e {
-		return nil, false
+		return false
 	}
-	// Solve sum_t v_t a_t^j = S_j for j = 0..e-1.
-	mat := make([][]field.Elem, e)
-	y := make([]field.Elem, e)
-	for j := 0; j < e; j++ {
-		mat[j] = make([]field.Elem, e)
-		for t, pos := range positions {
-			mat[j][t] = field.Pow(field.New(uint64(pos)+1), uint64(j))
-		}
-		y[j] = rc.synd[j]
+	// Structured transposed-Vandermonde value solve on S_0..S_{e-1}.
+	pts := growElems(&rc.pts, e)
+	vals := growElems(&rc.vals, e)
+	for t, pos := range positions {
+		pts[t] = field.New(uint64(pos) + 1)
 	}
-	vals, ok := field.SolveLinear(mat, y)
-	if !ok {
-		return nil, false
+	if !rc.solver.Solve(pts, rc.synd[:e], vals) {
+		return false
 	}
-	// Verify against all 2s syndromes and the random fingerprint.
-	for j := 0; j < len(rc.synd); j++ {
+	// Verify against all 2s syndromes through the shared power chain, then
+	// the random fingerprint.
+	pw := growElems(&rc.pw, e)
+	for t := range pw {
+		pw[t] = 1
+	}
+	for j := range rc.synd {
 		var sj field.Elem
-		for t, pos := range positions {
-			sj = field.Add(sj, field.Mul(vals[t], field.Pow(field.New(uint64(pos)+1), uint64(j))))
+		for t := range pts {
+			sj = field.Add(sj, field.Mul(vals[t], pw[t]))
+			pw[t] = field.Mul(pw[t], pts[t])
 		}
 		if sj != rc.synd[j] {
-			return nil, false
+			return false
 		}
 	}
 	var f field.Elem
@@ -244,19 +331,26 @@ func (rc *Recoverer) Recover() (map[int]int64, bool) {
 		f = field.Add(f, field.Mul(vals[t], rc.rhoPow.Pow(uint64(pos))))
 	}
 	if f != rc.fp {
-		return nil, false
+		return false
 	}
-	out := make(map[int]int64, e)
 	for t, pos := range positions {
 		v := vals[t].ToInt64()
 		if v == 0 {
 			// A zero value contradicts membership in the support; the
 			// decoded candidate is inconsistent.
-			return nil, false
+			return false
 		}
-		out[pos] = v
+		rc.decoded[pos] = v
 	}
-	return out, true
+	return true
+}
+
+func growElems(buf *[]field.Elem, n int) []field.Elem {
+	if cap(*buf) < n {
+		*buf = make([]field.Elem, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // SpaceBits reports the measurement state: 2s syndromes, the fingerprint and
@@ -293,6 +387,7 @@ func (rc *Recoverer) ImportState(data []byte) error {
 	if len(data) != want {
 		return fmt.Errorf("sparse: state is %d bytes, want %d", len(data), want)
 	}
+	rc.dirty = true
 	for j := range rc.synd {
 		rc.synd[j] = field.Elem(binary.LittleEndian.Uint64(data[j*8:]))
 	}

@@ -255,14 +255,39 @@ func BenchmarkProcessScalarS10(b *testing.B) {
 	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "updates/s")
 }
 
+// BenchmarkRecoverS8N4096 measures repeated Recover() calls on an unchanged
+// sketch — the full decode before PR 4, the memoized cached result after it.
 func BenchmarkRecoverS8N4096(b *testing.B) {
 	r := rand.New(rand.NewPCG(1, 1))
 	rc := New(4096, 8, r)
 	for i := 0; i < 8; i++ {
 		rc.Add(r.IntN(4096), int64(i+1))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rc.Recover()
+	}
+}
+
+// BenchmarkRecoverScan measures one full decode per iteration —
+// Berlekamp-Massey, the Chien scan over [n], the Vandermonde value solve and
+// the 2s+1-point verification. A canceling update pair re-dirties the sketch
+// each round without changing its state, so the memoized decoder cannot
+// short-circuit and the number is comparable before and after PR 4.
+func BenchmarkRecoverScan(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 1))
+	rc := New(4096, 8, r)
+	for i := 0; i < 8; i++ {
+		rc.Add(r.IntN(4096), int64(i+1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc.Add(0, 1)
+		rc.Add(0, -1)
+		if _, ok := rc.Recover(); !ok {
+			b.Fatal("decode failed")
+		}
 	}
 }
