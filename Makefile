@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench microbench bench-l0 bench-query profile lint lint-vet lint-fmt fmt
+.PHONY: build test race bench microbench bench-codec bench-l0 bench-query fuzz-codec profile lint lint-vet lint-fmt fmt
 
 build:
 	$(GO) build ./...
@@ -29,10 +29,24 @@ bench:
 # BENCH_PR2.json / BENCH_PR3.json / BENCH_PR4.json hold the committed
 # baseline-vs-after snapshots. bench-query (the PR-4 query-side suite) is
 # part of the umbrella.
-microbench: bench-query
+microbench: bench-query bench-codec
 	$(GO) test -run '^$$' -bench 'Mul$$|Pow|Eval|Scalar|Batch|Block' -benchtime 1000x \
 		./internal/field ./internal/hash ./internal/countsketch \
 		./internal/prng ./internal/sparse
+
+# Wire-format microbenchmarks: raw codec framing throughput, per-kind
+# marshal/unmarshal ns and wire bytes, and the full sharded
+# export -> Load -> merge round (the distributed pattern's hot path).
+bench-codec:
+	$(GO) test -run '^$$' -bench 'Codec' -benchtime 2000x ./internal/codec
+	$(GO) test -run '^$$' -bench 'MarshalSketch|UnmarshalSketch|ShardedExportMerge' -benchtime 20x .
+
+# Short-budget fuzz smoke for the wire format: the codec decoder surface and
+# the public Load (header validation, config sanity bounds, payload framing).
+# CI runs this; locally raise -fuzztime for a real hunt.
+fuzz-codec:
+	$(GO) test -run '^$$' -fuzz FuzzDecoder -fuzztime 15s ./internal/codec
+	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 15s .
 
 # The L0 fast-path benchmarks (the PR-3 headline): the 1M-update serial and
 # engine ingest through the Theorem 2 sampler, plus the prng/sparse kernels

@@ -19,6 +19,25 @@
 // (same-seed replicas, shard → batch → merge), and a throughput comparison
 // is written to stderr. Supported -ingest sinks: countsketch, countmin, l0,
 // lp, hh.
+//
+// # Distributed export / remote merge
+//
+// -export and -import demonstrate the serialized-sketch pattern end to end:
+// N processes each ingest a disjoint shard of the stream into a same-seed
+// public sketch and emit its wire bytes; one process loads the byte files
+// and merges them — by sketch linearity the merged sketch answers exactly
+// like one process that ingested everything.
+//
+//	workload -len 100000 -sketch l0 -shard 0/3 -export shard0.sketch
+//	workload -len 100000 -sketch l0 -shard 1/3 -export shard1.sketch
+//	workload -len 100000 -sketch l0 -shard 2/3 -export shard2.sketch
+//	workload -import shard0.sketch,shard1.sketch,shard2.sketch
+//
+// All exporters must share -seed (it seeds both the generated stream and
+// the sketch randomness); -shard i/N takes every N-th update starting at i,
+// so the N slices partition the stream. -import is self-describing: the
+// files carry their kind, config and seed, and mismatched shards fail with
+// the typed merge errors.
 package main
 
 import (
@@ -28,8 +47,10 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	streamsample "repro"
 	"repro/internal/core"
 	"repro/internal/countmin"
 	"repro/internal/countsketch"
@@ -49,15 +70,39 @@ func main() {
 	ingest := flag.String("ingest", "", "drive the stream through a sketch instead of printing it: countsketch | countmin | l0 | lp | hh")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "engine shard count (-ingest)")
 	batch := flag.Int("batch", 2048, "engine batch size (-ingest)")
+	export := flag.String("export", "", "ingest the stream into a -sketch sketch and write its serialized bytes to this file")
+	importList := flag.String("import", "", "comma-separated sketch files: load, merge and query them (no stream is generated)")
+	sketchKind := flag.String("sketch", "l0", "public sketch kind for -export: l0 | lp | hh")
+	shardSpec := flag.String("shard", "0/1", "with -export, ingest only the i-th of N disjoint stream slices, as \"i/N\"")
 	flag.Parse()
 
-	// Reject a bad -ingest sink before the (possibly multi-second) stream
-	// generation, not after.
+	if *importList != "" {
+		if err := runImport(strings.Split(*importList, ",")); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	// Reject bad -ingest/-export parameters before the (possibly
+	// multi-second) stream generation, not after.
 	switch *ingest {
 	case "", "countsketch", "countmin", "l0", "lp", "hh":
 	default:
 		fmt.Fprintf(os.Stderr, "workload: unknown -ingest sink %q (want countsketch, countmin, l0, lp or hh)\n", *ingest)
 		os.Exit(2)
+	}
+	if *export != "" {
+		switch *sketchKind {
+		case "l0", "lp", "hh":
+		default:
+			fmt.Fprintf(os.Stderr, "workload: unknown -sketch kind %q (want l0, lp or hh)\n", *sketchKind)
+			os.Exit(2)
+		}
+		if _, _, err := parseShard(*shardSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	r := rand.New(rand.NewPCG(*seed, *seed^0xD1B54A32D192ED03))
@@ -86,6 +131,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "workload: unknown kind %q\n", *kind)
 		os.Exit(2)
+	}
+
+	if *export != "" {
+		if err := runExport(*export, *sketchKind, *shardSpec, st, *n, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	if *ingest != "" {
@@ -167,5 +220,102 @@ func drive(sink string, st stream.Stream, n int, seed uint64, shards, batch int)
 	fmt.Fprintf(os.Stderr, "engine: %12.0f updates/s  (%v)  shards=%d batch=%d\n",
 		updates/engineDur.Seconds(), engineDur.Round(time.Millisecond), shards, batch)
 	fmt.Fprintf(os.Stderr, "speedup: %.2fx\n", serialDur.Seconds()/engineDur.Seconds())
+	return nil
+}
+
+// runExport ingests the shard slice of the stream into a fresh same-seed
+// public sketch and writes its MarshalBinary bytes to path. The stream is
+// generated deterministically from the flags, so N processes running with
+// the same flags and -shard 0/N .. N-1/N ingest disjoint slices whose union
+// is the whole stream.
+func runExport(path, kind, shardSpec string, st stream.Stream, n int, seed uint64) error {
+	idx, cnt, err := parseShard(shardSpec)
+	if err != nil {
+		return err
+	}
+	var sk streamsample.Sketch
+	switch kind {
+	case "l0":
+		sk = streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+	case "lp":
+		sk = streamsample.NewLpSampler(1, n, streamsample.WithSeed(seed))
+	case "hh":
+		sk = streamsample.NewHeavyHitters(1, 0.1, n, streamsample.WithSeed(seed))
+	default:
+		return fmt.Errorf("unknown -sketch kind %q (want l0, lp or hh)", kind)
+	}
+	shard := make(stream.Stream, 0, len(st)/cnt+1)
+	for j := idx; j < len(st); j += cnt {
+		shard = append(shard, st[j])
+	}
+	sk.ProcessBatch(shard)
+	data, err := sk.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported shard %d/%d: %d updates, %d sketch bytes -> %s\n",
+		idx, cnt, len(shard), len(data), path)
+	return nil
+}
+
+// parseShard parses the "i/N" disjoint-slice selector of -shard.
+func parseShard(spec string) (idx, cnt int, err error) {
+	if _, err := fmt.Sscanf(spec, "%d/%d", &idx, &cnt); err != nil || cnt < 1 || idx < 0 || idx >= cnt {
+		return 0, 0, fmt.Errorf("bad -shard %q (want \"i/N\" with 0 <= i < N)", spec)
+	}
+	return idx, cnt, nil
+}
+
+// runImport loads each serialized sketch, merges the rest into the first —
+// the remote-merge half of the distributed pattern — and queries the merged
+// sketch. The files are self-describing: kind, config and seed travel with
+// the bytes, and shards from different seeds or configs are rejected with
+// the typed merge errors.
+func runImport(files []string) error {
+	var merged streamsample.Sketch
+	for _, f := range files {
+		f = strings.TrimSpace(f)
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		s, err := streamsample.Load(data)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", f, err)
+		}
+		if merged == nil {
+			merged = s
+			continue
+		}
+		if err := merged.Merge(s); err != nil {
+			return fmt.Errorf("merge %s: %w", f, err)
+		}
+	}
+	if merged == nil {
+		return fmt.Errorf("-import needs at least one file")
+	}
+	fmt.Fprintf(os.Stderr, "merged %d shard sketches (%T, %d bits)\n",
+		len(files), merged, merged.SpaceBits())
+	switch s := merged.(type) {
+	case *streamsample.L0Sampler:
+		if i, v, ok := s.Sample(); ok {
+			fmt.Printf("l0 sample index=%d value=%d\n", i, v)
+		} else {
+			fmt.Println("l0 sample failed")
+		}
+	case *streamsample.LpSampler:
+		if i, est, ok := s.Sample(); ok {
+			fmt.Printf("lp sample index=%d estimate=%g\n", i, est)
+		} else {
+			fmt.Println("lp sample failed")
+		}
+	case *streamsample.HeavyHitters:
+		fmt.Printf("heavy hitters: %v\n", s.Report())
+	default:
+		fmt.Printf("loaded %T\n", merged)
+	}
 	return nil
 }

@@ -15,13 +15,17 @@ import (
 // Protocol: feed the whole stream, call EndPass1, feed the whole stream
 // again, then Sample.
 type TwoPassL0Sampler struct {
+	n     int
+	opts  options
 	inner *core.TwoPassL0Sampler
 }
+
+var _ Sketch = (*TwoPassL0Sampler)(nil)
 
 // NewTwoPassL0Sampler creates the sampler for dimension n.
 func NewTwoPassL0Sampler(n int, opts ...Option) *TwoPassL0Sampler {
 	o := buildOptions(opts)
-	return &TwoPassL0Sampler{inner: core.NewTwoPassL0Sampler(n, o.delta, o.rng())}
+	return &TwoPassL0Sampler{n: n, opts: o, inner: core.NewTwoPassL0Sampler(n, o.delta, o.rng())}
 }
 
 // Update applies x[i] += delta in the current pass.
@@ -32,9 +36,26 @@ func (s *TwoPassL0Sampler) Update(i int, delta int64) {
 // Process implements the stream.Sink interface.
 func (s *TwoPassL0Sampler) Process(u Update) { s.inner.Process(u) }
 
+// ProcessBatch implements the stream.BatchSink fast path for the current
+// pass.
+func (s *TwoPassL0Sampler) ProcessBatch(batch []Update) { s.inner.ProcessBatch(batch) }
+
 // EndPass1 commits the subsampling level; call exactly once between the two
 // replays of the stream.
 func (s *TwoPassL0Sampler) EndPass1() { s.inner.EndPass1() }
+
+// Merge adds another sampler's state for the current pass: shard the
+// stream, merge the pass-1 replicas, EndPass1 everywhere with the merged
+// estimate's level, then shard pass 2 the same way. Both samplers must be
+// same-seed replicas in the same pass (pass-2 merges additionally require
+// an identical committed level).
+func (s *TwoPassL0Sampler) Merge(other Sketch) error {
+	o, err := mergeTarget[TwoPassL0Sampler](other)
+	if err != nil {
+		return err
+	}
+	return s.inner.Merge(o.inner)
+}
 
 // Sample returns a uniform support element with its exact value.
 func (s *TwoPassL0Sampler) Sample() (index int, value int64, ok bool) {
@@ -49,15 +70,25 @@ func (s *TwoPassL0Sampler) SpaceBits() int64 { return s.inner.SpaceBits() }
 // importance sampling over L1 samples — the [23] application the paper's
 // samplers were designed to speed up.
 type FpEstimator struct {
-	inner *moments.FpEstimator
+	p       float64
+	n       int
+	samples int
+	opts    options
+	inner   *moments.FpEstimator
 }
+
+var _ Sketch = (*FpEstimator)(nil)
 
 // NewFpEstimator creates an estimator for exponent p > 2 over dimension n,
 // with the given number of independent samplers (the accuracy knob; a few
 // dozen give constant-factor estimates on moderately skewed data).
 func NewFpEstimator(p float64, n, samples int, opts ...Option) *FpEstimator {
+	if samples < 1 {
+		samples = 1 // mirror moments.NewFp, keeping the recorded config canonical
+	}
 	o := buildOptions(opts)
-	return &FpEstimator{inner: moments.NewFp(p, n, samples, o.rng())}
+	return &FpEstimator{p: p, n: n, samples: samples, opts: o,
+		inner: moments.NewFp(p, n, samples, o.rng())}
 }
 
 // Update applies x[i] += delta.
@@ -67,6 +98,19 @@ func (e *FpEstimator) Update(i int, delta int64) {
 
 // Process implements the stream.Sink interface.
 func (e *FpEstimator) Process(u Update) { e.inner.Process(u) }
+
+// ProcessBatch implements the stream.BatchSink fast path.
+func (e *FpEstimator) ProcessBatch(batch []Update) { e.inner.ProcessBatch(batch) }
+
+// Merge adds another estimator's state; both must be *FpEstimator built
+// with the same parameters and WithSeed value.
+func (e *FpEstimator) Merge(other Sketch) error {
+	o, err := mergeTarget[FpEstimator](other)
+	if err != nil {
+		return err
+	}
+	return e.inner.Merge(o.inner)
+}
 
 // Estimate returns the F_p estimate; ok is false when the vector is zero or
 // every sampler failed.

@@ -1,0 +1,57 @@
+package codec
+
+import "testing"
+
+// BenchmarkCodecEncode measures the raw framing cost per 64-bit word on a
+// payload the size of a typical L0 sampler (8 levels x 33 words).
+func BenchmarkCodecEncode(b *testing.B) {
+	const words = 8 * 33
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(KindL0Sampler)
+		e.U64(64)
+		e.F64(0.2)
+		e.SealHeader()
+		for w := 0; w < words; w++ {
+			e.U64(uint64(w))
+		}
+		if e.Len() == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+	b.SetBytes(int64(8 * words))
+}
+
+// BenchmarkCodecDecode measures the matching read path.
+func BenchmarkCodecDecode(b *testing.B) {
+	const words = 8 * 33
+	e := NewEncoder(KindL0Sampler)
+	e.U64(64)
+	e.F64(0.2)
+	e.SealHeader()
+	for w := 0; w < words; w++ {
+		e.U64(uint64(w))
+	}
+	data := e.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := NewDecoder(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.U64()
+		d.F64()
+		if err := d.VerifyHeader(); err != nil {
+			b.Fatal(err)
+		}
+		var sum uint64
+		for w := 0; w < words; w++ {
+			sum += d.U64()
+		}
+		if err := d.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(8 * words))
+}

@@ -1,0 +1,40 @@
+package codec
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecoder drives arbitrary bytes through the full decoder surface: it
+// must never panic, and every failure must map onto one of the package's
+// typed sentinels.
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LPSK"))
+	e := NewEncoder(KindL0Sampler)
+	e.U64(64)
+	e.F64(0.2)
+	e.SealHeader()
+	e.U64(7)
+	f.Add(e.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) {
+				t.Fatalf("NewDecoder returned untyped error %v", err)
+			}
+			return
+		}
+		_ = d.Kind()
+		d.U64()
+		d.F64()
+		_ = d.VerifyHeader()
+		d.I64()
+		d.Bool()
+		err = d.Finish()
+		if err != nil && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadFingerprint) && !errors.Is(err, ErrTrailingData) {
+			t.Fatalf("Finish returned untyped error %v", err)
+		}
+	})
+}

@@ -1,13 +1,13 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/bits"
 	"math/rand/v2"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/field"
 	"repro/internal/prng"
 	"repro/internal/sparse"
@@ -314,13 +314,16 @@ func (l *L0Sampler) RecoverLevel(k int) (map[int]int64, bool) {
 // seeded replicas) are reported as an error; validation runs before any
 // mutation, so a failed merge leaves the receiver untouched.
 func (l *L0Sampler) Merge(other *L0Sampler) error {
-	if other == nil || l.n != other.n || l.s != other.s ||
+	if other == nil {
+		return fmt.Errorf("core: %w", codec.ErrNilMerge)
+	}
+	if l.n != other.n || l.s != other.s ||
 		len(l.levels) != len(other.levels) || l.nested != other.nested {
-		return errors.New("core: merging incompatible L0 samplers")
+		return fmt.Errorf("core: merging incompatible L0 samplers: %w", codec.ErrConfigMismatch)
 	}
 	for k := range l.levels {
 		if !l.levels[k].Compatible(other.levels[k]) {
-			return errors.New("core: merging L0 samplers with different seeds (same-seed replicas required)")
+			return fmt.Errorf("core: %w", codec.ErrSeedMismatch)
 		}
 	}
 	l.queryValid = false
@@ -365,17 +368,36 @@ func (l *L0Sampler) ExportState() []byte {
 }
 
 // ImportState replaces the sampler's measurements with exported ones. The
-// receiver must be a same-seed, same-configuration instance.
+// receiver must be a same-seed, same-configuration instance. The memoized
+// sample is invalidated on every path, accepted or rejected.
 func (l *L0Sampler) ImportState(data []byte) error {
+	l.queryValid = false
 	per := int(l.levels[0].StateBits() / 8)
 	if len(data) != per*len(l.levels) {
 		return fmt.Errorf("core: state is %d bytes, want %d", len(data), per*len(l.levels))
 	}
-	l.queryValid = false
 	for k, lv := range l.levels {
 		if err := lv.ImportState(data[k*per : (k+1)*per]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// AppendState writes every level's linear measurements into a codec encoder
+// — the framed counterpart of ExportState used by the public wire format,
+// the engine checkpoints and the graph sketches.
+func (l *L0Sampler) AppendState(e *codec.Encoder) {
+	for _, lv := range l.levels {
+		lv.AppendState(e)
+	}
+}
+
+// RestoreState replaces every level's measurements from a codec decoder,
+// invalidating the memoized sample and each level's memoized decode.
+func (l *L0Sampler) RestoreState(d *codec.Decoder) {
+	l.queryValid = false
+	for _, lv := range l.levels {
+		lv.RestoreState(d)
+	}
 }

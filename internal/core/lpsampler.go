@@ -26,10 +26,11 @@
 package core
 
 import (
-	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/codec"
 	"repro/internal/countsketch"
 	"repro/internal/hash"
 	"repro/internal/norm"
@@ -292,13 +293,16 @@ func (s *LpSampler) ProcessBatch(batch []stream.Update) {
 // repetition and the shared norm sketch. Guard trips are OR-ed, matching
 // the "declare failure if any t_i fell below n^{-c}" semantics.
 func (s *LpSampler) Merge(other *LpSampler) error {
-	if other == nil || s.cfg.P != other.cfg.P || s.cfg.N != other.cfg.N ||
+	if other == nil {
+		return fmt.Errorf("core: %w", codec.ErrNilMerge)
+	}
+	if s.cfg.P != other.cfg.P || s.cfg.N != other.cfg.N ||
 		s.k != other.k || s.m != other.m || len(s.copies) != len(other.copies) {
-		return errors.New("core: merging Lp samplers of different configurations")
+		return fmt.Errorf("core: merging Lp samplers of different configurations: %w", codec.ErrConfigMismatch)
 	}
 	for ci, c := range s.copies {
 		if !c.t.Equal(other.copies[ci].t) {
-			return errors.New("core: merging Lp samplers with different seeds (same-seed replicas required)")
+			return fmt.Errorf("core: %w", codec.ErrSeedMismatch)
 		}
 	}
 	s.queryValid = false
@@ -415,4 +419,29 @@ func (s *LpSampler) StateBits() int64 {
 		bits += c.cs.StateBits() + c.ams.StateBits()
 	}
 	return bits + s.rNorm.StateBits()
+}
+
+// AppendState writes the sampler's linear state into a codec encoder: per
+// repetition the count-sketch cells, AMS counters and guard flag, then the
+// shared norm sketch. Seeds and scaling factors are construction randomness
+// and stay with the receiver.
+func (s *LpSampler) AppendState(e *codec.Encoder) {
+	for _, c := range s.copies {
+		c.cs.AppendState(e)
+		c.ams.AppendState(e)
+		e.Bool(c.guarded)
+	}
+	s.rNorm.AppendState(e)
+}
+
+// RestoreState replaces the sampler's linear state from a codec decoder and
+// invalidates the memoized recovery outputs.
+func (s *LpSampler) RestoreState(d *codec.Decoder) {
+	s.queryValid = false
+	for _, c := range s.copies {
+		c.cs.RestoreState(d)
+		c.ams.RestoreState(d)
+		c.guarded = d.Bool()
+	}
+	s.rNorm.RestoreState(d)
 }

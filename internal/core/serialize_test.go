@@ -49,6 +49,38 @@ func TestL0ImportRejectsWrongSize(t *testing.T) {
 	}
 }
 
+// TestL0RestoreInvalidatesPrimedSampleCache is the regression test for the
+// restore-then-Sample path: a sampler whose memoized Sample is primed must
+// re-decode after ImportState instead of serving the stale cache.
+func TestL0RestoreInvalidatesPrimedSampleCache(t *testing.T) {
+	r1 := rand.New(rand.NewPCG(6, 6))
+	r2 := rand.New(rand.NewPCG(6, 6))
+	a := NewL0Sampler(L0Config{N: 64, Delta: 0.2}, r1)
+	b := NewL0Sampler(L0Config{N: 64, Delta: 0.2}, r2)
+	a.Process(stream.Update{Index: 5, Delta: 9})
+	b.Process(stream.Update{Index: 33, Delta: 1})
+	// Prime b's memoized sample before the restore.
+	if out, ok := b.Sample(); !ok || out.Index != 33 {
+		t.Fatalf("priming sample: %+v ok=%v", out, ok)
+	}
+	if err := b.ImportState(a.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := b.Sample()
+	if !ok || out.Index != 5 || out.Estimate != 9 {
+		t.Fatalf("restore-then-Sample served stale cache: %+v ok=%v", out, ok)
+	}
+	// A rejected import must also leave the cache invalidated (the next
+	// Sample re-decodes the unchanged state and still answers correctly).
+	if err := b.ImportState(make([]byte, 7)); err == nil {
+		t.Fatal("short state must be rejected")
+	}
+	out, ok = b.Sample()
+	if !ok || out.Index != 5 {
+		t.Fatalf("sample after rejected import: %+v ok=%v", out, ok)
+	}
+}
+
 func TestL0ImportOverwrites(t *testing.T) {
 	r1 := rand.New(rand.NewPCG(4, 4))
 	r2 := rand.New(rand.NewPCG(4, 4))

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/distinct"
 	"repro/internal/prng"
 	"repro/internal/sparse"
@@ -36,6 +38,10 @@ type TwoPassL0Sampler struct {
 	rec  *sparse.Recoverer
 	q    float64 // pass-2 subsampling probability
 	pass int     // 1 or 2
+
+	// Batch scratch for the pass-2 membership filter; steady-state
+	// ProcessBatch calls allocate nothing.
+	batchBuf []stream.Update
 }
 
 // NewTwoPassL0Sampler constructs the sampler for dimension n and failure
@@ -74,6 +80,78 @@ func (tp *TwoPassL0Sampler) Process(u stream.Update) {
 	if tp.member(u.Index) {
 		tp.rec.Process(u)
 	}
+}
+
+// ProcessBatch implements stream.BatchSink for the current pass: pass 1
+// flows through the estimator's batched path; pass 2 filters the batch down
+// to the committed subsampling level and feeds the recoverer's transposed
+// kernel. State matches repeated Process calls exactly.
+func (tp *TwoPassL0Sampler) ProcessBatch(batch []stream.Update) {
+	if tp.pass == 1 {
+		tp.est.ProcessBatch(batch)
+		return
+	}
+	kept := tp.batchBuf[:0]
+	for _, u := range batch {
+		if tp.member(u.Index) {
+			kept = append(kept, u)
+		}
+	}
+	tp.batchBuf = kept
+	if len(kept) > 0 {
+		tp.rec.ProcessBatch(kept)
+	}
+}
+
+// Merge adds another sampler's state for the current pass (sketch
+// linearity), so that a sharded first or second pass can be folded into one
+// sampler. Both must be same-seed replicas in the same pass; pass-2 merges
+// additionally require an identical committed level q — replicas that
+// called EndPass1 on different estimates subsample different sets and are
+// rejected. Validation runs before any mutation.
+func (tp *TwoPassL0Sampler) Merge(other *TwoPassL0Sampler) error {
+	if other == nil {
+		return fmt.Errorf("core: %w", codec.ErrNilMerge)
+	}
+	if tp.n != other.n || tp.s != other.s {
+		return fmt.Errorf("core: merging two-pass samplers of different shapes: %w", codec.ErrConfigMismatch)
+	}
+	if tp.pass != other.pass || tp.q != other.q {
+		return fmt.Errorf("core: merging two-pass samplers in different passes: %w", codec.ErrConfigMismatch)
+	}
+	if !tp.rec.Compatible(other.rec) {
+		return fmt.Errorf("core: %w", codec.ErrSeedMismatch)
+	}
+	if err := tp.est.Merge(other.est); err != nil {
+		return err
+	}
+	return tp.rec.Merge(other.rec)
+}
+
+// AppendState writes the sampler's dynamic state into a codec encoder: the
+// pass marker and committed level first, then the pass-1 estimator
+// fingerprints and the pass-2 recoverer measurements.
+func (tp *TwoPassL0Sampler) AppendState(e *codec.Encoder) {
+	e.U64(uint64(tp.pass))
+	e.F64(tp.q)
+	tp.est.AppendState(e)
+	tp.rec.AppendState(e)
+}
+
+// RestoreState replaces the sampler's dynamic state from a codec decoder.
+// A pass marker outside {1, 2} marks the decoder failed (the payload is not
+// covered by the header fingerprint, so corruption must surface here rather
+// than leave the sampler routing updates against inconsistent state).
+func (tp *TwoPassL0Sampler) RestoreState(d *codec.Decoder) {
+	pass := int(d.U64())
+	if pass != 1 && pass != 2 {
+		d.Fail(fmt.Errorf("core: two-pass restore with pass marker %d: %w", pass, codec.ErrBadConfig))
+		return
+	}
+	tp.pass = pass
+	tp.q = d.F64()
+	tp.est.RestoreState(d)
+	tp.rec.RestoreState(d)
 }
 
 // member decides pass-2 membership from the PRG (consistent per index).

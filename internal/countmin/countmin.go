@@ -14,11 +14,12 @@
 package countmin
 
 import (
-	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/hash"
 	"repro/internal/stream"
 )
@@ -104,11 +105,14 @@ func (s *Sketch) ProcessBatch(batch []stream.Update) {
 // must be same-seed replicas of identical shape; a mismatch is reported as an
 // error and leaves the receiver untouched.
 func (s *Sketch) Merge(other *Sketch) error {
-	if other == nil || s.width != other.width || s.depth != other.depth {
-		return errors.New("countmin: merging sketches of different shapes")
+	if other == nil {
+		return fmt.Errorf("countmin: %w", codec.ErrNilMerge)
+	}
+	if s.width != other.width || s.depth != other.depth {
+		return fmt.Errorf("countmin: merging sketches of different shapes: %w", codec.ErrConfigMismatch)
 	}
 	if !s.h.Equal(other.h) {
-		return errors.New("countmin: merging sketches with different seeds (same-seed replicas required)")
+		return fmt.Errorf("countmin: %w", codec.ErrSeedMismatch)
 	}
 	for j := range s.cells {
 		row, orow := s.cells[j], other.cells[j]
@@ -173,4 +177,23 @@ func (s *Sketch) L1() int64 {
 // SpaceBits reports cells plus seeds at 64 bits per word.
 func (s *Sketch) SpaceBits() int64 {
 	return int64(s.depth)*int64(s.width)*64 + s.h.SpaceBits()
+}
+
+// AppendState writes the cell contents row-major into a codec encoder.
+func (s *Sketch) AppendState(e *codec.Encoder) {
+	for _, row := range s.cells {
+		for _, c := range row {
+			e.I64(c)
+		}
+	}
+}
+
+// RestoreState replaces the cell contents from a codec decoder, keeping the
+// receiver's shape and hash functions.
+func (s *Sketch) RestoreState(d *codec.Decoder) {
+	for _, row := range s.cells {
+		for k := range row {
+			row[k] = d.I64()
+		}
+	}
 }

@@ -24,10 +24,11 @@
 package countsketch
 
 import (
-	"errors"
+	"fmt"
 	"math/rand/v2"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/hash"
 	"repro/internal/stream"
 )
@@ -142,11 +143,14 @@ func (s *Sketch) addBatch(idx []uint64, del []float64) {
 // same-seed replicas (identical shape and hash functions); a mismatch is
 // reported as an error and leaves the receiver untouched.
 func (s *Sketch) Merge(other *Sketch) error {
-	if other == nil || s.m != other.m || s.rows != other.rows || s.buckets != other.buckets {
-		return errors.New("countsketch: merging sketches of different shapes")
+	if other == nil {
+		return fmt.Errorf("countsketch: %w", codec.ErrNilMerge)
+	}
+	if s.m != other.m || s.rows != other.rows || s.buckets != other.buckets {
+		return fmt.Errorf("countsketch: merging sketches of different shapes: %w", codec.ErrConfigMismatch)
 	}
 	if !s.h.Equal(other.h) || !s.g.Equal(other.g) {
-		return errors.New("countsketch: merging sketches with different seeds (same-seed replicas required)")
+		return fmt.Errorf("countsketch: %w", codec.ErrSeedMismatch)
 	}
 	for j := range s.cells {
 		row, orow := s.cells[j], other.cells[j]
@@ -222,6 +226,25 @@ func (s *Sketch) SpaceBits() int64 {
 // public-coin communication protocol.
 func (s *Sketch) StateBits() int64 {
 	return int64(s.rows) * int64(s.buckets) * 64
+}
+
+// AppendState writes the cell contents row-major into a codec encoder.
+func (s *Sketch) AppendState(e *codec.Encoder) {
+	for _, row := range s.cells {
+		for _, c := range row {
+			e.F64(c)
+		}
+	}
+}
+
+// RestoreState replaces the cell contents from a codec decoder. The
+// receiver keeps its shape and hash functions; only the linear state moves.
+func (s *Sketch) RestoreState(d *codec.Decoder) {
+	for _, row := range s.cells {
+		for k := range row {
+			row[k] = d.F64()
+		}
+	}
 }
 
 func median(v []float64) float64 {

@@ -33,9 +33,10 @@
 package distinct
 
 import (
-	"errors"
+	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/codec"
 	"repro/internal/field"
 	"repro/internal/hash"
 	"repro/internal/stream"
@@ -152,15 +153,18 @@ func (e *Estimator) ProcessBatch(batch []stream.Update) {
 // linearity). Both must be same-seed replicas; a mismatch is reported as an
 // error and leaves the receiver untouched.
 func (e *Estimator) Merge(other *Estimator) error {
-	if other == nil || e.n != other.n || e.levels != other.levels || e.reps != other.reps {
-		return errors.New("distinct: merging estimators of different shapes")
+	if other == nil {
+		return fmt.Errorf("distinct: %w", codec.ErrNilMerge)
+	}
+	if e.n != other.n || e.levels != other.levels || e.reps != other.reps {
+		return fmt.Errorf("distinct: merging estimators of different shapes: %w", codec.ErrConfigMismatch)
 	}
 	if !e.member.Equal(other.member) {
-		return errors.New("distinct: merging estimators with different seeds (same-seed replicas required)")
+		return fmt.Errorf("distinct: %w", codec.ErrSeedMismatch)
 	}
 	for j := range e.rho {
 		if e.rho[j] != other.rho[j] {
-			return errors.New("distinct: merging estimators with different seeds (same-seed replicas required)")
+			return fmt.Errorf("distinct: %w", codec.ErrSeedMismatch)
 		}
 	}
 	for k := range e.fp {
@@ -209,3 +213,21 @@ func (e *Estimator) SpaceBits() int64 {
 
 // StateBits reports the transmissible fingerprints only (public-coin model).
 func (e *Estimator) StateBits() int64 { return int64(e.levels*e.reps) * 64 }
+
+// AppendState writes the level fingerprints into a codec encoder.
+func (e *Estimator) AppendState(enc *codec.Encoder) {
+	for _, lvl := range e.fp {
+		for _, v := range lvl {
+			enc.U64(uint64(v))
+		}
+	}
+}
+
+// RestoreState replaces the level fingerprints from a codec decoder.
+func (e *Estimator) RestoreState(d *codec.Decoder) {
+	for _, lvl := range e.fp {
+		for j := range lvl {
+			lvl[j] = field.New(d.U64())
+		}
+	}
+}

@@ -22,10 +22,11 @@
 package duplicates
 
 import (
-	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/reservoir"
 	"repro/internal/sparse"
@@ -98,10 +99,18 @@ func (f *PositiveFinder) ProcessBatch(batch []stream.Update) { f.sampler.Process
 // same-seed replicas.
 func (f *PositiveFinder) Merge(other *PositiveFinder) error {
 	if other == nil {
-		return errors.New("duplicates: merging a nil finder")
+		return fmt.Errorf("duplicates: %w", codec.ErrNilMerge)
 	}
 	return f.sampler.Merge(other.sampler)
 }
+
+// AppendState writes the underlying sampler's linear state into a codec
+// encoder.
+func (f *PositiveFinder) AppendState(e *codec.Encoder) { f.sampler.AppendState(e) }
+
+// RestoreState replaces the underlying sampler's linear state from a codec
+// decoder.
+func (f *PositiveFinder) RestoreState(d *codec.Decoder) { f.sampler.RestoreState(d) }
 
 // Find returns the first sampled coordinate with positive estimate.
 func (f *PositiveFinder) Find() Result {
@@ -145,9 +154,18 @@ type Finder struct {
 // NewFinder creates the finder. The constructor feeds the (i, -1) prefix for
 // every letter, so x_i counts occurrences minus one from the start.
 func NewFinder(n int, delta float64, r *rand.Rand) *Finder {
-	f := &Finder{n: n, pf: NewPositiveFinder(n, delta, r)}
+	f := NewFinderForRestore(n, delta, r)
 	f.pf.ProcessBatch(stream.DecrementAll(n))
 	return f
+}
+
+// NewFinderForRestore builds a same-seed Finder without feeding the O(n)
+// pigeonhole prefix — for restore paths that immediately replace the
+// sampler's linear state with serialized measurements, which already
+// contain the prefix. Using it without a RestoreState is wrong: the
+// invariant x_i = occurrences - 1 would not hold.
+func NewFinderForRestore(n int, delta float64, r *rand.Rand) *Finder {
+	return &Finder{n: n, pf: NewPositiveFinder(n, delta, r)}
 }
 
 // ProcessItem consumes one letter of the stream.
@@ -174,8 +192,11 @@ func (f *Finder) ProcessBatch(batch []stream.Update) { f.pf.ProcessBatch(batch) 
 // letter, leaving x_i = (total occurrences across replicas) - 1 — exactly
 // the state of one finder that saw the whole stream.
 func (f *Finder) Merge(other *Finder) error {
-	if other == nil || f.n != other.n {
-		return errors.New("duplicates: merging finders of different alphabet sizes")
+	if other == nil {
+		return fmt.Errorf("duplicates: %w", codec.ErrNilMerge)
+	}
+	if f.n != other.n {
+		return fmt.Errorf("duplicates: merging finders of different alphabet sizes: %w", codec.ErrConfigMismatch)
 	}
 	if err := f.pf.Merge(other.pf); err != nil {
 		return err
@@ -188,6 +209,14 @@ func (f *Finder) Merge(other *Finder) error {
 // duplicate except with low probability (the sampler's estimate would need
 // the wrong sign).
 func (f *Finder) Find() Result { return f.pf.Find() }
+
+// AppendState writes the finder's sampler state into a codec encoder. The
+// pigeonhole prefix the constructor fed is part of that linear state, so a
+// restored finder continues exactly where the exporter stopped.
+func (f *Finder) AppendState(e *codec.Encoder) { f.pf.AppendState(e) }
+
+// RestoreState replaces the finder's sampler state from a codec decoder.
+func (f *Finder) RestoreState(d *codec.Decoder) { f.pf.RestoreState(d) }
 
 // SpaceBits reports the streaming state.
 func (f *Finder) SpaceBits() int64 { return f.pf.SpaceBits() }
@@ -259,11 +288,14 @@ func (sf *ShortFinder) ProcessItems(letters []int) {
 // compensates with +1 per letter on both structures, exactly like
 // Finder.Merge. Validation runs before any mutation.
 func (sf *ShortFinder) Merge(other *ShortFinder) error {
-	if other == nil || sf.n != other.n || sf.s != other.s {
-		return errors.New("duplicates: merging short finders of different shapes")
+	if other == nil {
+		return fmt.Errorf("duplicates: %w", codec.ErrNilMerge)
+	}
+	if sf.n != other.n || sf.s != other.s {
+		return fmt.Errorf("duplicates: merging short finders of different shapes: %w", codec.ErrConfigMismatch)
 	}
 	if !sf.rec.Compatible(other.rec) {
-		return errors.New("duplicates: merging short finders with different seeds (same-seed replicas required)")
+		return fmt.Errorf("duplicates: %w", codec.ErrSeedMismatch)
 	}
 	if err := sf.pf.Merge(other.pf); err != nil {
 		return err
@@ -290,6 +322,19 @@ func (sf *ShortFinder) Find() Result {
 		return Result{Kind: NoDuplicate, Index: -1}
 	}
 	return sf.pf.Find()
+}
+
+// AppendState writes the recoverer and sampler state into a codec encoder.
+func (sf *ShortFinder) AppendState(e *codec.Encoder) {
+	sf.rec.AppendState(e)
+	sf.pf.AppendState(e)
+}
+
+// RestoreState replaces the recoverer and sampler state from a codec
+// decoder.
+func (sf *ShortFinder) RestoreState(d *codec.Decoder) {
+	sf.rec.RestoreState(d)
+	sf.pf.RestoreState(d)
 }
 
 // SpaceBits reports recovery plus sampler state — the O(s log n + log² n)

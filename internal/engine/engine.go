@@ -19,15 +19,29 @@
 // channel handoffs, and the workers drive each replica's ProcessBatch hot
 // path. Results flushes, joins the workers and folds the replicas together.
 //
-// Producer methods (Process, ProcessBatch, Feed, Results, Close) must be
-// called from one goroutine; the parallelism lives in the shard workers.
+// Producer methods (Process, ProcessBatch, Feed, Results, Close, Snapshot,
+// Restore) must be called from one goroutine; the parallelism lives in the
+// shard workers.
+//
+// # Checkpoint and resume
+//
+// Because every replica is a serializable linear sketch, a sharded ingest
+// can checkpoint mid-stream: Snapshot quiesces the workers (flushes pending
+// batches, waits until every in-flight batch is consumed) and returns one
+// marshaled state per shard replica; ingestion continues afterwards. A new
+// engine with the same shard count, batch-independent routing being
+// deterministic by coordinate, Restores those states into its replicas and
+// replays only the updates after the checkpoint — the resumed result is
+// exactly the uninterrupted one. See examples/checkpoint.
 package engine
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/stream"
 )
 
@@ -72,6 +86,7 @@ type Engine[T stream.Sink] struct {
 	pending  [][]stream.Update
 	pool     sync.Pool
 	wg       sync.WaitGroup
+	inflight sync.WaitGroup // batches handed off but not yet processed
 	routed   int64
 	done     bool
 	result   T
@@ -118,7 +133,14 @@ func (e *Engine[T]) worker(shard int) {
 	for batch := range e.chans[shard] {
 		stream.ProcessAll(replica, batch)
 		e.pool.Put(batch[:0])
+		e.inflight.Done()
 	}
+}
+
+// send hands one batch to a shard worker, tracking it for quiesce.
+func (e *Engine[T]) send(s int, batch []stream.Update) {
+	e.inflight.Add(1)
+	e.chans[s] <- batch
 }
 
 // shardOf routes a coordinate to its owning shard: a Fibonacci mix of the
@@ -143,7 +165,7 @@ func (e *Engine[T]) route(s int, u stream.Update) {
 	p := append(e.pending[s], u)
 	e.pending[s] = p
 	if len(p) == e.cfg.BatchSize {
-		e.chans[s] <- p
+		e.send(s, p)
 		e.pending[s] = e.batchBuf()
 	}
 }
@@ -175,7 +197,7 @@ func (e *Engine[T]) ProcessBatch(batch []stream.Update) {
 			p = p[:len(p)+n]
 			batch = batch[n:]
 			if len(p) == e.cfg.BatchSize {
-				e.chans[0] <- p
+				e.send(0, p)
 				p = e.batchBuf()
 			}
 			e.pending[0] = p
@@ -235,10 +257,71 @@ func (e *Engine[T]) Close() {
 func (e *Engine[T]) shutdown() {
 	for s, ch := range e.chans {
 		if len(e.pending[s]) > 0 {
-			ch <- e.pending[s]
+			e.send(s, e.pending[s])
 		}
 		close(ch)
 	}
 	e.wg.Wait()
 	e.done = true
+}
+
+// quiesce flushes every pending partial batch to its worker and blocks
+// until all in-flight batches have been consumed. Afterwards the workers
+// idle on their channels and the replicas are safe to read or replace from
+// the producer goroutine; ingestion may continue.
+func (e *Engine[T]) quiesce() {
+	for s := range e.pending {
+		if len(e.pending[s]) > 0 {
+			e.send(s, e.pending[s])
+			e.pending[s] = e.batchBuf()
+		}
+	}
+	e.inflight.Wait()
+}
+
+// Snapshot checkpoints the engine mid-ingest: it quiesces the workers and
+// returns marshal applied to every shard replica, in shard order. The
+// engine keeps running — updates may continue to flow afterwards — so a
+// long ingest can checkpoint periodically and, after a crash, a fresh
+// engine with the same Config.Shards (shard routing is deterministic by
+// coordinate and shard count) Restores the blobs and replays only the
+// updates that came after the snapshot.
+func (e *Engine[T]) Snapshot(marshal func(replica T) ([]byte, error)) ([][]byte, error) {
+	if e.done {
+		return nil, errors.New("engine: Snapshot after Results/Close")
+	}
+	e.quiesce()
+	out := make([][]byte, len(e.replicas))
+	for s, r := range e.replicas {
+		b, err := marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("engine: snapshot of shard %d: %w", s, err)
+		}
+		out[s] = b
+	}
+	return out, nil
+}
+
+// Restore replaces every shard replica's state with a previously
+// Snapshot-ted blob (restore is called per replica, in shard order). The
+// engine must have the same shard count as the one that produced the
+// snapshot; the replicas must be same-seed reconstructions, which restore
+// typically enforces via the sketches' UnmarshalBinary. Safe before any
+// update or mid-stream (the workers are quiesced first); updates processed
+// before a Restore are discarded with the replaced state.
+func (e *Engine[T]) Restore(states [][]byte, restore func(replica T, state []byte) error) error {
+	if e.done {
+		return errors.New("engine: Restore after Results/Close")
+	}
+	if len(states) != len(e.replicas) {
+		return fmt.Errorf("engine: restoring %d shard states into %d shards: %w",
+			len(states), len(e.replicas), codec.ErrConfigMismatch)
+	}
+	e.quiesce()
+	for s, r := range e.replicas {
+		if err := restore(r, states[s]); err != nil {
+			return fmt.Errorf("engine: restore of shard %d: %w", s, err)
+		}
+	}
+	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/stream"
@@ -264,6 +265,29 @@ func (g *Sketch) Components() int {
 		seen[c] = true
 	}
 	return len(seen)
+}
+
+// AppendState writes every per-round, per-vertex sampler's linear state
+// into a codec encoder, round-major — a checkpoint of the whole dynamic
+// graph summary. The sketch must not have been consumed by a query
+// (SpanningForest merges rounds in place).
+func (g *Sketch) AppendState(e *codec.Encoder) {
+	for t := 0; t < g.rounds; t++ {
+		for v := 0; v < g.v; v++ {
+			g.sk[t][v].AppendState(e)
+		}
+	}
+}
+
+// RestoreState replaces every sampler's linear state from a codec decoder.
+// The receiver must be a same-seed, same-shape instance (same v, delta and
+// constructing randomness).
+func (g *Sketch) RestoreState(d *codec.Decoder) {
+	for t := 0; t < g.rounds; t++ {
+		for v := 0; v < g.v; v++ {
+			g.sk[t][v].RestoreState(d)
+		}
+	}
 }
 
 // SpaceBits totals all per-vertex, per-round sampler footprints.

@@ -11,10 +11,11 @@
 package heavyhitters
 
 import (
-	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/codec"
 	"repro/internal/countsketch"
 	"repro/internal/norm"
 	"repro/internal/stream"
@@ -103,8 +104,11 @@ func (s *Sketch) ProcessBatch(batch []stream.Update) {
 // two underlying vectors. Both must be same-seed replicas with identical
 // configuration.
 func (s *Sketch) Merge(other *Sketch) error {
-	if other == nil || s.cfg != other.cfg || s.m != other.m {
-		return errors.New("heavyhitters: merging sketches of different configurations")
+	if other == nil {
+		return fmt.Errorf("heavyhitters: %w", codec.ErrNilMerge)
+	}
+	if s.cfg != other.cfg || s.m != other.m {
+		return fmt.Errorf("heavyhitters: merging sketches of different configurations: %w", codec.ErrConfigMismatch)
 	}
 	if err := s.cs.Merge(other.cs); err != nil {
 		return err
@@ -141,6 +145,20 @@ func (s *Sketch) SpaceBits() int64 { return s.cs.SpaceBits() + s.nrm.SpaceBits()
 
 // StateBits reports counters only — the Theorem 9 protocol message.
 func (s *Sketch) StateBits() int64 { return s.cs.StateBits() + s.nrm.StateBits() }
+
+// AppendState writes the count-sketch cells and norm counters into a codec
+// encoder.
+func (s *Sketch) AppendState(e *codec.Encoder) {
+	s.cs.AppendState(e)
+	s.nrm.AppendState(e)
+}
+
+// RestoreState replaces the count-sketch cells and norm counters from a
+// codec decoder.
+func (s *Sketch) RestoreState(d *codec.Decoder) {
+	s.cs.RestoreState(d)
+	s.nrm.RestoreState(d)
+}
 
 // Valid checks the §4.4 validity definition of a heavy-hitter set S against
 // the exact vector: S must contain every i with |x_i| >= φ‖x‖_p and no i

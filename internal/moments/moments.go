@@ -22,9 +22,11 @@
 package moments
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/norm"
 	"repro/internal/stream"
@@ -68,6 +70,52 @@ func (e *FpEstimator) Process(u stream.Update) {
 	for _, s := range e.samplers {
 		s.Process(u)
 	}
+}
+
+// ProcessBatch implements stream.BatchSink: the L1 norm sketch and every
+// sampler consume the batch through their batched hot paths.
+func (e *FpEstimator) ProcessBatch(batch []stream.Update) {
+	e.l1.ProcessBatch(batch)
+	for _, s := range e.samplers {
+		s.ProcessBatch(batch)
+	}
+}
+
+// Merge adds another estimator's state so the result summarizes the sum of
+// the two underlying vectors (sketch linearity). Both must be same-seed
+// replicas with identical p and sampler counts; validation happens inside
+// the component merges, before their mutations.
+func (e *FpEstimator) Merge(other *FpEstimator) error {
+	if other == nil {
+		return fmt.Errorf("moments: %w", codec.ErrNilMerge)
+	}
+	if e.p != other.p || len(e.samplers) != len(other.samplers) {
+		return fmt.Errorf("moments: merging Fp estimators of different configurations: %w", codec.ErrConfigMismatch)
+	}
+	for i, s := range e.samplers {
+		if err := s.Merge(other.samplers[i]); err != nil {
+			return err
+		}
+	}
+	return e.l1.Merge(other.l1)
+}
+
+// AppendState writes every sampler's linear state and the L1 counters into
+// a codec encoder.
+func (e *FpEstimator) AppendState(enc *codec.Encoder) {
+	for _, s := range e.samplers {
+		s.AppendState(enc)
+	}
+	e.l1.AppendState(enc)
+}
+
+// RestoreState replaces every sampler's linear state and the L1 counters
+// from a codec decoder.
+func (e *FpEstimator) RestoreState(d *codec.Decoder) {
+	for _, s := range e.samplers {
+		s.RestoreState(d)
+	}
+	e.l1.RestoreState(d)
 }
 
 // Estimate returns the F_p estimate. ok is false when no sampler produced a

@@ -25,12 +25,13 @@
 package norm
 
 import (
-	"errors"
+	"fmt"
 	"math"
 	"math/rand/v2"
 	"sort"
 	"sync"
 
+	"repro/internal/codec"
 	"repro/internal/hash"
 	"repro/internal/stream"
 )
@@ -55,6 +56,10 @@ type Estimator interface {
 	// StateBits counts only the counters, excluding seeds — the message
 	// size in a public-coin protocol.
 	StateBits() int64
+	// AppendState writes the counters into a codec encoder; RestoreState
+	// replaces them from one (shape and seeds stay with the receiver).
+	AppendState(e *codec.Encoder)
+	RestoreState(d *codec.Decoder)
 }
 
 // ---------------------------------------------------------------------------
@@ -137,15 +142,21 @@ func (a *AMS) ProcessBatch(batch []stream.Update) {
 // Merge adds another AMS sketch's counters; other must be a same-seed *AMS
 // replica of identical shape.
 func (a *AMS) Merge(other Estimator) error {
+	if other == nil {
+		return fmt.Errorf("norm: %w", codec.ErrNilMerge)
+	}
 	o, ok := other.(*AMS)
-	if !ok || o == nil {
-		return errors.New("norm: merging AMS with a different estimator type")
+	if !ok {
+		return fmt.Errorf("norm: merging AMS with %T: %w", other, codec.ErrConfigMismatch)
+	}
+	if o == nil {
+		return fmt.Errorf("norm: %w", codec.ErrNilMerge)
 	}
 	if a.groups != o.groups || a.perGroup != o.perGroup {
-		return errors.New("norm: merging AMS sketches of different shapes")
+		return fmt.Errorf("norm: merging AMS sketches of different shapes: %w", codec.ErrConfigMismatch)
 	}
 	if !a.signs.Equal(o.signs) {
-		return errors.New("norm: merging AMS sketches with different seeds (same-seed replicas required)")
+		return fmt.Errorf("norm: %w", codec.ErrSeedMismatch)
 	}
 	for j := range a.counters {
 		a.counters[j] += o.counters[j]
@@ -192,6 +203,20 @@ func (a *AMS) SpaceBits() int64 {
 
 // StateBits reports counters only.
 func (a *AMS) StateBits() int64 { return int64(len(a.counters)) * 64 }
+
+// AppendState writes the counters into a codec encoder.
+func (a *AMS) AppendState(e *codec.Encoder) {
+	for _, c := range a.counters {
+		e.F64(c)
+	}
+}
+
+// RestoreState replaces the counters from a codec decoder.
+func (a *AMS) RestoreState(d *codec.Decoder) {
+	for j := range a.counters {
+		a.counters[j] = d.F64()
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Indyk p-stable sketch
@@ -314,15 +339,21 @@ func (s *Stable) ProcessBatch(batch []stream.Update) {
 // Merge adds another p-stable sketch's counters; other must be a same-seed
 // *Stable replica with the same p and shape.
 func (s *Stable) Merge(other Estimator) error {
+	if other == nil {
+		return fmt.Errorf("norm: %w", codec.ErrNilMerge)
+	}
 	o, ok := other.(*Stable)
-	if !ok || o == nil {
-		return errors.New("norm: merging Stable with a different estimator type")
+	if !ok {
+		return fmt.Errorf("norm: merging Stable with %T: %w", other, codec.ErrConfigMismatch)
+	}
+	if o == nil {
+		return fmt.Errorf("norm: %w", codec.ErrNilMerge)
 	}
 	if s.p != o.p || len(s.counters) != len(o.counters) {
-		return errors.New("norm: merging Stable sketches of different shapes")
+		return fmt.Errorf("norm: merging Stable sketches of different shapes: %w", codec.ErrConfigMismatch)
 	}
 	if !s.seeds.Equal(o.seeds) {
-		return errors.New("norm: merging Stable sketches with different seeds (same-seed replicas required)")
+		return fmt.Errorf("norm: %w", codec.ErrSeedMismatch)
 	}
 	for j := range s.counters {
 		s.counters[j] += o.counters[j]
@@ -365,6 +396,20 @@ func (s *Stable) SpaceBits() int64 {
 
 // StateBits reports counters only.
 func (s *Stable) StateBits() int64 { return int64(len(s.counters)) * 64 }
+
+// AppendState writes the counters into a codec encoder.
+func (s *Stable) AppendState(e *codec.Encoder) {
+	for _, c := range s.counters {
+		e.F64(c)
+	}
+}
+
+// RestoreState replaces the counters from a codec decoder.
+func (s *Stable) RestoreState(d *codec.Decoder) {
+	for j := range s.counters {
+		s.counters[j] = d.F64()
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Scale calibration

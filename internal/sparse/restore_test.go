@@ -1,0 +1,92 @@
+package sparse
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+// TestImportStateDirtyOnAllPaths is the regression test for the memoized
+// decode surviving a restore: ImportState must mark the decode dirty on
+// every path, including rejected imports, so no sequence of restore calls
+// can leave a stale cached decode marked clean.
+func TestImportStateDirtyOnAllPaths(t *testing.T) {
+	r := rand.New(rand.NewPCG(21, 22))
+	rc := New(128, 4, r)
+	rc.Add(7, 3)
+	if rec, ok := rc.Recover(); !ok || rec[7] != 3 {
+		t.Fatalf("seed decode failed: %v %v", rec, ok)
+	}
+	if rc.dirty {
+		t.Fatal("decode did not clear the dirty bit")
+	}
+
+	// A rejected import (wrong length) must still dirty the cache.
+	if err := rc.ImportState(make([]byte, 3)); err == nil {
+		t.Fatal("short import must be rejected")
+	}
+	if !rc.dirty {
+		t.Fatal("rejected ImportState left the memoized decode marked clean")
+	}
+	// The re-decode over the untouched state still answers correctly.
+	if rec, ok := rc.Recover(); !ok || rec[7] != 3 {
+		t.Fatalf("decode after rejected import: %v %v", rec, ok)
+	}
+
+	// An accepted import must dirty the cache and the next Recover must
+	// serve the imported state, not the stale cache.
+	r2 := rand.New(rand.NewPCG(21, 22))
+	donor := New(128, 4, r2)
+	donor.Add(90, -4)
+	if err := rc.ImportState(donor.ExportState()); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := rc.Recover(); !ok || rec[90] != -4 || rec[7] != 0 {
+		t.Fatalf("restore-then-Recover served stale state: %v %v", rec, ok)
+	}
+}
+
+// TestRestoreStateInvalidatesMemo covers the codec-framed restore path the
+// public wire format uses: restore-then-Recover must re-decode.
+func TestRestoreStateInvalidatesMemo(t *testing.T) {
+	r1 := rand.New(rand.NewPCG(31, 32))
+	r2 := rand.New(rand.NewPCG(31, 32))
+	rc := New(128, 4, r1)
+	donor := New(128, 4, r2)
+	rc.Add(5, 11)
+	donor.Add(60, 2)
+	if rec, ok := rc.Recover(); !ok || rec[5] != 11 {
+		t.Fatalf("seed decode failed: %v %v", rec, ok)
+	}
+
+	e := codec.NewEncoder(codec.KindL0Sampler)
+	donor.AppendState(e)
+	d, err := codec.NewDecoder(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.RestoreState(d)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := rc.Recover(); !ok || rec[60] != 2 || rec[5] != 0 {
+		t.Fatalf("RestoreState-then-Recover served stale state: %v %v", rec, ok)
+	}
+
+	// Round-trip: the framed bytes carry exactly the raw ExportState words.
+	e2 := codec.NewEncoder(codec.KindL0Sampler)
+	rc.AppendState(e2)
+	d2, err := codec.NewDecoder(e2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(128, 4, rand.New(rand.NewPCG(31, 32)))
+	fresh.RestoreState(d2)
+	if err := d2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := fresh.Recover(); !ok || rec[60] != 2 {
+		t.Fatalf("framed round-trip lost state: %v %v", rec, ok)
+	}
+}

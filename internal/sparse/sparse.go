@@ -40,10 +40,10 @@ package sparse
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/codec"
 	"repro/internal/field"
 	"repro/internal/stream"
 )
@@ -200,8 +200,14 @@ func (rc *Recoverer) Compatible(other *Recoverer) bool {
 // differing verification points — the signature of replicas that do not
 // share a seed — are reported as an error, leaving the receiver untouched.
 func (rc *Recoverer) Merge(other *Recoverer) error {
-	if !rc.Compatible(other) {
-		return errors.New("sparse: merging incompatible recoverers (same-seed replicas required)")
+	if other == nil {
+		return fmt.Errorf("sparse: %w", codec.ErrNilMerge)
+	}
+	if rc.n != other.n || len(rc.synd) != len(other.synd) {
+		return fmt.Errorf("sparse: merging recoverers of different shapes: %w", codec.ErrConfigMismatch)
+	}
+	if rc.rho != other.rho {
+		return fmt.Errorf("sparse: %w", codec.ErrSeedMismatch)
 	}
 	rc.dirty = true
 	for j := range rc.synd {
@@ -382,15 +388,40 @@ func (rc *Recoverer) ExportState() []byte {
 // ones. The receiver must have been constructed with the same parameters
 // and randomness (same-seed source); importing into a fresh instance and
 // continuing to Add realizes the linear-sketch handoff of the §4 protocols.
+//
+// The memoized decode is marked dirty on every path — including rejected
+// imports — so a cached Recover can never survive an ImportState call and
+// serve stale state for whatever bytes a retry ends up accepting.
 func (rc *Recoverer) ImportState(data []byte) error {
+	rc.dirty = true
 	want := (len(rc.synd) + 1) * 8
 	if len(data) != want {
 		return fmt.Errorf("sparse: state is %d bytes, want %d", len(data), want)
 	}
-	rc.dirty = true
 	for j := range rc.synd {
 		rc.synd[j] = field.Elem(binary.LittleEndian.Uint64(data[j*8:]))
 	}
 	rc.fp = field.Elem(binary.LittleEndian.Uint64(data[len(rc.synd)*8:]))
 	return nil
+}
+
+// AppendState writes the linear measurements (syndromes then fingerprint)
+// into a codec encoder — the framed counterpart of ExportState, used by the
+// public wire format and the engine checkpoints.
+func (rc *Recoverer) AppendState(e *codec.Encoder) {
+	for _, v := range rc.synd {
+		e.U64(uint64(v))
+	}
+	e.U64(uint64(rc.fp))
+}
+
+// RestoreState replaces the linear measurements from a codec decoder,
+// invalidating the memoized decode on every path (the decoder's sticky
+// error surfaces at the caller's Finish check).
+func (rc *Recoverer) RestoreState(d *codec.Decoder) {
+	rc.dirty = true
+	for j := range rc.synd {
+		rc.synd[j] = field.New(d.U64())
+	}
+	rc.fp = field.New(d.U64())
 }

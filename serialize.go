@@ -1,0 +1,444 @@
+package streamsample
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/codec"
+	"repro/internal/duplicates"
+)
+
+// This file implements the wire format of the public sketches: for each
+// kind, MarshalBinary writes the codec header, the kind-specific config
+// block (dimension, parameters, construction seed), the sealing
+// fingerprint, and the sketch's linear state; Load and UnmarshalBinary
+// reverse it by reconstructing a same-seed instance from the config block
+// and overwriting its linear state with the payload. See internal/codec for
+// the byte-level layout and the error taxonomy.
+
+// Sanity bounds on decoded config blocks. The header fingerprint already
+// rejects accidental corruption; these bounds additionally keep Load from
+// attempting absurd allocations when handed deliberately crafted bytes
+// (the fingerprint is a plain hash — anyone can seal a hostile header).
+// Every kind is held to the same rule: the decode predicts the sketch's
+// derived state size by mirroring the constructor's sizing arithmetic, and
+// rejects configs beyond maxWireWords (~1 GiB of 64-bit words) — a sketch
+// that large is a hostile or nonsensical wire config, not a summary.
+const (
+	maxWireDim   = 1<<31 - 1 // vector dimension / alphabet size (fits int everywhere)
+	maxWireKnob  = 1 << 20   // copies / sparsity / independence parameters
+	maxWireReps  = 1 << 8    // FpEstimator sampler count (each is a full L1 sampler)
+	maxWireWords = 1 << 27   // total derived sketch words across repetitions
+)
+
+func validWireDim(n uint64) bool { return n >= 1 && n <= maxWireDim }
+
+// predRows mirrors the count-sketch depth default shared by the Lp sampler
+// and heavy hitters: max(7, ⌈log2 n⌉ + 4).
+func predRows(n uint64) float64 {
+	return math.Max(7, math.Ceil(math.Log2(float64(n)))+4)
+}
+
+// predLpWords mirrors core.NewLpSampler's sizing: per repetition a
+// count-sketch of rows × 6m cells plus the k scaling coefficients and the
+// fixed AMS sketch, plus the shared norm estimator. Returns +Inf for
+// parameters whose intermediate sizing already overflows.
+func predLpWords(n uint64, p, eps, delta float64, copies uint64) float64 {
+	var m, k float64
+	if p == 1 {
+		m = 16 * math.Max(1, math.Log2(1/eps))
+		k = 4 * math.Log2(1/eps)
+	} else {
+		m = 16 * math.Pow(eps, -math.Max(0, p-1))
+		k = 10 / math.Abs(p-1)
+	}
+	reps := float64(copies)
+	if copies == 0 {
+		reps = math.Log(1/delta) * math.Pow(2, p) / eps
+	}
+	const amsWords = 9*6 + 9*4 // counters + 4-wise sign seeds
+	return reps*(predRows(n)*6*m+k+amsWords) + 140
+}
+
+func unitOpen(v float64) bool { return v > 0 && v < 1 }
+
+func badConfig(kind codec.Kind) error {
+	return fmt.Errorf("streamsample: %v config block: %w", kind, codec.ErrBadConfig)
+}
+
+// Load reconstructs a ready-to-merge sketch from MarshalBinary bytes alone:
+// the config block and seed rebuild the sketch's shape and randomness, the
+// payload restores its linear state. The concrete type matches the sketch
+// kind recorded in the bytes; type-switch or merge into a same-kind sketch
+// as needed. Corrupt input fails with the codec sentinels (ErrBadMagic,
+// ErrBadVersion, ErrBadKind, ErrBadFingerprint, ErrBadConfig, ErrTruncated,
+// ErrTrailingData under errors.Is).
+func Load(data []byte) (Sketch, error) {
+	d, err := codec.NewDecoder(data)
+	if err != nil {
+		return nil, fmt.Errorf("streamsample: %w", err)
+	}
+	var s interface {
+		Sketch
+		decode(d *codec.Decoder) error
+	}
+	switch d.Kind() {
+	case codec.KindLpSampler:
+		s = &LpSampler{}
+	case codec.KindL0Sampler:
+		s = &L0Sampler{}
+	case codec.KindDuplicateFinder:
+		s = &DuplicateFinder{}
+	case codec.KindHeavyHitters:
+		s = &HeavyHitters{}
+	case codec.KindTwoPassL0Sampler:
+		s = &TwoPassL0Sampler{}
+	case codec.KindFpEstimator:
+		s = &FpEstimator{}
+	default:
+		return nil, fmt.Errorf("streamsample: unknown sketch kind %v: %w", d.Kind(), codec.ErrBadKind)
+	}
+	if err := s.decode(d); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// unmarshalInto drives one type's decode from raw bytes, enforcing that the
+// bytes hold the receiver's kind.
+func unmarshalInto(data []byte, kind codec.Kind, decode func(*codec.Decoder) error) error {
+	d, err := codec.NewDecoder(data)
+	if err != nil {
+		return fmt.Errorf("streamsample: %w", err)
+	}
+	if d.Kind() != kind {
+		return fmt.Errorf("streamsample: bytes hold a %v, receiver wants %v: %w",
+			d.Kind(), kind, codec.ErrBadKind)
+	}
+	return decode(d)
+}
+
+// finish wraps the decoder's final consistency check.
+func finishDecode(d *codec.Decoder) error {
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("streamsample: %w", err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// LpSampler
+// ---------------------------------------------------------------------------
+
+// MarshalBinary implements encoding.BinaryMarshaler: kind, config block
+// (n, p, ε, δ, copies, seed), fingerprint, then the per-repetition
+// count-sketch/AMS state and the shared norm sketch.
+func (s *LpSampler) MarshalBinary() ([]byte, error) {
+	e := codec.NewEncoder(codec.KindLpSampler)
+	e.U64(uint64(s.n))
+	e.F64(s.p)
+	e.F64(s.opts.eps)
+	e.F64(s.opts.delta)
+	e.U64(uint64(s.opts.copies))
+	e.U64(s.opts.seed)
+	e.SealHeader()
+	s.inner.AppendState(e)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler by rebuilding the
+// receiver from MarshalBinary bytes of an LpSampler. On error the receiver
+// is left unchanged.
+func (s *LpSampler) UnmarshalBinary(data []byte) error {
+	return unmarshalInto(data, codec.KindLpSampler, s.decode)
+}
+
+func (s *LpSampler) decode(d *codec.Decoder) error {
+	n := d.U64()
+	p := d.F64()
+	eps := d.F64()
+	delta := d.F64()
+	copies := d.U64()
+	seed := d.U64()
+	if err := d.VerifyHeader(); err != nil {
+		return fmt.Errorf("streamsample: %w", err)
+	}
+	// Reject unconstructible parameters, then hold the derived state to the
+	// uniform word budget: the scaling-factor independence k blows up as p
+	// approaches 1, m and the default repetition count grow with 1/ε, and
+	// the total cell count is their product across repetitions and rows.
+	if !validWireDim(n) || !(p > 0 && p < 2) || !unitOpen(eps) || !unitOpen(delta) ||
+		copies > maxWireKnob ||
+		predLpWords(n, p, eps, delta, copies) > maxWireWords {
+		return badConfig(codec.KindLpSampler)
+	}
+	tmp := NewLpSampler(p, int(n), WithSeed(seed), WithEps(eps), WithDelta(delta),
+		WithCopies(int(copies)))
+	tmp.inner.RestoreState(d)
+	if err := finishDecode(d); err != nil {
+		return err
+	}
+	*s = *tmp
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// L0Sampler
+// ---------------------------------------------------------------------------
+
+// MarshalBinary implements encoding.BinaryMarshaler: kind, config block
+// (n, δ, sparsity override, nested flag, seed), fingerprint, then every
+// subsampling level's syndromes and verification fingerprint.
+func (s *L0Sampler) MarshalBinary() ([]byte, error) {
+	e := codec.NewEncoder(codec.KindL0Sampler)
+	e.U64(uint64(s.n))
+	e.F64(s.opts.delta)
+	e.U64(uint64(s.opts.sBudget))
+	e.Bool(s.opts.nested)
+	e.U64(s.opts.seed)
+	e.SealHeader()
+	s.inner.AppendState(e)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler by rebuilding the
+// receiver from MarshalBinary bytes of an L0Sampler. On error the receiver
+// is left unchanged.
+func (s *L0Sampler) UnmarshalBinary(data []byte) error {
+	return unmarshalInto(data, codec.KindL0Sampler, s.decode)
+}
+
+func (s *L0Sampler) decode(d *codec.Decoder) error {
+	n := d.U64()
+	delta := d.F64()
+	sBudget := d.U64()
+	nested := d.Bool()
+	seed := d.U64()
+	if err := d.VerifyHeader(); err != nil {
+		return fmt.Errorf("streamsample: %w", err)
+	}
+	if !validWireDim(n) || !unitOpen(delta) || sBudget > maxWireKnob {
+		return badConfig(codec.KindL0Sampler)
+	}
+	// Word budget, mirroring core.NewL0Sampler: one 2s+1-word recoverer per
+	// subsampling level.
+	predS := float64(sBudget)
+	if sBudget == 0 {
+		predS = math.Max(4, math.Ceil(4*math.Log2(1/delta)))
+	}
+	predLevels := math.Max(1, math.Ceil(math.Log2(float64(n))))
+	if predLevels*(2*predS+1) > maxWireWords {
+		return badConfig(codec.KindL0Sampler)
+	}
+	opts := []Option{WithSeed(seed), WithDelta(delta), WithSparsity(int(sBudget))}
+	if nested {
+		opts = append(opts, WithNestedLevels())
+	}
+	tmp := NewL0Sampler(int(n), opts...)
+	tmp.inner.RestoreState(d)
+	if err := finishDecode(d); err != nil {
+		return err
+	}
+	*s = *tmp
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// DuplicateFinder
+// ---------------------------------------------------------------------------
+
+// MarshalBinary implements encoding.BinaryMarshaler: kind, config block
+// (n, δ, seed), fingerprint, then the underlying L1 sampler's state (which
+// already contains the pigeonhole prefix).
+func (d *DuplicateFinder) MarshalBinary() ([]byte, error) {
+	e := codec.NewEncoder(codec.KindDuplicateFinder)
+	e.U64(uint64(d.n))
+	e.F64(d.opts.delta)
+	e.U64(d.opts.seed)
+	e.SealHeader()
+	d.inner.AppendState(e)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler by rebuilding the
+// receiver from MarshalBinary bytes of a DuplicateFinder. On error the
+// receiver is left unchanged.
+func (d *DuplicateFinder) UnmarshalBinary(data []byte) error {
+	return unmarshalInto(data, codec.KindDuplicateFinder, d.decode)
+}
+
+func (d *DuplicateFinder) decode(dec *codec.Decoder) error {
+	n := dec.U64()
+	delta := dec.F64()
+	seed := dec.U64()
+	if err := dec.VerifyHeader(); err != nil {
+		return fmt.Errorf("streamsample: %w", err)
+	}
+	if !validWireDim(n) || !unitOpen(delta) {
+		return badConfig(codec.KindDuplicateFinder)
+	}
+	// Word budget, mirroring duplicates.NewPositiveFinder: an L1 sampler at
+	// ε = 1/2 with ~8·ln(1/δ) repetitions.
+	dfCopies := math.Max(4, math.Ceil(math.Log(1/delta)*8))
+	if dfCopies > maxWireKnob ||
+		predLpWords(n, 1, 0.5, 0.5, uint64(dfCopies)) > maxWireWords {
+		return badConfig(codec.KindDuplicateFinder)
+	}
+	// Skip the constructor's O(n) pigeonhole prefix: the serialized sampler
+	// state about to be restored already contains it.
+	o := buildOptions([]Option{WithSeed(seed), WithDelta(delta)})
+	tmp := &DuplicateFinder{n: int(n), opts: o,
+		inner: duplicates.NewFinderForRestore(int(n), o.delta, o.rng())}
+	tmp.inner.RestoreState(dec)
+	if err := finishDecode(dec); err != nil {
+		return err
+	}
+	*d = *tmp
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// HeavyHitters
+// ---------------------------------------------------------------------------
+
+// MarshalBinary implements encoding.BinaryMarshaler: kind, config block
+// (n, p, φ, seed), fingerprint, then the count-sketch cells and norm
+// counters.
+func (h *HeavyHitters) MarshalBinary() ([]byte, error) {
+	e := codec.NewEncoder(codec.KindHeavyHitters)
+	e.U64(uint64(h.n))
+	e.F64(h.p)
+	e.F64(h.phi)
+	e.U64(h.opts.seed)
+	e.SealHeader()
+	h.inner.AppendState(e)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler by rebuilding the
+// receiver from MarshalBinary bytes of a HeavyHitters sketch. On error the
+// receiver is left unchanged.
+func (h *HeavyHitters) UnmarshalBinary(data []byte) error {
+	return unmarshalInto(data, codec.KindHeavyHitters, h.decode)
+}
+
+func (h *HeavyHitters) decode(d *codec.Decoder) error {
+	n := d.U64()
+	p := d.F64()
+	phi := d.F64()
+	seed := d.U64()
+	if err := d.VerifyHeader(); err != nil {
+		return fmt.Errorf("streamsample: %w", err)
+	}
+	// Word budget, mirroring heavyhitters.New: rows × 6m count-sketch cells
+	// with m = Θ(φ^{-p}), plus the norm estimator's counters.
+	if !validWireDim(n) || !(p > 0 && p <= 2) || !unitOpen(phi) ||
+		predRows(n)*6*math.Ceil(12*math.Pow(phi, -p))+400 > maxWireWords {
+		return badConfig(codec.KindHeavyHitters)
+	}
+	tmp := NewHeavyHitters(p, phi, int(n), WithSeed(seed))
+	tmp.inner.RestoreState(d)
+	if err := finishDecode(d); err != nil {
+		return err
+	}
+	*h = *tmp
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// TwoPassL0Sampler
+// ---------------------------------------------------------------------------
+
+// MarshalBinary implements encoding.BinaryMarshaler: kind, config block
+// (n, δ, seed), fingerprint, then the dynamic state — pass marker,
+// committed level, pass-1 estimator fingerprints, pass-2 recoverer
+// measurements. A sampler checkpointed between passes resumes exactly where
+// it stopped.
+func (s *TwoPassL0Sampler) MarshalBinary() ([]byte, error) {
+	e := codec.NewEncoder(codec.KindTwoPassL0Sampler)
+	e.U64(uint64(s.n))
+	e.F64(s.opts.delta)
+	e.U64(s.opts.seed)
+	e.SealHeader()
+	s.inner.AppendState(e)
+	return e.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler by rebuilding the
+// receiver from MarshalBinary bytes of a TwoPassL0Sampler. On error the
+// receiver is left unchanged.
+func (s *TwoPassL0Sampler) UnmarshalBinary(data []byte) error {
+	return unmarshalInto(data, codec.KindTwoPassL0Sampler, s.decode)
+}
+
+func (s *TwoPassL0Sampler) decode(d *codec.Decoder) error {
+	n := d.U64()
+	delta := d.F64()
+	seed := d.U64()
+	if err := d.VerifyHeader(); err != nil {
+		return fmt.Errorf("streamsample: %w", err)
+	}
+	// Word budget, mirroring core.NewTwoPassL0Sampler: the level-tester
+	// fingerprints plus one 2s+1-word recoverer with s = Θ(log 1/δ).
+	tpS := 4 * math.Max(4, math.Ceil(math.Log2(4/delta)))
+	if !validWireDim(n) || !unitOpen(delta) ||
+		(math.Ceil(math.Log2(float64(n)))+2)*12+2*tpS+1 > maxWireWords {
+		return badConfig(codec.KindTwoPassL0Sampler)
+	}
+	tmp := NewTwoPassL0Sampler(int(n), WithSeed(seed), WithDelta(delta))
+	tmp.inner.RestoreState(d)
+	if err := finishDecode(d); err != nil {
+		return err
+	}
+	*s = *tmp
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// FpEstimator
+// ---------------------------------------------------------------------------
+
+// MarshalBinary implements encoding.BinaryMarshaler: kind, config block
+// (n, p, sampler count, seed), fingerprint, then every L1 sampler's state
+// and the L1 norm counters.
+func (e *FpEstimator) MarshalBinary() ([]byte, error) {
+	enc := codec.NewEncoder(codec.KindFpEstimator)
+	enc.U64(uint64(e.n))
+	enc.F64(e.p)
+	enc.U64(uint64(e.samples))
+	enc.U64(e.opts.seed)
+	enc.SealHeader()
+	e.inner.AppendState(enc)
+	return enc.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler by rebuilding the
+// receiver from MarshalBinary bytes of an FpEstimator. On error the
+// receiver is left unchanged.
+func (e *FpEstimator) UnmarshalBinary(data []byte) error {
+	return unmarshalInto(data, codec.KindFpEstimator, e.decode)
+}
+
+func (e *FpEstimator) decode(d *codec.Decoder) error {
+	n := d.U64()
+	p := d.F64()
+	samples := d.U64()
+	seed := d.U64()
+	if err := d.VerifyHeader(); err != nil {
+		return fmt.Errorf("streamsample: %w", err)
+	}
+	// Word budget, mirroring moments.NewFp: `samples` full L1 samplers at
+	// the fixed ε = δ = 0.25, plus the L1 norm counters.
+	if !validWireDim(n) || !(p > 2) || math.IsInf(p, 1) ||
+		samples < 1 || samples > maxWireReps ||
+		float64(samples)*predLpWords(n, 1, 0.25, 0.25, 0)+120 > maxWireWords {
+		return badConfig(codec.KindFpEstimator)
+	}
+	tmp := NewFpEstimator(p, int(n), int(samples), WithSeed(seed))
+	tmp.inner.RestoreState(d)
+	if err := finishDecode(d); err != nil {
+		return err
+	}
+	*e = *tmp
+	return nil
+}

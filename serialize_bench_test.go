@@ -1,0 +1,107 @@
+package streamsample
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSketches builds one loaded instance of each kind for the codec
+// microbenchmarks (the bench-codec Makefile target).
+func benchSketches(b *testing.B) []struct {
+	name string
+	s    Sketch
+} {
+	b.Helper()
+	out := []struct {
+		name string
+		s    Sketch
+	}{}
+	for _, tc := range sketchCases() {
+		s := tc.build(42)
+		tc.feed(s)
+		out = append(out, struct {
+			name string
+			s    Sketch
+		}{tc.name, s})
+	}
+	return out
+}
+
+// BenchmarkMarshalSketch reports marshal ns/op and serialized bytes per
+// sketch kind.
+func BenchmarkMarshalSketch(b *testing.B) {
+	for _, bs := range benchSketches(b) {
+		b.Run(bs.name, func(b *testing.B) {
+			data, err := bs.s.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(data)), "wire-bytes")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bs.s.MarshalBinary(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(data)))
+		})
+	}
+}
+
+// BenchmarkUnmarshalSketch reports the full Load cost — header validation,
+// same-seed reconstruction and state restore — per sketch kind.
+func BenchmarkUnmarshalSketch(b *testing.B) {
+	for _, bs := range benchSketches(b) {
+		b.Run(bs.name, func(b *testing.B) {
+			data, err := bs.s.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Load(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(data)))
+		})
+	}
+}
+
+// BenchmarkShardedExportMerge measures the whole distributed round:
+// marshal S shards, load them, merge into one.
+func BenchmarkShardedExportMerge(b *testing.B) {
+	for _, shards := range []int{2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			parts := make([]*L0Sampler, shards)
+			for s := range parts {
+				parts[s] = NewL0Sampler(4096, WithSeed(99))
+				feedTurnstile(parts[s], uint64(s), 4096, 2000)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var merged Sketch
+				for _, p := range parts {
+					data, err := p.MarshalBinary()
+					if err != nil {
+						b.Fatal(err)
+					}
+					loaded, err := Load(data)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if merged == nil {
+						merged = loaded
+						continue
+					}
+					if err := merged.Merge(loaded); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

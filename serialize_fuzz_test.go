@@ -1,0 +1,58 @@
+package streamsample
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+// FuzzLoad drives arbitrary bytes through the public Load: it must never
+// panic or attempt absurd allocations, and every rejection must carry one
+// of the codec sentinels. Valid sketches of every kind seed the corpus so
+// the fuzzer mutates realistic headers.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("LPSK"))
+	for _, tc := range sketchCases() {
+		s := tc.build(1)
+		tc.feed(s)
+		data, err := s.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+
+	sentinels := []error{
+		codec.ErrBadMagic, codec.ErrBadVersion, codec.ErrBadKind,
+		codec.ErrBadConfig, codec.ErrBadFingerprint,
+		codec.ErrTruncated, codec.ErrTrailingData,
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(data)
+		if err != nil {
+			for _, want := range sentinels {
+				if errors.Is(err, want) {
+					return
+				}
+			}
+			t.Fatalf("Load returned untyped error %v", err)
+		}
+		// A successfully loaded sketch must be usable: queryable, mergeable
+		// with itself via a second Load, and re-marshalable.
+		if s.SpaceBits() <= 0 {
+			t.Fatal("loaded sketch reports non-positive SpaceBits")
+		}
+		twin, err := Load(data)
+		if err != nil {
+			t.Fatalf("second Load of accepted bytes failed: %v", err)
+		}
+		if err := s.Merge(twin); err != nil {
+			t.Fatalf("loaded sketch rejects its own twin: %v", err)
+		}
+		if _, err := s.MarshalBinary(); err != nil {
+			t.Fatalf("re-marshal of loaded sketch failed: %v", err)
+		}
+	})
+}

@@ -3,7 +3,31 @@
 // "Tight Bounds for Lp Samplers, Finding Duplicates in Streams, and Related
 // Problems" (PODS 2011).
 //
-// A stream of updates (i, Δ) defines a vector x ∈ Z^n. The samplers answer:
+// # The Sketch interface
+//
+// Every public type is a Sketch: a linear summary of a vector x ∈ Z^n
+// defined by a stream of updates (i, Δ). The interface is the whole
+// distributed contract in one place —
+//
+//	type Sketch interface {
+//		Process(Update)            // one turnstile update
+//		ProcessBatch([]Update)     // the batched ingestion hot path
+//		Merge(Sketch) error        // fold a same-seed replica's state in
+//		SpaceBits() int64          // the paper's space accounting
+//		encoding.BinaryMarshaler   // serialize: config + seed + state
+//		encoding.BinaryUnmarshaler // rebuild in place from those bytes
+//	}
+//
+// Because the structures are linear, same-seed sketches summarize sums of
+// vectors: shard a stream across processes, give every process the same
+// WithSeed value, MarshalBinary each shard's sketch, move the bytes, Load
+// them anywhere, and Merge — the merged sketch is exactly the sketch of the
+// whole stream. Load reconstructs a ready-to-merge sketch from the bytes
+// alone (the versioned wire format carries the config block and seed; see
+// internal/codec for the layout), and cross-seed or cross-config merges
+// fail with the typed sentinels ErrSeedMismatch and ErrConfigMismatch.
+//
+// # The samplers
 //
 //   - LpSampler (0 < p < 2): return index i with probability
 //     ≈ (1±ε)|x_i|^p/‖x‖_p^p plus an ε-relative-error estimate of x_i, in
@@ -14,10 +38,8 @@
 //     repeated letter in O(log² n) bits (Theorem 3).
 //   - HeavyHitters: return a valid Lp heavy-hitter set in O(φ^{-p} log² n)
 //     bits (§4.4), matching the paper's Theorem 9 lower bound.
-//
-// All structures are linear sketches: updates may be positive or negative,
-// insertions may be interleaved with deletions, and same-seed sketches can
-// be merged (L0Sampler.Merge) to summarize sums of vectors.
+//   - TwoPassL0Sampler, FpEstimator (extensions.go): the appendix two-pass
+//     sampler and the F_p (p > 2) moment application.
 //
 // Everything is implemented from scratch on the standard library; the
 // internal packages expose the substrates (count-sketch, p-stable norm
@@ -26,20 +48,62 @@
 package streamsample
 
 import (
-	"errors"
+	"encoding"
+	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/duplicates"
 	"repro/internal/heavyhitters"
 	"repro/internal/stream"
 )
 
-// errNilMerge is returned by every Merge wrapper handed a nil sketch.
-var errNilMerge = errors.New("streamsample: merging a nil sketch")
-
 // Update is one turnstile update: x[Index] += Delta.
 type Update = stream.Update
+
+// Sketch is the common contract of every public type: a serializable,
+// remotely mergeable linear summary of a turnstile stream. See the package
+// documentation for the distributed pattern it enables.
+type Sketch interface {
+	// Process applies one update.
+	Process(u Update)
+	// ProcessBatch applies a batch through the sketch's batched hot path;
+	// the resulting state matches repeated Process calls exactly.
+	ProcessBatch(batch []Update)
+	// Merge folds another sketch's state in, so the receiver summarizes the
+	// sum of the two underlying vectors. The argument must be the same
+	// concrete type, built with the same parameters and WithSeed value;
+	// anything else fails with ErrNilMerge, ErrConfigMismatch or
+	// ErrSeedMismatch (match with errors.Is).
+	Merge(other Sketch) error
+	// SpaceBits reports the sketch size under the paper's accounting.
+	SpaceBits() int64
+	// MarshalBinary serializes the sketch — config block, construction
+	// seed and linear state — into the versioned wire format that Load and
+	// UnmarshalBinary read back. Readers hold reconstructed sketches to a
+	// ~1 GiB derived-state budget as a hostile-bytes safety valve, so
+	// deliberately extreme configurations (far beyond any polylog-space
+	// use of the paper's structures) do not round-trip.
+	encoding.BinaryMarshaler
+	// UnmarshalBinary rebuilds the receiver in place from MarshalBinary
+	// bytes of the same sketch kind.
+	encoding.BinaryUnmarshaler
+}
+
+// Merge error sentinels, re-exported from the wire-format package so
+// internal and public layers report the same identities. Every Merge in the
+// repository wraps one of these; dispatch with errors.Is.
+var (
+	// ErrNilMerge is returned by Merge when handed a nil sketch.
+	ErrNilMerge = codec.ErrNilMerge
+	// ErrSeedMismatch is returned when the two sketches were built from
+	// different seeds — linear merging requires same-seed replicas.
+	ErrSeedMismatch = codec.ErrSeedMismatch
+	// ErrConfigMismatch is returned when the two sketches differ in
+	// concrete type, shape or construction parameters.
+	ErrConfigMismatch = codec.ErrConfigMismatch
+)
 
 // options collects cross-cutting construction knobs.
 type options struct {
@@ -79,19 +143,55 @@ func WithSparsity(s int) Option { return func(o *options) { o.sBudget = s } }
 // subsampling level at once, instead of independent per-level coins.
 func WithNestedLevels() Option { return func(o *options) { o.nested = true } }
 
+// buildOptions applies the options and materializes a concrete seed: a
+// sketch built without WithSeed draws one random seed up front and derives
+// all randomness from it, so every sketch — seeded or not — serializes to
+// bytes that reconstruct it exactly. Out-of-range ε/δ fall back to the
+// defaults here (rather than in the inner constructors), keeping the
+// recorded config block canonical.
 func buildOptions(opts []Option) options {
 	o := options{eps: 0.25, delta: 0.2}
 	for _, f := range opts {
 		f(&o)
 	}
+	if !(o.eps > 0 && o.eps < 1) {
+		o.eps = 0.25
+	}
+	if !(o.delta > 0 && o.delta < 1) {
+		o.delta = 0.2
+	}
+	if o.copies < 0 {
+		o.copies = 0
+	}
+	if o.sBudget < 0 {
+		o.sBudget = 0
+	}
+	if !o.seeded {
+		o.seed = rand.Uint64()
+		o.seeded = true
+	}
 	return o
 }
 
 func (o options) rng() *rand.Rand {
-	if o.seeded {
-		return rand.New(rand.NewPCG(o.seed, o.seed^0x9E3779B97F4A7C15))
+	return rand.New(rand.NewPCG(o.seed, o.seed^0x9E3779B97F4A7C15))
+}
+
+// mergeTarget resolves the Sketch argument of a Merge call to the concrete
+// type T, mapping nil interfaces, typed nils and foreign types onto the
+// error sentinels.
+func mergeTarget[T any](other Sketch) (*T, error) {
+	o, ok := any(other).(*T)
+	if !ok {
+		if other == nil {
+			return nil, fmt.Errorf("streamsample: %w", ErrNilMerge)
+		}
+		return nil, fmt.Errorf("streamsample: merging %T into %T: %w", other, (*T)(nil), ErrConfigMismatch)
 	}
-	return rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+	if o == nil {
+		return nil, fmt.Errorf("streamsample: %w", ErrNilMerge)
+	}
+	return o, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -100,13 +200,19 @@ func (o options) rng() *rand.Rand {
 
 // LpSampler samples coordinates proportionally to |x_i|^p.
 type LpSampler struct {
+	p     float64
+	n     int
+	opts  options
 	inner *core.LpSampler
 }
+
+// Compile-time check: every public type satisfies the Sketch contract.
+var _ Sketch = (*LpSampler)(nil)
 
 // NewLpSampler creates a sampler for p in (0,2) over vectors of dimension n.
 func NewLpSampler(p float64, n int, opts ...Option) *LpSampler {
 	o := buildOptions(opts)
-	return &LpSampler{inner: core.NewLpSampler(core.LpConfig{
+	return &LpSampler{p: p, n: n, opts: o, inner: core.NewLpSampler(core.LpConfig{
 		P:      p,
 		N:      n,
 		Eps:    o.eps,
@@ -127,14 +233,15 @@ func (s *LpSampler) Process(u Update) { s.inner.Process(u) }
 // and scaling factors are amortized across the batch.
 func (s *LpSampler) ProcessBatch(batch []Update) { s.inner.ProcessBatch(batch) }
 
-// Merge adds another sampler's state; both must be built with the same
-// parameters and WithSeed value so they share randomness. After merging,
-// this sampler summarizes the sum of the two vectors.
-func (s *LpSampler) Merge(other *LpSampler) error {
-	if other == nil {
-		return errNilMerge
+// Merge adds another sampler's state; both must be *LpSampler built with
+// the same parameters and WithSeed value so they share randomness. After
+// merging, this sampler summarizes the sum of the two vectors.
+func (s *LpSampler) Merge(other Sketch) error {
+	o, err := mergeTarget[LpSampler](other)
+	if err != nil {
+		return err
 	}
-	return s.inner.Merge(other.inner)
+	return s.inner.Merge(o.inner)
 }
 
 // Sample returns an index distributed ≈ proportionally to |x_i|^p, with a
@@ -154,13 +261,17 @@ func (s *LpSampler) SpaceBits() int64 { return s.inner.SpaceBits() }
 
 // L0Sampler samples uniformly from the support of x.
 type L0Sampler struct {
+	n     int
+	opts  options
 	inner *core.L0Sampler
 }
+
+var _ Sketch = (*L0Sampler)(nil)
 
 // NewL0Sampler creates the sampler for dimension n.
 func NewL0Sampler(n int, opts ...Option) *L0Sampler {
 	o := buildOptions(opts)
-	return &L0Sampler{inner: core.NewL0Sampler(core.L0Config{
+	return &L0Sampler{n: n, opts: o, inner: core.NewL0Sampler(core.L0Config{
 		N:            n,
 		Delta:        o.delta,
 		SOverride:    o.sBudget,
@@ -185,15 +296,16 @@ func (s *L0Sampler) Sample() (index int, value int64, ok bool) {
 	return out.Index, int64(out.Estimate), ok
 }
 
-// Merge adds another sampler's state; both must be built with the same
-// dimension and WithSeed value so they share randomness. After merging, this
-// sampler summarizes the sum of the two vectors. Replicas that do not share
-// a seed are rejected with an error.
-func (s *L0Sampler) Merge(other *L0Sampler) error {
-	if other == nil {
-		return errNilMerge
+// Merge adds another sampler's state; both must be *L0Sampler built with
+// the same dimension and WithSeed value so they share randomness. After
+// merging, this sampler summarizes the sum of the two vectors. Replicas
+// that do not share a seed are rejected with ErrSeedMismatch.
+func (s *L0Sampler) Merge(other Sketch) error {
+	o, err := mergeTarget[L0Sampler](other)
+	if err != nil {
+		return err
 	}
-	return s.inner.Merge(other.inner)
+	return s.inner.Merge(o.inner)
 }
 
 // SpaceBits reports the sketch size.
@@ -206,13 +318,17 @@ func (s *L0Sampler) SpaceBits() int64 { return s.inner.SpaceBits() }
 // DuplicateFinder finds a repeated letter in a stream of n+1 letters over
 // the alphabet {0, ..., n-1} (Theorem 3).
 type DuplicateFinder struct {
+	n     int
+	opts  options
 	inner *duplicates.Finder
 }
+
+var _ Sketch = (*DuplicateFinder)(nil)
 
 // NewDuplicateFinder creates the finder for alphabet size n.
 func NewDuplicateFinder(n int, opts ...Option) *DuplicateFinder {
 	o := buildOptions(opts)
-	return &DuplicateFinder{inner: duplicates.NewFinder(n, o.delta, o.rng())}
+	return &DuplicateFinder{n: n, opts: o, inner: duplicates.NewFinder(n, o.delta, o.rng())}
 }
 
 // Observe consumes the next letter of the stream.
@@ -227,11 +343,12 @@ func (d *DuplicateFinder) ProcessBatch(batch []Update) { d.inner.ProcessBatch(ba
 // Merge combines another same-seed finder's observations; the pigeonhole
 // prefix each constructor fed is compensated so the merged finder behaves as
 // if it had seen the concatenated stream.
-func (d *DuplicateFinder) Merge(other *DuplicateFinder) error {
-	if other == nil {
-		return errNilMerge
+func (d *DuplicateFinder) Merge(other Sketch) error {
+	o, err := mergeTarget[DuplicateFinder](other)
+	if err != nil {
+		return err
 	}
-	return d.inner.Merge(other.inner)
+	return d.inner.Merge(o.inner)
 }
 
 // Find returns a letter that appeared at least twice. ok is false with
@@ -256,14 +373,20 @@ func (d *DuplicateFinder) SpaceBits() int64 { return d.inner.SpaceBits() }
 // containing every i with |x_i| ≥ φ‖x‖_p and no i with |x_i| ≤ (φ/2)‖x‖_p
 // (with high probability).
 type HeavyHitters struct {
+	p     float64
+	phi   float64
+	n     int
+	opts  options
 	inner *heavyhitters.Sketch
 }
+
+var _ Sketch = (*HeavyHitters)(nil)
 
 // NewHeavyHitters creates the sketch for norm exponent p in (0,2] and
 // threshold φ in (0,1).
 func NewHeavyHitters(p, phi float64, n int, opts ...Option) *HeavyHitters {
 	o := buildOptions(opts)
-	return &HeavyHitters{inner: heavyhitters.New(heavyhitters.Config{
+	return &HeavyHitters{p: p, phi: phi, n: n, opts: o, inner: heavyhitters.New(heavyhitters.Config{
 		P:   p,
 		Phi: phi,
 		N:   n,
@@ -281,13 +404,14 @@ func (h *HeavyHitters) Process(u Update) { h.inner.Process(u) }
 // ProcessBatch implements the stream.BatchSink fast path.
 func (h *HeavyHitters) ProcessBatch(batch []Update) { h.inner.ProcessBatch(batch) }
 
-// Merge adds another sketch's state; both must be built with the same
-// parameters and WithSeed value so they share randomness.
-func (h *HeavyHitters) Merge(other *HeavyHitters) error {
-	if other == nil {
-		return errNilMerge
+// Merge adds another sketch's state; both must be *HeavyHitters built with
+// the same parameters and WithSeed value so they share randomness.
+func (h *HeavyHitters) Merge(other Sketch) error {
+	o, err := mergeTarget[HeavyHitters](other)
+	if err != nil {
+		return err
 	}
-	return h.inner.Merge(other.inner)
+	return h.inner.Merge(o.inner)
 }
 
 // Report returns the heavy-hitter set.
