@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench microbench bench-codec bench-l0 bench-query fuzz-codec profile lint lint-vet lint-fmt fmt
+.PHONY: build test race bench microbench bench-codec bench-l0 bench-query bench-gate bench-baseline fuzz-codec profile lint lint-vet lint-fmt fmt
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,19 @@ bench-query:
 	$(GO) test -run '^$$' -bench 'L0SamplerSample' -benchtime 200x ./internal/core
 	$(GO) test -run '^$$' -bench 'RecoverScan|RecoverS8N4096' -benchtime 200x ./internal/sparse
 	$(GO) test -run '^$$' -bench 'BenchmarkQuery' -benchtime 20x .
+
+# Benchmark regression gate (the CI bench-gate job): run the headline
+# ingest/query suite (3 repetitions, best run wins) and compare against the
+# committed BENCH_BASELINE.json, failing on a >10% geomean regression or a
+# missing benchmark. See cmd/benchgate for -input / -threshold options.
+bench-gate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
+
+# Refresh the committed baseline from the current machine. Run on a quiet
+# machine of the same class as the gate runner, then commit the JSON
+# alongside the change that moved the numbers.
+bench-baseline:
+	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update
 
 # CPU profile of the 10M-update batched ingest (the headline workload):
 # writes cpu.out for `go tool pprof cpu.out`.

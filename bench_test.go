@@ -153,6 +153,45 @@ func BenchmarkIngestL0Engine(b *testing.B) {
 	reportThroughput(b, len(st))
 }
 
+// BenchmarkIngestEngineSkew runs the elastic production configuration —
+// skew-aware hot-key routing, work-stealing, Spill backpressure — on a
+// zipf-heavy variant of the ingest workload where half of all updates hit
+// eight keys. Not part of the bench-gate baseline set (the gate regexp is
+// $-anchored); it tracks the cost of the elastic machinery itself.
+var (
+	skewOnce   sync.Once
+	skewStream stream.Stream
+)
+
+func BenchmarkIngestEngineSkew(b *testing.B) {
+	skewOnce.Do(func() {
+		r := rand.New(rand.NewPCG(23, 41))
+		skewStream = make(stream.Stream, ingestLen)
+		for i := range skewStream {
+			idx := r.IntN(ingestN)
+			if i%2 == 0 {
+				idx = r.IntN(8) // hot set: 8 keys carry half the traffic
+			}
+			skewStream[i] = stream.Update{Index: idx, Delta: int64(1 + i%7)}
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Config{
+			Backpressure:  engine.Spill,
+			WorkStealing:  true,
+			HotKeyRouting: true,
+		},
+			func(int) *countsketch.Sketch { return newIngestSketch() },
+			func(dst, src *countsketch.Sketch) error { return dst.Merge(src) })
+		eng.Feed(skewStream)
+		if _, err := eng.Results(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportThroughput(b, len(skewStream))
+}
+
 // ---------------------------------------------------------------------------
 // Query-side throughput: repeated decodes on ingested sketches.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,205 @@
+// Package benchgate parses `go test -bench` output and compares it against
+// a committed baseline, failing on geomean regressions — the library behind
+// cmd/benchgate and the CI bench-gate job.
+//
+// The gate's contract: for every benchmark in the baseline, take the best
+// (minimum) ns/op across the current run's -count repetitions — the least
+// noisy statistic for regression detection, since noise on a quiet machine
+// is one-sided — and form the ratio current/baseline. The run fails when
+// the geometric mean of those ratios exceeds 1+threshold, or when a
+// baseline benchmark is missing from the run (suite drift hides
+// regressions). Individual benchmarks may exceed the threshold without
+// failing the gate as long as the geomean holds; they are still listed so
+// a targeted regression is visible in the log.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark reference (BENCH_BASELINE.json).
+type Baseline struct {
+	Version int    `json:"version"`
+	Go      string `json:"go,omitempty"`
+	Note    string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (CPU suffix stripped) to the best
+	// ns/op observed when the baseline was refreshed.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// LoadBaseline reads a Baseline from disk.
+func LoadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("benchgate: parsing %s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("benchgate: %s holds no benchmarks", path)
+	}
+	return b, nil
+}
+
+// WriteBaseline writes a Baseline with stable formatting.
+func WriteBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParseSamples extracts every benchmark result line from `go test -bench`
+// output: name (with the -GOMAXPROCS suffix stripped) → all observed ns/op
+// values, in order. Non-benchmark lines are ignored, so raw `go test`
+// output can be piped in unfiltered.
+func ParseSamples(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  <iters>  <value> ns/op  [<value> <unit>]...
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad ns/op in %q: %w", line, err)
+			}
+			out[name] = append(out[name], v)
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Best reduces multi-count samples to the minimum ns/op per benchmark.
+func Best(samples map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(samples))
+	for name, vals := range samples {
+		best := math.Inf(1)
+		for _, v := range vals {
+			if v < best {
+				best = v
+			}
+		}
+		if !math.IsInf(best, 1) {
+			out[name] = best
+		}
+	}
+	return out
+}
+
+// Delta is one benchmark's baseline-vs-current comparison.
+type Delta struct {
+	Name  string
+	Base  float64 // baseline ns/op
+	Cur   float64 // current best ns/op
+	Ratio float64 // Cur / Base; > 1 is a slowdown
+}
+
+// Report is the gate verdict over a full run.
+type Report struct {
+	Deltas    []Delta  // baseline ∩ current, sorted worst-ratio first
+	Missing   []string // in baseline, absent from the run — fails the gate
+	Extra     []string // in the run, not in the baseline — informational
+	Geomean   float64  // geometric mean of all ratios
+	Threshold float64  // allowed geomean regression, e.g. 0.10
+}
+
+// Compare builds the Report for current best-times against the baseline.
+func Compare(base, cur map[string]float64, threshold float64) Report {
+	rep := Report{Threshold: threshold}
+	logSum, nRatios := 0.0, 0
+	for name, b := range base {
+		c, ok := cur[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		ratio := math.Inf(1)
+		if b > 0 {
+			ratio = c / b
+		}
+		rep.Deltas = append(rep.Deltas, Delta{Name: name, Base: b, Cur: c, Ratio: ratio})
+		logSum += math.Log(ratio)
+		nRatios++
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			rep.Extra = append(rep.Extra, name)
+		}
+	}
+	sort.Slice(rep.Deltas, func(a, b int) bool {
+		if rep.Deltas[a].Ratio != rep.Deltas[b].Ratio {
+			return rep.Deltas[a].Ratio > rep.Deltas[b].Ratio
+		}
+		return rep.Deltas[a].Name < rep.Deltas[b].Name
+	})
+	sort.Strings(rep.Missing)
+	sort.Strings(rep.Extra)
+	if nRatios > 0 {
+		rep.Geomean = math.Exp(logSum / float64(nRatios))
+	} else {
+		rep.Geomean = math.Inf(1) // nothing measured: never a pass
+	}
+	return rep
+}
+
+// Pass reports the gate verdict: every baseline benchmark measured and the
+// geomean within 1+threshold.
+func (r Report) Pass() bool {
+	return len(r.Missing) == 0 && r.Geomean <= 1+r.Threshold
+}
+
+// Render writes the human-readable comparison table and verdict.
+func (r Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, d := range r.Deltas {
+		flag := ""
+		if d.Ratio > 1+r.Threshold {
+			flag = "  <-- exceeds threshold"
+		}
+		fmt.Fprintf(w, "%-44s %14.1f %14.1f %8.3f%s\n", d.Name, d.Base, d.Cur, d.Ratio, flag)
+	}
+	for _, name := range r.Missing {
+		fmt.Fprintf(w, "%-44s MISSING from this run (gate fails)\n", name)
+	}
+	for _, name := range r.Extra {
+		fmt.Fprintf(w, "%-44s not in baseline (ignored; refresh the baseline to track it)\n", name)
+	}
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "geomean ratio %.4f (limit %.4f): %s\n", r.Geomean, 1+r.Threshold, verdict)
+}

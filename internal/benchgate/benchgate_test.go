@@ -1,0 +1,152 @@
+package benchgate
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some CPU @ 3.00GHz
+BenchmarkIngestSerial-16         	       2	 612345678 ns/op	  16331225 updates/s
+BenchmarkIngestSerial-16         	       2	 600000000 ns/op	  16666666 updates/s
+BenchmarkIngestSerialBatched-16  	       4	 301234567 ns/op	  33196721 updates/s
+BenchmarkQueryL0Sample-16        	64051958	        18.71 ns/op
+--- BENCH: some stray line
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseSamples(t *testing.T) {
+	samples, err := ParseSamples(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(samples["BenchmarkIngestSerial"]); got != 2 {
+		t.Fatalf("IngestSerial samples = %d, want 2 (count runs folded by name)", got)
+	}
+	best := Best(samples)
+	if best["BenchmarkIngestSerial"] != 600000000 {
+		t.Errorf("Best(IngestSerial) = %v, want min of both runs", best["BenchmarkIngestSerial"])
+	}
+	if best["BenchmarkQueryL0Sample"] != 18.71 {
+		t.Errorf("fractional ns/op parsed as %v", best["BenchmarkQueryL0Sample"])
+	}
+	if _, ok := best["PASS"]; ok {
+		t.Error("non-benchmark lines must be ignored")
+	}
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 200, "C": 50}
+	cur := map[string]float64{"A": 104, "B": 195, "C": 52, "D": 1}
+	rep := Compare(base, cur, 0.10)
+	if !rep.Pass() {
+		t.Fatalf("clean run failed: geomean %v, missing %v", rep.Geomean, rep.Missing)
+	}
+	if len(rep.Extra) != 1 || rep.Extra[0] != "D" {
+		t.Errorf("Extra = %v, want [D]", rep.Extra)
+	}
+	if math.Abs(rep.Geomean-1.0) > 0.05 {
+		t.Errorf("geomean %v implausible for ±4%% jitter", rep.Geomean)
+	}
+}
+
+// TestCompareInjectedSlowdownFails is the gate's red-path acceptance test:
+// a uniform 25% slowdown — the satellite's injected regression — must fail
+// a 10% gate.
+func TestCompareInjectedSlowdownFails(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 200, "C": 50, "D": 1000}
+	cur := map[string]float64{}
+	for k, v := range base {
+		cur[k] = v * 1.25
+	}
+	rep := Compare(base, cur, 0.10)
+	if rep.Pass() {
+		t.Fatalf("25%% slowdown passed a 10%% gate: geomean %v", rep.Geomean)
+	}
+	if math.Abs(rep.Geomean-1.25) > 1e-9 {
+		t.Errorf("geomean = %v, want exactly 1.25", rep.Geomean)
+	}
+	if rep.Deltas[0].Ratio < 1.2 {
+		t.Errorf("worst delta should lead the report: %+v", rep.Deltas[0])
+	}
+}
+
+// TestCompareSingleBenchRegressionWithinGeomean: one bench 30% slower while
+// the rest hold → geomean over 4 benches stays under 10%, the gate passes,
+// but the offender is flagged first in the report.
+func TestCompareSingleBenchRegressionWithinGeomean(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 200, "C": 50, "D": 1000}
+	cur := map[string]float64{"A": 130, "B": 200, "C": 50, "D": 1000}
+	rep := Compare(base, cur, 0.10)
+	if !rep.Pass() {
+		t.Fatalf("isolated 30%% single-bench blip failed the geomean gate: %v", rep.Geomean)
+	}
+	if rep.Deltas[0].Name != "A" || rep.Deltas[0].Ratio <= 1.25 {
+		t.Errorf("offender not ranked first: %+v", rep.Deltas[0])
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 200}
+	cur := map[string]float64{"A": 100}
+	rep := Compare(base, cur, 0.10)
+	if rep.Pass() {
+		t.Fatal("run missing a baseline benchmark must fail")
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "B" {
+		t.Fatalf("Missing = %v, want [B]", rep.Missing)
+	}
+}
+
+func TestCompareEmptyRunFails(t *testing.T) {
+	rep := Compare(map[string]float64{}, map[string]float64{}, 0.10)
+	if rep.Pass() {
+		t.Fatal("empty comparison must not pass")
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_BASELINE.json")
+	want := Baseline{
+		Version:    1,
+		Go:         "go1.24.0",
+		Note:       "test",
+		Benchmarks: map[string]float64{"BenchmarkIngestSerial": 6e8, "BenchmarkQueryL0Sample": 18.7},
+	}
+	if err := WriteBaseline(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 || got.Go != want.Go || len(got.Benchmarks) != 2 ||
+		got.Benchmarks["BenchmarkQueryL0Sample"] != 18.7 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("loading a missing baseline must fail")
+	}
+}
+
+// TestRenderVerdicts smoke-tests the human output for both verdicts.
+func TestRenderVerdicts(t *testing.T) {
+	base := map[string]float64{"A": 100}
+	var sb strings.Builder
+	Compare(base, map[string]float64{"A": 101}, 0.10).Render(&sb)
+	if !strings.Contains(sb.String(), "PASS") {
+		t.Errorf("pass render: %s", sb.String())
+	}
+	sb.Reset()
+	Compare(base, map[string]float64{"A": 150}, 0.10).Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "exceeds threshold") {
+		t.Errorf("fail render: %s", out)
+	}
+}

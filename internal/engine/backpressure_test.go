@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/stream"
+)
+
+// gatedSketch wraps a count-min replica whose batch processing blocks on a
+// gate channel until it is closed — a deterministic stand-in for a stalled
+// or slow shard worker. A nil gate never blocks, so a factory can stall
+// exactly one shard (or hand the producer-side spill replica a free one).
+type gatedSketch struct {
+	*countmin.Sketch
+	gate    <-chan struct{}
+	batches atomic.Int64
+}
+
+func (g *gatedSketch) Process(u stream.Update) {
+	g.ProcessBatch([]stream.Update{u})
+}
+
+func (g *gatedSketch) ProcessBatch(batch []stream.Update) {
+	if g.gate != nil {
+		<-g.gate
+	}
+	g.batches.Add(1)
+	g.Sketch.ProcessBatch(batch)
+}
+
+func gatedMerge(dst, src *gatedSketch) error { return dst.Sketch.Merge(src.Sketch) }
+
+// TestSpillOnFullQueueKeepsResultExact: with the Spill policy and a stalled
+// worker, the producer must degrade to the local spill replica instead of
+// blocking — and the final result must still match a serial ingest exactly,
+// because the spill replica is folded back in by linearity.
+func TestSpillOnFullQueueKeepsResultExact(t *testing.T) {
+	const n = 256
+	st := stream.RandomTurnstile(n, 20000, 50, seeded(61))
+
+	serial := countmin.New(64, 5, seeded(62))
+	st.Feed(serial)
+
+	gate := make(chan struct{})
+	factory := func(shard int) *gatedSketch {
+		g := &gatedSketch{Sketch: countmin.New(64, 5, seeded(62))}
+		if shard == 0 {
+			g.gate = gate // only the single worker shard stalls
+		}
+		return g
+	}
+
+	eng := New(Config{
+		Shards: 1, BatchSize: 32, QueueDepth: 2, Backpressure: Spill,
+	}, factory, gatedMerge)
+	// The worker is stalled on the gate: the first batch blocks in
+	// ProcessBatch, the next QueueDepth fill the channel, everything after
+	// that must spill. A Block-policy engine would deadlock right here.
+	eng.ProcessBatch(st)
+
+	stats := eng.Stats()
+	if stats.SpilledBatches == 0 || stats.SpilledUpdates == 0 {
+		t.Fatalf("expected spills with a stalled worker, got %+v", stats)
+	}
+	if stats.Routed != int64(len(st)) {
+		t.Fatalf("routed %d != %d", stats.Routed, len(st))
+	}
+
+	close(gate) // un-stall the worker, then fold everything together
+	merged, err := eng.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := merged.QueryMedian(uint64(i)), serial.QueryMedian(uint64(i)); got != want {
+			t.Fatalf("coordinate %d: spilled engine %d != serial %d", i, got, want)
+		}
+	}
+}
+
+// gatedL0 is the same stalled-worker stand-in around the L0 sampler, whose
+// raw state export makes the snapshot comparison bit-exact.
+type gatedL0 struct {
+	*core.L0Sampler
+	gate <-chan struct{}
+}
+
+func (g *gatedL0) Process(u stream.Update) { g.ProcessBatch([]stream.Update{u}) }
+
+func (g *gatedL0) ProcessBatch(batch []stream.Update) {
+	if g.gate != nil {
+		<-g.gate
+	}
+	g.L0Sampler.ProcessBatch(batch)
+}
+
+// TestSpillFlushedIntoSnapshot: a Snapshot taken while the spill replica is
+// dirty must fold it into the shard states first — restoring the blobs and
+// replaying the tail yields byte-identical serial state.
+func TestSpillFlushedIntoSnapshot(t *testing.T) {
+	const n = 256
+	st := stream.RandomTurnstile(n, 12000, 40, seeded(63))
+	cut := 8000
+
+	newL0 := func() *core.L0Sampler {
+		return core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, seeded(64))
+	}
+	serial := newL0()
+	st.Feed(serial)
+
+	gate := make(chan struct{})
+	mk := func(stalled bool) func(int) *gatedL0 {
+		return func(shard int) *gatedL0 {
+			g := &gatedL0{L0Sampler: newL0()}
+			if stalled && shard == 0 {
+				g.gate = gate
+			}
+			return g
+		}
+	}
+	merge := func(dst, src *gatedL0) error { return dst.L0Sampler.Merge(src.L0Sampler) }
+
+	eng := New(Config{Shards: 1, BatchSize: 32, QueueDepth: 2, Backpressure: Spill}, mk(true), merge)
+	eng.ProcessBatch(st[:cut])
+	if eng.Stats().SpilledBatches == 0 {
+		t.Fatal("setup failed to provoke spills")
+	}
+	close(gate) // Snapshot quiesces: the stalled worker must be able to drain
+	snap, err := eng.Snapshot(func(g *gatedL0) ([]byte, error) { return g.ExportState(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	resumed := New(Config{Shards: 1, BatchSize: 32, QueueDepth: 2, Backpressure: Spill}, mk(false), merge)
+	if err := resumed.Restore(snap, func(g *gatedL0, b []byte) error { return g.ImportState(b) }); err != nil {
+		t.Fatal(err)
+	}
+	resumed.ProcessBatch(st[cut:])
+	merged, err := resumed.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.ExportState(), serial.ExportState()) {
+		t.Fatal("snapshot with dirty spill replica diverged from serial state")
+	}
+}
+
+// TestBlockPolicyNeverSpills pins the default policy: bounded queues with a
+// live worker block-and-drain, and the spill counters stay zero.
+func TestBlockPolicyNeverSpills(t *testing.T) {
+	const n = 128
+	st := stream.RandomTurnstile(n, 10000, 20, seeded(65))
+	eng := New(Config{Shards: 2, BatchSize: 16, QueueDepth: 1},
+		func(int) *countmin.Sketch { return countmin.New(32, 4, seeded(66)) },
+		func(dst, src *countmin.Sketch) error { return dst.Merge(src) })
+	eng.ProcessBatch(st)
+	if s := eng.Stats(); s.SpilledBatches != 0 || s.SpilledUpdates != 0 {
+		t.Fatalf("Block policy spilled: %+v", s)
+	}
+	if _, err := eng.Results(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkStealingDrainsStalledShard: one shard's worker is stalled while
+// every update routes to that shard. With WorkStealing enabled the idle
+// workers must pick its queue up (Steals > 0), the producer must never
+// deadlock even under the Block policy, and the merged result must stay
+// exact. Run under -race this doubles as the stealing data-race test.
+func TestWorkStealingDrainsStalledShard(t *testing.T) {
+	const shards = 4
+	gate := make(chan struct{})
+
+	factory := func(s int) *gatedSketch {
+		g := &gatedSketch{Sketch: countmin.New(64, 5, seeded(71))}
+		return g
+	}
+	eng := New(Config{
+		Shards: shards, BatchSize: 8, QueueDepth: 2, WorkStealing: true,
+	}, factory, gatedMerge)
+
+	// Find an index owned by some shard h and stall exactly that worker by
+	// swapping its replica's gate in before any batch reaches it.
+	hotIdx := 0
+	h := eng.shardOf(hotIdx)
+	eng.replicas[h].gate = gate
+
+	// 500 batches of 8 updates, all for shard h: its queue (depth 2) fills
+	// immediately and only thieves can make progress until the gate opens.
+	var st stream.Stream
+	for i := 0; i < 4000; i++ {
+		st = append(st, stream.Update{Index: hotIdx, Delta: 1})
+	}
+	serial := countmin.New(64, 5, seeded(71))
+	st.Feed(serial)
+
+	eng.ProcessBatch(st)
+	if got := eng.Stats().Steals; got == 0 {
+		t.Fatal("stalled hot shard was never stolen from")
+	}
+	close(gate)
+	merged, err := eng.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.QueryMedian(uint64(hotIdx)), serial.QueryMedian(uint64(hotIdx)); got != want {
+		t.Fatalf("stolen ingest %d != serial %d", got, want)
+	}
+}
+
+// TestWorkStealingExactUnderChurn runs a full random workload with stealing
+// enabled (no stalls) and checks exactness plus a clean shutdown — the
+// steady-state configuration, exercised under -race.
+func TestWorkStealingExactUnderChurn(t *testing.T) {
+	const n = 512
+	st := stream.RandomTurnstile(n, 40000, 60, seeded(72))
+
+	serial := countmin.New(64, 5, seeded(73))
+	st.Feed(serial)
+
+	eng := New(Config{Shards: 4, BatchSize: 16, QueueDepth: 2, WorkStealing: true},
+		func(int) *countmin.Sketch { return countmin.New(64, 5, seeded(73)) },
+		func(dst, src *countmin.Sketch) error { return dst.Merge(src) })
+	eng.ProcessBatch(st)
+	merged, err := eng.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := merged.QueryMedian(uint64(i)), serial.QueryMedian(uint64(i)); got != want {
+			t.Fatalf("coordinate %d: stealing engine %d != serial %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Resize changes the shard count to n mid-stream, exactly — the elastic
+// scale-up/scale-down operation of the engine.
+//
+// Linearity makes both directions trivial to prove correct. Scaling up
+// splits the work by adding fresh same-seed replicas: a fresh replica is
+// the sketch of the zero vector, so merging it at Results adds nothing,
+// and subsequent updates routed to it are counted exactly once. Scaling
+// down merges: the retired shards' replicas are folded into the survivors
+// (replica s joins replica s mod n) behind the quiesce barrier, which is
+// the same exact cell-wise sum Results performs. In both directions the
+// router immediately re-balances onto the new shard count; because any
+// fixed index→shard map yields the same merged sketch, the resized engine's
+// final state is byte-identical to an uninterrupted serial ingest.
+//
+// Resize must be called from the producer goroutine. It quiesces the
+// workers (so it is also a checkpoint barrier: a pending Spill replica is
+// folded in first), then grows or shrinks the worker pool. On a fold error
+// — possible only when factory/merge break the same-seed contract — the
+// engine is closed and becomes terminal, and the error is returned.
+func (e *Engine[T]) Resize(n int) error {
+	if e.done {
+		return errors.New("engine: Resize after Results/Close")
+	}
+	if n < 1 {
+		return fmt.Errorf("engine: Resize to %d shards", n)
+	}
+	if n == e.cfg.Shards {
+		return nil
+	}
+	if err := e.quiesce(); err != nil {
+		return err
+	}
+	old := e.cfg.Shards
+	if n > old {
+		for s := old; s < n; s++ {
+			e.replicas = append(e.replicas, e.factory(s))
+			e.chans = append(e.chans, make(chan []stream.Update, e.cfg.QueueDepth))
+			e.pending = append(e.pending, e.batchBuf())
+		}
+		e.cfg.Shards = n
+		e.publishStealSet()
+		for s := old; s < n; s++ {
+			e.spawn(s)
+		}
+	} else {
+		// Fold first; only retire workers once every merge has succeeded,
+		// so a failure leaves the engine closable rather than half-torn.
+		for s := n; s < old; s++ {
+			if err := e.merge(e.replicas[s%n], e.replicas[s]); err != nil {
+				e.Close()
+				return fmt.Errorf("engine: folding shard %d into %d: %w", s, s%n, err)
+			}
+		}
+		for s := n; s < old; s++ {
+			close(e.chans[s])
+			e.pool.Put(e.pending[s][:0])
+		}
+		e.replicas = e.replicas[:n]
+		e.chans = e.chans[:n]
+		e.pending = e.pending[:n]
+		e.cfg.Shards = n
+		e.publishStealSet()
+	}
+	e.resizes++
+	return nil
+}

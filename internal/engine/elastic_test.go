@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/countmin"
+	"repro/internal/stream"
+)
+
+// TestPropertyResizeMatchesSerial is the elastic-engine acceptance property:
+// an ingest interrupted by arbitrary Resize calls — scale-up and scale-down,
+// in random places — produces L0 sampler state byte-identical to an
+// uninterrupted serial ingest. Same style as the other engine property
+// tests: linearity says any split/merge of same-seed replicas is exact, so
+// the strongest (bit-level) comparison must hold.
+func TestPropertyResizeMatchesSerial(t *testing.T) {
+	f := func(seed uint64, cutsRaw [3]uint16, shardsRaw [4]uint8) bool {
+		rr := seeded(seed)
+		n := 128 + rr.IntN(400)
+		st := stream.RandomTurnstile(n, 2000+rr.IntN(4000), 40, rr)
+
+		factory := func(int) *core.L0Sampler {
+			return core.NewL0Sampler(core.L0Config{N: n, Delta: 0.25}, seeded(seed^0xC0FFEE))
+		}
+		merge := func(dst, src *core.L0Sampler) error { return dst.Merge(src) }
+
+		serial := factory(0)
+		st.Feed(serial)
+
+		// Random segment boundaries and a shard-count trajectory that mixes
+		// growth and shrink (1..6 shards).
+		cuts := make([]int, 0, 3)
+		for _, c := range cutsRaw {
+			cuts = append(cuts, int(c)%(len(st)+1))
+		}
+		cuts = append(cuts, 0, len(st))
+		sortInts(cuts)
+
+		eng := New(Config{Shards: 1 + int(shardsRaw[0])%6, BatchSize: 32}, factory, merge)
+		for i := 0; i+1 < len(cuts); i++ {
+			eng.ProcessBatch(st[cuts[i]:cuts[i+1]])
+			if i < len(shardsRaw)-1 {
+				if err := eng.Resize(1 + int(shardsRaw[i+1])%6); err != nil {
+					t.Logf("Resize: %v", err)
+					return false
+				}
+			}
+		}
+		merged, err := eng.Results()
+		if err != nil {
+			t.Logf("Results: %v", err)
+			return false
+		}
+		if !bytes.Equal(merged.ExportState(), serial.ExportState()) {
+			t.Logf("seed %d: resized engine state diverged from serial", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// TestResizeUpDownRoundTrip pins the acceptance criterion scenario exactly:
+// scale-up then scale-down around a steady ingest, byte-identical result.
+func TestResizeUpDownRoundTrip(t *testing.T) {
+	const n = 512
+	st := stream.RandomTurnstile(n, 9000, 50, seeded(21))
+	factory := func(int) *core.L0Sampler {
+		return core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, seeded(77))
+	}
+	merge := func(dst, src *core.L0Sampler) error { return dst.Merge(src) }
+
+	serial := factory(0)
+	st.Feed(serial)
+
+	eng := New(Config{Shards: 2, BatchSize: 64}, factory, merge)
+	eng.ProcessBatch(st[:3000])
+	if err := eng.Resize(8); err != nil { // scale up under load
+		t.Fatal(err)
+	}
+	if got := eng.Shards(); got != 8 {
+		t.Fatalf("Shards() = %d after Resize(8)", got)
+	}
+	eng.ProcessBatch(st[3000:6000])
+	if err := eng.Resize(3); err != nil { // scale back down
+		t.Fatal(err)
+	}
+	eng.ProcessBatch(st[6000:])
+	merged, err := eng.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.ExportState(), serial.ExportState()) {
+		t.Fatal("resize round-trip state differs from uninterrupted serial ingest")
+	}
+	if eng.Stats().Resizes != 2 {
+		t.Fatalf("Stats().Resizes = %d, want 2", eng.Stats().Resizes)
+	}
+}
+
+// TestResizeSnapshotAgreement: a snapshot taken after a Resize carries the
+// new shard count and restores exactly into a same-sized engine.
+func TestResizeSnapshotAgreement(t *testing.T) {
+	const n = 256
+	st := stream.RandomTurnstile(n, 4000, 30, seeded(31))
+	factory := func(int) *core.L0Sampler {
+		return core.NewL0Sampler(core.L0Config{N: n, Delta: 0.2}, seeded(32))
+	}
+	merge := func(dst, src *core.L0Sampler) error { return dst.Merge(src) }
+
+	serial := factory(0)
+	st.Feed(serial)
+
+	eng := New(Config{Shards: 2, BatchSize: 32}, factory, merge)
+	eng.ProcessBatch(st[:1500])
+	if err := eng.Resize(5); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eng.Snapshot(l0Marshal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 5 {
+		t.Fatalf("snapshot after Resize(5) has %d blobs", len(snap))
+	}
+	eng.Close()
+
+	resumed := New(Config{Shards: 5, BatchSize: 32}, factory, merge)
+	if err := resumed.Restore(snap, l0Restore); err != nil {
+		t.Fatal(err)
+	}
+	resumed.ProcessBatch(st[1500:])
+	merged, err := resumed.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged.ExportState(), serial.ExportState()) {
+		t.Fatal("restore after resize diverged from serial state")
+	}
+}
+
+// TestResizeGuards pins the error surface: invalid target, no-op resize,
+// terminal engine.
+func TestResizeGuards(t *testing.T) {
+	factory := func(int) *countmin.Sketch { return countmin.New(16, 3, seeded(40)) }
+	merge := func(dst, src *countmin.Sketch) error { return dst.Merge(src) }
+
+	eng := New(Config{Shards: 3}, factory, merge)
+	if err := eng.Resize(0); err == nil {
+		t.Error("Resize(0) must fail")
+	}
+	if err := eng.Resize(3); err != nil {
+		t.Errorf("no-op Resize(3): %v", err)
+	}
+	if eng.Stats().Resizes != 0 {
+		t.Errorf("no-op resize counted: %d", eng.Stats().Resizes)
+	}
+	if _, err := eng.Results(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Resize(2); err == nil {
+		t.Error("Resize after Results must fail")
+	}
+}
+
+// TestResizeWithWorkStealingAndSpill exercises every elastic feature at
+// once under churn — the configuration a production deployment would run —
+// and still demands exact (count-min, integer cells) agreement with serial.
+func TestResizeWithWorkStealingAndSpill(t *testing.T) {
+	const n = 1024
+	st := stream.RandomTurnstile(n, 30000, 80, seeded(51))
+
+	factory := func(int) *countmin.Sketch { return countmin.New(64, 5, seeded(52)) }
+	merge := func(dst, src *countmin.Sketch) error { return dst.Merge(src) }
+
+	serial := factory(0)
+	st.Feed(serial)
+
+	eng := New(Config{
+		Shards: 2, BatchSize: 64, QueueDepth: 2,
+		Backpressure: Spill, WorkStealing: true,
+		HotKeyRouting: true, HotKeyInterval: 2048,
+	}, factory, merge)
+	for i, cut := range []int{5000, 12000, 20000, len(st)} {
+		lo := 0
+		if i > 0 {
+			lo = []int{5000, 12000, 20000}[i-1]
+		}
+		eng.ProcessBatch(st[lo:cut])
+		if cut != len(st) {
+			if err := eng.Resize(2 + (i*3)%7); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	merged, err := eng.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := merged.QueryMedian(uint64(i)), serial.QueryMedian(uint64(i)); got != want {
+			t.Fatalf("coordinate %d: elastic %d != serial %d", i, got, want)
+		}
+	}
+}

@@ -19,20 +19,38 @@
 // channel handoffs, and the workers drive each replica's ProcessBatch hot
 // path. Results flushes, joins the workers and folds the replicas together.
 //
+// Linearity also means the shard assignment is a load-balancing choice, not
+// a correctness requirement: ANY replica may absorb ANY update and the
+// merged result is unchanged. The elastic features all follow from that one
+// fact:
+//
+//   - Resize grows the engine by adding fresh same-seed replicas (sketches
+//     of the zero vector — merging them adds nothing) and shrinks it by
+//     folding retired replicas into survivors, so shard count can track load
+//     mid-stream without changing any answer.
+//   - The Spill backpressure policy degrades to a producer-local replica
+//     when a shard queue is full instead of blocking, and folds that replica
+//     back in at the next quiesce point.
+//   - Work-stealing workers drain other shards' queues into their own
+//     replica when idle.
+//   - The skew-aware router fans updates for detected hot keys round-robin
+//     across all shards instead of pinning them to one.
+//
 // Producer methods (Process, ProcessBatch, Feed, Results, Close, Snapshot,
-// Restore) must be called from one goroutine; the parallelism lives in the
-// shard workers.
+// Restore, Resize, Stats) must be called from one goroutine; the
+// parallelism lives in the shard workers.
 //
 // # Checkpoint and resume
 //
 // Because every replica is a serializable linear sketch, a sharded ingest
 // can checkpoint mid-stream: Snapshot quiesces the workers (flushes pending
-// batches, waits until every in-flight batch is consumed) and returns one
-// marshaled state per shard replica; ingestion continues afterwards. A new
-// engine with the same shard count, batch-independent routing being
-// deterministic by coordinate, Restores those states into its replicas and
-// replays only the updates after the checkpoint — the resumed result is
-// exactly the uninterrupted one. See examples/checkpoint.
+// batches, waits until every in-flight batch is consumed, folds any spill
+// replica into shard 0) and returns one marshaled state per shard replica;
+// ingestion continues afterwards. A new engine with the same shard count,
+// batch-independent routing being deterministic by coordinate, Restores
+// those states into its replicas and replays only the updates after the
+// checkpoint — the resumed result is exactly the uninterrupted one. See
+// examples/checkpoint.
 package engine
 
 import (
@@ -40,14 +58,35 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/codec"
 	"repro/internal/stream"
 )
 
+// BackpressurePolicy selects what the producer does when a shard's bounded
+// queue is full.
+type BackpressurePolicy uint8
+
+const (
+	// Block, the default, applies backpressure: the producer blocks until
+	// the shard worker (or, with WorkStealing, a thief) drains a batch.
+	// Memory stays bounded at roughly Shards × QueueDepth × BatchSize
+	// buffered updates.
+	Block BackpressurePolicy = iota
+	// Spill degrades instead of blocking: the overflowing batch is folded
+	// into a producer-local same-seed spill replica, keeping ingest
+	// wait-free under worker stalls without unbounded buffering. The spill
+	// replica is merged back at every quiesce point (Snapshot, Restore,
+	// Resize) and into the final Results — exact by linearity, so the
+	// degradation changes latency, never answers.
+	Spill
+)
+
 // Config tunes the engine. Zero values select sensible defaults.
 type Config struct {
-	// Shards is the number of worker shards (default runtime.GOMAXPROCS).
+	// Shards is the initial number of worker shards (default
+	// runtime.GOMAXPROCS). Resize changes it mid-stream.
 	Shards int
 	// BatchSize is the number of updates accumulated per shard before the
 	// batch is handed to the worker (default 2048). Re-tuned for the flat
@@ -61,6 +100,26 @@ type Config struct {
 	// channel; it bounds memory while letting the producer run ahead of a
 	// momentarily slow shard (default 8).
 	QueueDepth int
+	// Backpressure picks the full-queue behavior: Block (default) or Spill.
+	Backpressure BackpressurePolicy
+	// WorkStealing lets idle shard workers drain other shards' queues into
+	// their own replica — exact by linearity — so one hot shard cannot
+	// leave the rest of the pool idle. Off by default.
+	WorkStealing bool
+	// HotKeyRouting enables the skew-aware router: a Misra-Gries tracker
+	// (internal/heavyhitters.Tracker) detects keys receiving at least
+	// HotKeyPhi of recent update traffic and fans their updates round-robin
+	// across all shards instead of pinning them to shardOf(index). Off by
+	// default; routing stays exact either way.
+	HotKeyRouting bool
+	// HotKeyInterval is the number of updates between hot-set refreshes
+	// (default 8192).
+	HotKeyInterval int
+	// HotKeyCounters sizes the Misra-Gries tracker (default 256).
+	HotKeyCounters int
+	// HotKeyPhi is the traffic fraction at which a key counts as hot
+	// (default 1/64).
+	HotKeyPhi float64
 }
 
 func (c Config) withDefaults() Config {
@@ -76,21 +135,57 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Stats is a point-in-time snapshot of the engine's operational counters,
+// read from the producer goroutine via Engine.Stats.
+type Stats struct {
+	// Shards is the current shard count (changes with Resize).
+	Shards int
+	// Routed counts updates accepted so far.
+	Routed int64
+	// Resizes counts completed Resize calls that changed the shard count.
+	Resizes int64
+	// SpilledBatches / SpilledUpdates count Spill-policy degradations:
+	// batches folded into the producer-local replica because the target
+	// queue was full.
+	SpilledBatches int64
+	SpilledUpdates int64
+	// Steals counts batches drained from another shard's queue by an idle
+	// work-stealing worker.
+	Steals int64
+	// HotKeys is the size of the router's current hot set; HotRouted counts
+	// updates fanned across shards instead of routed by coordinate.
+	HotKeys   int
+	HotRouted int64
+}
+
 // Engine fans an update stream out to same-seed sketch replicas, one per
 // shard, and produces the final sketch by merging them.
 type Engine[T stream.Sink] struct {
 	cfg      Config
-	replicas []T
+	factory  func(shard int) T
 	merge    func(dst, src T) error
+	replicas []T
 	chans    []chan []stream.Update
 	pending  [][]stream.Update
+	stealSet atomic.Pointer[[]chan []stream.Update]
+	hot      chan struct{}
+	hotAt    int
+	router   *hotRouter
 	pool     sync.Pool
 	wg       sync.WaitGroup
 	inflight sync.WaitGroup // batches handed off but not yet processed
-	routed   int64
-	done     bool
-	result   T
-	err      error
+	spill    T
+	spillSet bool
+
+	routed         int64
+	resizes        int64
+	spilledBatches int64
+	spilledUpdates int64
+	steals         atomic.Int64
+
+	done   bool
+	result T
+	err    error
 }
 
 // New builds the engine and starts its shard workers immediately. Every
@@ -100,15 +195,24 @@ type Engine[T stream.Sink] struct {
 // factory(shard) must return one replica per shard, all built from
 // identical seeds — sketch linearity makes the shard-then-merge reduction
 // exact only for same-seed replicas, and the merge functions of this
-// repository reject anything else. merge folds src into dst.
+// repository reject anything else. The engine may call factory with shard
+// indices at or beyond the current count (Resize scale-up, the Spill
+// policy's producer-local replica); the same-seed contract holds for every
+// index. merge folds src into dst.
 func New[T stream.Sink](cfg Config, factory func(shard int) T, merge func(dst, src T) error) *Engine[T] {
 	cfg = cfg.withDefaults()
 	e := &Engine[T]{
 		cfg:      cfg,
-		replicas: make([]T, cfg.Shards),
+		factory:  factory,
 		merge:    merge,
+		replicas: make([]T, cfg.Shards),
 		chans:    make([]chan []stream.Update, cfg.Shards),
 		pending:  make([][]stream.Update, cfg.Shards),
+		hot:      make(chan struct{}, 4*cfg.Shards+16),
+		hotAt:    max(1, cfg.QueueDepth/2),
+	}
+	if cfg.HotKeyRouting {
+		e.router = newHotRouter(cfg)
 	}
 	e.pool.New = func() any { return make([]stream.Update, 0, cfg.BatchSize) }
 	for s := range e.replicas {
@@ -116,9 +220,9 @@ func New[T stream.Sink](cfg Config, factory func(shard int) T, merge func(dst, s
 		e.chans[s] = make(chan []stream.Update, cfg.QueueDepth)
 		e.pending[s] = e.batchBuf()
 	}
-	e.wg.Add(cfg.Shards)
+	e.publishStealSet()
 	for s := 0; s < cfg.Shards; s++ {
-		go e.worker(s)
+		e.spawn(s)
 	}
 	return e
 }
@@ -127,20 +231,133 @@ func (e *Engine[T]) batchBuf() []stream.Update {
 	return e.pool.Get().([]stream.Update)[:0]
 }
 
-func (e *Engine[T]) worker(shard int) {
+// publishStealSet snapshots the current channel slice for the work-stealing
+// workers. Called from the producer goroutine at construction and at the
+// quiesced point of every Resize; workers Load it on each steal scan, so
+// structural changes never race with thieves.
+func (e *Engine[T]) publishStealSet() {
+	snap := make([]chan []stream.Update, len(e.chans))
+	copy(snap, e.chans)
+	e.stealSet.Store(&snap)
+}
+
+func (e *Engine[T]) spawn(s int) {
+	e.wg.Add(1)
+	go e.worker(s, e.chans[s], e.replicas[s])
+}
+
+// consume runs one batch through a replica and retires it.
+func (e *Engine[T]) consume(replica T, batch []stream.Update) {
+	stream.ProcessAll(replica, batch)
+	e.pool.Put(batch[:0])
+	e.inflight.Done()
+}
+
+func (e *Engine[T]) worker(shard int, own chan []stream.Update, replica T) {
 	defer e.wg.Done()
-	replica := e.replicas[shard]
-	for batch := range e.chans[shard] {
-		stream.ProcessAll(replica, batch)
-		e.pool.Put(batch[:0])
-		e.inflight.Done()
+	if !e.cfg.WorkStealing {
+		for batch := range own {
+			e.consume(replica, batch)
+		}
+		return
+	}
+	for {
+		select {
+		case batch, ok := <-own:
+			if !ok {
+				return
+			}
+			e.consume(replica, batch)
+		case <-e.hot:
+			// A producer saw backlog somewhere: drain foreign queues into
+			// this worker's replica until every queue scans empty.
+			for e.stealOne(shard, replica) {
+			}
+		}
 	}
 }
 
-// send hands one batch to a shard worker, tracking it for quiesce.
+// stealOne attempts to drain one batch from any other shard's queue into
+// this worker's replica (exact by linearity). Returns false when every
+// foreign queue scanned empty.
+func (e *Engine[T]) stealOne(self int, replica T) bool {
+	set := *e.stealSet.Load()
+	for i, ch := range set {
+		if i == self {
+			continue
+		}
+		select {
+		case batch, ok := <-ch:
+			if !ok {
+				continue // retired shard, nothing buffered
+			}
+			e.consume(replica, batch)
+			e.steals.Add(1)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// signalHot wakes an idle work-stealing worker, if any; the buffered channel
+// keeps the signal until somebody parks, and dropping the signal when the
+// buffer is full is fine — thieves rescan every queue per signal.
+func (e *Engine[T]) signalHot() {
+	select {
+	case e.hot <- struct{}{}:
+	default:
+	}
+}
+
+// send hands one batch to a shard worker, tracking it for quiesce. Under the
+// Spill policy a full queue degrades to the producer-local spill replica
+// instead of blocking.
 func (e *Engine[T]) send(s int, batch []stream.Update) {
+	ch := e.chans[s]
+	if e.cfg.WorkStealing && len(ch) >= e.hotAt {
+		e.signalHot()
+	}
 	e.inflight.Add(1)
-	e.chans[s] <- batch
+	if e.cfg.Backpressure == Spill {
+		select {
+		case ch <- batch:
+			return
+		default:
+		}
+		e.inflight.Done()
+		e.spillBatch(batch)
+		return
+	}
+	ch <- batch
+}
+
+// spillBatch folds an overflow batch into the producer-local same-seed
+// replica; flushSpill merges it back at the next quiesce point.
+func (e *Engine[T]) spillBatch(batch []stream.Update) {
+	if !e.spillSet {
+		e.spill = e.factory(len(e.replicas))
+		e.spillSet = true
+	}
+	stream.ProcessAll(e.spill, batch)
+	e.spilledBatches++
+	e.spilledUpdates += int64(len(batch))
+	e.pool.Put(batch[:0])
+}
+
+// flushSpill folds the spill replica into shard 0's. Must only run while
+// the workers are quiesced or joined.
+func (e *Engine[T]) flushSpill() error {
+	if !e.spillSet {
+		return nil
+	}
+	if err := e.merge(e.replicas[0], e.spill); err != nil {
+		return fmt.Errorf("engine: folding spill replica: %w", err)
+	}
+	var zero T
+	e.spill = zero
+	e.spillSet = false
+	return nil
 }
 
 // shardOf routes a coordinate to its owning shard: a Fibonacci mix of the
@@ -157,6 +374,17 @@ func (e *Engine[T]) shardOf(index int) int {
 	const fib32 = 0x9E3779B9 // 2^32 / golden ratio, odd
 	h := uint64(uint32(index) * fib32)
 	return int((h * uint64(e.cfg.Shards)) >> 32)
+}
+
+// shardFor is shardOf plus the skew-aware override: updates for keys the
+// router currently considers hot round-robin across all shards.
+func (e *Engine[T]) shardFor(index int) int {
+	if r := e.router; r != nil {
+		if s, hot := r.route(index, e.cfg.Shards); hot {
+			return s
+		}
+	}
+	return e.shardOf(index)
 }
 
 // route appends the update to its shard's pending batch, handing the batch
@@ -176,21 +404,22 @@ func (e *Engine[T]) Process(u stream.Update) {
 	if e.done {
 		panic("engine: Process after Results/Close")
 	}
-	e.route(e.shardOf(u.Index), u)
+	e.route(e.shardFor(u.Index), u)
 	e.routed++
 }
 
 // ProcessBatch implements stream.BatchSink: one done-check and one shard
 // multiplier load for the whole batch instead of per update. With a single
-// shard there is nothing to route, so whole runs of updates move into the
-// pending batch with copy — at kernel speeds the per-update append would
-// otherwise be the engine's dominant cost on one core.
+// shard (and no skew router observing traffic) there is nothing to route,
+// so whole runs of updates move into the pending batch with copy — at
+// kernel speeds the per-update append would otherwise be the engine's
+// dominant cost on one core.
 func (e *Engine[T]) ProcessBatch(batch []stream.Update) {
 	if e.done {
 		panic("engine: Process after Results/Close")
 	}
 	e.routed += int64(len(batch))
-	if e.cfg.Shards == 1 {
+	if e.cfg.Shards == 1 && e.router == nil {
 		for len(batch) > 0 {
 			p := e.pending[0]
 			n := copy(p[len(p):e.cfg.BatchSize], batch)
@@ -205,7 +434,7 @@ func (e *Engine[T]) ProcessBatch(batch []stream.Update) {
 		return
 	}
 	for _, u := range batch {
-		e.route(e.shardOf(u.Index), u)
+		e.route(e.shardFor(u.Index), u)
 	}
 }
 
@@ -220,11 +449,28 @@ func (e *Engine[T]) Routed() int64 { return e.routed }
 // Shards reports the shard count in use.
 func (e *Engine[T]) Shards() int { return e.cfg.Shards }
 
+// Stats reports the engine's operational counters.
+func (e *Engine[T]) Stats() Stats {
+	st := Stats{
+		Shards:         e.cfg.Shards,
+		Routed:         e.routed,
+		Resizes:        e.resizes,
+		SpilledBatches: e.spilledBatches,
+		SpilledUpdates: e.spilledUpdates,
+		Steals:         e.steals.Load(),
+	}
+	if e.router != nil {
+		st.HotKeys = e.router.hotKeys
+		st.HotRouted = e.router.hotRouted
+	}
+	return st
+}
+
 // Results flushes all pending batches, waits for the workers to drain, and
-// merges every replica into shard 0's, which it returns: the sketch of the
-// full vector, exactly as if one sketch had consumed the whole stream. The
-// engine is terminal afterwards; further Process calls panic. Calling
-// Results again returns the same result.
+// merges every replica (plus any spill replica) into shard 0's, which it
+// returns: the sketch of the full vector, exactly as if one sketch had
+// consumed the whole stream. The engine is terminal afterwards; further
+// Process calls panic. Calling Results again returns the same result.
 func (e *Engine[T]) Results() (T, error) {
 	if e.done {
 		return e.result, e.err
@@ -237,12 +483,16 @@ func (e *Engine[T]) Results() (T, error) {
 			break
 		}
 	}
+	if e.err == nil {
+		e.err = e.flushSpill()
+	}
 	return e.result, e.err
 }
 
-// Close abandons ingestion without merging: pending batches are dropped,
-// workers are joined, and the engine becomes terminal. Results after Close
-// reports an error. Close is idempotent and safe after Results.
+// Close abandons ingestion without merging: pending batches and any spill
+// replica are dropped, workers are joined, and the engine becomes terminal.
+// Results after Close reports an error. Close is idempotent and safe after
+// Results.
 func (e *Engine[T]) Close() {
 	if e.done {
 		return
@@ -250,6 +500,9 @@ func (e *Engine[T]) Close() {
 	for s := range e.pending {
 		e.pending[s] = e.pending[s][:0]
 	}
+	var zero T
+	e.spill = zero
+	e.spillSet = false
 	e.shutdown()
 	e.err = errors.New("engine: closed without results")
 }
@@ -265,11 +518,12 @@ func (e *Engine[T]) shutdown() {
 	e.done = true
 }
 
-// quiesce flushes every pending partial batch to its worker and blocks
-// until all in-flight batches have been consumed. Afterwards the workers
-// idle on their channels and the replicas are safe to read or replace from
-// the producer goroutine; ingestion may continue.
-func (e *Engine[T]) quiesce() {
+// quiesce flushes every pending partial batch to its worker, blocks until
+// all in-flight batches have been consumed, and folds any spill replica
+// into shard 0. Afterwards the workers idle on their channels and the
+// replicas are safe to read, replace or fold from the producer goroutine;
+// ingestion may continue.
+func (e *Engine[T]) quiesce() error {
 	for s := range e.pending {
 		if len(e.pending[s]) > 0 {
 			e.send(s, e.pending[s])
@@ -277,20 +531,23 @@ func (e *Engine[T]) quiesce() {
 		}
 	}
 	e.inflight.Wait()
+	return e.flushSpill()
 }
 
 // Snapshot checkpoints the engine mid-ingest: it quiesces the workers and
 // returns marshal applied to every shard replica, in shard order. The
 // engine keeps running — updates may continue to flow afterwards — so a
 // long ingest can checkpoint periodically and, after a crash, a fresh
-// engine with the same Config.Shards (shard routing is deterministic by
-// coordinate and shard count) Restores the blobs and replays only the
-// updates that came after the snapshot.
+// engine with the same shard count at snapshot time (shard routing is
+// deterministic by coordinate and shard count) Restores the blobs and
+// replays only the updates that came after the snapshot.
 func (e *Engine[T]) Snapshot(marshal func(replica T) ([]byte, error)) ([][]byte, error) {
 	if e.done {
 		return nil, errors.New("engine: Snapshot after Results/Close")
 	}
-	e.quiesce()
+	if err := e.quiesce(); err != nil {
+		return nil, err
+	}
 	out := make([][]byte, len(e.replicas))
 	for s, r := range e.replicas {
 		b, err := marshal(r)
@@ -317,7 +574,9 @@ func (e *Engine[T]) Restore(states [][]byte, restore func(replica T, state []byt
 		return fmt.Errorf("engine: restoring %d shard states into %d shards: %w",
 			len(states), len(e.replicas), codec.ErrConfigMismatch)
 	}
-	e.quiesce()
+	if err := e.quiesce(); err != nil {
+		return err
+	}
 	for s, r := range e.replicas {
 		if err := restore(r, states[s]); err != nil {
 			return fmt.Errorf("engine: restore of shard %d: %w", s, err)

@@ -1,0 +1,95 @@
+package engine
+
+import "repro/internal/heavyhitters"
+
+// Skew-aware routing. The coordinate router (shardOf) balances uniform and
+// dense index distributions, but a zipf-heavy stream concentrates most of
+// its update *traffic* on a handful of keys, and a fixed index→shard map
+// pins each of those keys' entire volume onto one shard — the classic hot
+// partition. Linearity dissolves the problem: any replica may absorb any
+// update, so once a key is known to be hot its updates can round-robin
+// across every shard with zero correctness cost.
+//
+// Detection reuses the heavy-hitter machinery the paper's §4.4 reductions
+// are built on, in its cheapest streaming form: a Misra-Gries tracker
+// (heavyhitters.Tracker) over the index stream, refreshed every interval.
+// The current hot set lives in a small direct-mapped filter so the per-
+// update check is one mask, one load and one compare; a collision merely
+// drops one hot key from fan-out for an interval, which costs balance, not
+// correctness.
+type hotRouter struct {
+	tracker  *heavyhitters.Tracker
+	interval int
+	phi      float64
+	// filter maps slot -> hot key + 1 (0 = empty), direct-mapped by the low
+	// bits of the key.
+	filter []int64
+	mask   uint32
+	seen   int
+	rr     uint32 // round-robin cursor for hot-key fan-out
+
+	hotKeys   int
+	hotRouted int64
+}
+
+// hotFilterSlots is the direct-mapped hot-set capacity; plenty above the
+// tracker sizes in use, and a power of two for mask indexing.
+const hotFilterSlots = 512
+
+func newHotRouter(cfg Config) *hotRouter {
+	interval := cfg.HotKeyInterval
+	if interval <= 0 {
+		interval = 8192
+	}
+	counters := cfg.HotKeyCounters
+	if counters <= 0 {
+		counters = 256
+	}
+	phi := cfg.HotKeyPhi
+	if phi <= 0 {
+		phi = 1.0 / 64
+	}
+	return &hotRouter{
+		tracker:  heavyhitters.NewTracker(counters),
+		interval: interval,
+		phi:      phi,
+		filter:   make([]int64, hotFilterSlots),
+		mask:     hotFilterSlots - 1,
+	}
+}
+
+// route observes one update's key and, when the key is currently hot,
+// returns the next fan-out shard. Called on the producer goroutine only.
+func (r *hotRouter) route(index, shards int) (int, bool) {
+	r.tracker.Offer(index)
+	r.seen++
+	if r.seen >= r.interval {
+		r.refresh()
+	}
+	if r.filter[uint32(index)&r.mask] == int64(index)+1 {
+		r.hotRouted++
+		r.rr++
+		return int(r.rr % uint32(shards)), true
+	}
+	return 0, false
+}
+
+// refresh rebuilds the hot filter from the tracker and resets it, so
+// hotness follows the traffic with one interval of lag in either
+// direction (a cooled-off key stops fanning at the next refresh).
+func (r *hotRouter) refresh() {
+	for i := range r.filter {
+		r.filter[i] = 0
+	}
+	thresh := int64(r.phi * float64(r.seen))
+	if thresh < 1 {
+		thresh = 1
+	}
+	hot := r.tracker.Heavy(thresh)
+	for _, key := range hot {
+		r.filter[uint32(key)&r.mask] = int64(key) + 1
+	}
+	r.hotKeys = len(hot)
+	r.tracker.Reset()
+	r.seen = 0
+}

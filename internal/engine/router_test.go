@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/countmin"
+	"repro/internal/stream"
+)
+
+// zipfish builds a skewed stream: roughly half of all updates hit one hot
+// key, the rest spread over [n].
+func zipfish(n, length int, hot int, seed uint64) stream.Stream {
+	r := seeded(seed)
+	st := make(stream.Stream, 0, length)
+	for i := 0; i < length; i++ {
+		idx := hot
+		if i%2 == 1 {
+			idx = r.IntN(n)
+		}
+		st = append(st, stream.Update{Index: idx, Delta: int64(1 + r.IntN(5))})
+	}
+	return st
+}
+
+// TestHotKeyRoutingStaysExact: the skew-aware router changes only placement,
+// never answers — a zipf-heavy ingest with hot-key fan-out must agree with
+// serial on every coordinate, and the router must actually have detected and
+// fanned the hot key.
+func TestHotKeyRoutingStaysExact(t *testing.T) {
+	const n, length, hotIdx = 512, 40000, 7
+	st := zipfish(n, length, hotIdx, 81)
+
+	serial := countmin.New(64, 5, seeded(82))
+	st.Feed(serial)
+
+	eng := New(Config{
+		Shards: 4, BatchSize: 64,
+		HotKeyRouting: true, HotKeyInterval: 1024, HotKeyPhi: 0.1,
+	}, func(int) *countmin.Sketch { return countmin.New(64, 5, seeded(82)) },
+		func(dst, src *countmin.Sketch) error { return dst.Merge(src) })
+	eng.Feed(st)
+
+	stats := eng.Stats()
+	if stats.HotRouted == 0 {
+		t.Fatalf("router never fanned the hot key: %+v", stats)
+	}
+	if stats.HotKeys == 0 {
+		t.Fatalf("hot set empty after a zipf ingest: %+v", stats)
+	}
+
+	merged, err := eng.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := merged.QueryMedian(uint64(i)), serial.QueryMedian(uint64(i)); got != want {
+			t.Fatalf("coordinate %d: hot-routed %d != serial %d", i, got, want)
+		}
+	}
+}
+
+// TestHotKeyRoutingSpreadsLoad: with a single ultra-hot key, static routing
+// pins all mass on one replica while the skew-aware router spreads it. The
+// per-replica count-min mass is observable after a quiesce (replicas are
+// safe to read from the producer goroutine), so assert the fan-out
+// directly: every shard's replica must have absorbed part of the hot key.
+func TestHotKeyRoutingSpreadsLoad(t *testing.T) {
+	const shards = 4
+	mkStream := func() stream.Stream {
+		st := make(stream.Stream, 0, 1<<14)
+		for i := 0; i < 1<<14; i++ {
+			st = append(st, stream.Update{Index: 3, Delta: 1})
+		}
+		return st
+	}
+	factory := func(int) *countmin.Sketch { return countmin.New(32, 4, seeded(83)) }
+	merge := func(dst, src *countmin.Sketch) error { return dst.Merge(src) }
+
+	replicasWithMass := func(cfg Config) int {
+		eng := New(cfg, factory, merge)
+		defer eng.Close()
+		eng.Feed(mkStream())
+		if err := eng.quiesce(); err != nil {
+			t.Fatal(err)
+		}
+		touched := 0
+		for _, r := range eng.replicas {
+			if r.QueryMedian(3) > 0 {
+				touched++
+			}
+		}
+		return touched
+	}
+
+	static := replicasWithMass(Config{Shards: shards, BatchSize: 64})
+	if static != 1 {
+		t.Fatalf("static routing touched %d replicas for one key, want 1", static)
+	}
+	fanned := replicasWithMass(Config{
+		Shards: shards, BatchSize: 64,
+		HotKeyRouting: true, HotKeyInterval: 512, HotKeyPhi: 0.25,
+	})
+	if fanned != shards {
+		t.Fatalf("skew-aware routing touched %d/%d replicas for the hot key", fanned, shards)
+	}
+}
+
+// TestHotKeyRoutingAdapts: a key that cools off leaves the hot set at the
+// next refresh, so fan-out follows the traffic.
+func TestHotKeyRoutingAdapts(t *testing.T) {
+	r := newHotRouter(Config{HotKeyRouting: true, HotKeyInterval: 256, HotKeyPhi: 0.2})
+	// Phase 1: key 9 dominates → hot after the first refresh.
+	for i := 0; i < 512; i++ {
+		r.route(9, 4)
+	}
+	if r.hotKeys == 0 || r.hotRouted == 0 {
+		t.Fatalf("hot phase not detected: hotKeys=%d hotRouted=%d", r.hotKeys, r.hotRouted)
+	}
+	// Phase 2: traffic goes uniform over many keys → hot set empties.
+	for i := 0; i < 1024; i++ {
+		r.route(1000+i%503, 4)
+	}
+	if r.hotKeys != 0 {
+		t.Fatalf("hot set did not decay after traffic cooled: %d keys", r.hotKeys)
+	}
+}

@@ -1,0 +1,124 @@
+package heavyhitters
+
+import "sort"
+
+// Tracker is a weighted Misra-Gries summary over a stream of keys — the
+// deterministic, insert-only counterpart of the §4.4 count-sketch heavy
+// hitters. It maintains at most k counters; on an offered key already
+// tracked the counter grows by the offered weight, otherwise the key is
+// admitted and, when that overflows the budget, every counter shrinks by
+// the minimum counter value (deleting the zeros).
+//
+// The classic guarantee carries over to weights: with W the total offered
+// weight, each stored counter undercounts its key's true weight by at most
+// W/(k+1), and any key whose true weight exceeds W/(k+1) is present. That
+// makes the tracker a sufficient detector for "does this key receive at
+// least a φ fraction of traffic" whenever k+1 >= 1/φ — the engine's
+// skew-aware router sizes it with slack (k = 4/φ by default) so hot keys
+// clear the threshold even after maximal undercount.
+//
+// The tracker is not a linear sketch and not mergeable across replicas; it
+// summarizes whatever single stream it is offered (for the router: the
+// update traffic seen by the producer goroutine). All methods are
+// single-goroutine.
+type Tracker struct {
+	k      int
+	counts map[int]int64
+	total  int64
+}
+
+// NewTracker returns a tracker with at most k counters.
+func NewTracker(k int) *Tracker {
+	if k < 1 {
+		k = 1
+	}
+	return &Tracker{k: k, counts: make(map[int]int64, k+1)}
+}
+
+// K reports the counter budget.
+func (t *Tracker) K() int { return t.k }
+
+// Offer records one occurrence of key.
+func (t *Tracker) Offer(key int) { t.OfferWeighted(key, 1) }
+
+// OfferWeighted records weight w of key; w <= 0 is ignored.
+func (t *Tracker) OfferWeighted(key int, w int64) {
+	if w <= 0 {
+		return
+	}
+	t.total += w
+	if c, ok := t.counts[key]; ok {
+		t.counts[key] = c + w
+		return
+	}
+	t.counts[key] = w
+	if len(t.counts) <= t.k {
+		return
+	}
+	// Budget overflow: the Misra-Gries decrement. Subtract the minimum
+	// counter from every counter and drop the zeros — at least one entry
+	// (the minimum itself) always leaves.
+	low := int64(0)
+	for _, c := range t.counts {
+		if low == 0 || c < low {
+			low = c
+		}
+	}
+	for k2, c := range t.counts {
+		if c <= low {
+			delete(t.counts, k2)
+		} else {
+			t.counts[k2] = c - low
+		}
+	}
+}
+
+// Count reports the stored counter for key (an undercount of its true
+// weight by at most Total()/(k+1); zero when untracked).
+func (t *Tracker) Count(key int) int64 { return t.counts[key] }
+
+// Total reports the total weight offered since the last Reset.
+func (t *Tracker) Total() int64 { return t.total }
+
+// Len reports the number of tracked keys.
+func (t *Tracker) Len() int { return len(t.counts) }
+
+// TrackerEntry is one tracked key with its stored (under)count.
+type TrackerEntry struct {
+	Key   int
+	Count int64
+}
+
+// Entries returns the tracked keys by decreasing count (ties by key).
+func (t *Tracker) Entries() []TrackerEntry {
+	out := make([]TrackerEntry, 0, len(t.counts))
+	for k, c := range t.counts {
+		out = append(out, TrackerEntry{Key: k, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Key < out[b].Key
+	})
+	return out
+}
+
+// Heavy returns the keys whose stored counter reaches threshold, by
+// decreasing count.
+func (t *Tracker) Heavy(threshold int64) []int {
+	entries := t.Entries()
+	out := make([]int, 0, len(entries))
+	for _, e := range entries {
+		if e.Count >= threshold {
+			out = append(out, e.Key)
+		}
+	}
+	return out
+}
+
+// Reset clears every counter and the offered-weight total.
+func (t *Tracker) Reset() {
+	clear(t.counts)
+	t.total = 0
+}

@@ -1,0 +1,119 @@
+package heavyhitters
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestTrackerExactWhenWithinBudget: at most k distinct keys → every count is
+// exact, no decrements ever fire.
+func TestTrackerExactWhenWithinBudget(t *testing.T) {
+	tr := NewTracker(8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j <= i; j++ {
+			tr.Offer(i)
+		}
+	}
+	if tr.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tr.Len())
+	}
+	for i := 0; i < 8; i++ {
+		if got := tr.Count(i); got != int64(i+1) {
+			t.Errorf("Count(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+	if tr.Total() != 36 {
+		t.Errorf("Total = %d, want 36", tr.Total())
+	}
+}
+
+// TestTrackerHeavyDetection: a key holding half the traffic must survive the
+// summary and clear a φ-fraction threshold, across weights and noise keys.
+func TestTrackerHeavyDetection(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	tr := NewTracker(64)
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		tr.Offer(42)
+		tr.Offer(1000 + r.IntN(5000)) // noise: ~uniform over 5000 keys
+	}
+	heavy := tr.Heavy(tr.Total() / 4)
+	if len(heavy) != 1 || heavy[0] != 42 {
+		t.Fatalf("Heavy = %v, want [42]", heavy)
+	}
+	// Entries must lead with the hot key.
+	if es := tr.Entries(); len(es) == 0 || es[0].Key != 42 {
+		t.Fatalf("Entries[0] = %+v, want key 42", es)
+	}
+}
+
+// TestPropertyTrackerUndercountBound pins the Misra-Gries guarantee under
+// random weighted streams: stored count <= true count, undercount at most
+// Total/(k+1), and any key with true weight > Total/(k+1) is present.
+func TestPropertyTrackerUndercountBound(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, lenRaw uint16) bool {
+		k := 4 + int(kRaw)%60
+		length := 100 + int(lenRaw)%4000
+		r := rand.New(rand.NewPCG(seed, 7))
+		tr := NewTracker(k)
+		truth := map[int]int64{}
+		for i := 0; i < length; i++ {
+			key := r.IntN(40) // dense key space forces decrements
+			w := int64(1 + r.IntN(9))
+			tr.OfferWeighted(key, w)
+			truth[key] += w
+		}
+		slack := tr.Total()/int64(k+1) + 1
+		for key, true_ := range truth {
+			got := tr.Count(key)
+			if got > true_ {
+				t.Logf("seed %d: Count(%d)=%d overcounts true %d", seed, key, got, true_)
+				return false
+			}
+			if true_-got > slack {
+				t.Logf("seed %d: Count(%d)=%d undercounts true %d beyond W/(k+1)=%d", seed, key, got, true_, slack)
+				return false
+			}
+			if true_ > slack && got == 0 {
+				t.Logf("seed %d: heavy key %d (weight %d > %d) evicted", seed, key, true_, slack)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTrackerReset: counters and totals clear; the tracker is reusable.
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker(4)
+	tr.OfferWeighted(1, 10)
+	tr.OfferWeighted(1, -5) // non-positive weights ignored
+	if tr.Count(1) != 10 || tr.Total() != 10 {
+		t.Fatalf("weighted offer: count %d total %d", tr.Count(1), tr.Total())
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Count(1) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	tr.Offer(2)
+	if tr.Count(2) != 1 {
+		t.Fatal("tracker unusable after Reset")
+	}
+}
+
+// TestTrackerBudgetNeverExceeded: the counter map stays at <= k entries
+// whatever the stream.
+func TestTrackerBudgetNeverExceeded(t *testing.T) {
+	r := rand.New(rand.NewPCG(9, 9))
+	tr := NewTracker(16)
+	for i := 0; i < 50000; i++ {
+		tr.OfferWeighted(r.IntN(1<<20), int64(1+r.IntN(3)))
+		if tr.Len() > 16 {
+			t.Fatalf("tracker holds %d > 16 counters after %d offers", tr.Len(), i+1)
+		}
+	}
+}
