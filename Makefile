@@ -68,8 +68,10 @@ bench-query:
 
 # Benchmark regression gate (the CI bench-gate job): run the headline
 # ingest/query suite (3 repetitions, best run wins) and compare against the
-# committed BENCH_BASELINE.json, failing on a >10% geomean regression or a
-# missing benchmark. See cmd/benchgate for -input / -threshold options.
+# committed BENCH_BASELINE.json, failing on a >10% geomean regression, any
+# single benchmark >1.5x its baseline, or a missing benchmark. On PRs the
+# CI job swaps the committed baseline for one measured from the PR base on
+# the same runner. See cmd/benchgate for -input / -threshold / -cap.
 bench-gate:
 	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json
 

@@ -1,8 +1,10 @@
 // Command benchgate is the CI benchmark-regression gate: it runs (or reads)
 // the ingest/query benchmark suite, reduces -count repetitions to best
 // ns/op per benchmark, and compares against the committed
-// BENCH_BASELINE.json, exiting non-zero on a >threshold geomean regression
-// or on a benchmark missing from the run.
+// BENCH_BASELINE.json, exiting non-zero on a >threshold geomean
+// regression, on any single benchmark exceeding the per-benchmark -cap
+// ratio (a targeted hot-path regression must not hide behind a flat
+// geomean), or on a benchmark missing from the run.
 //
 // Modes:
 //
@@ -42,6 +44,7 @@ func main() {
 		input        = flag.String("input", "", "pre-captured `go test -bench` output ('-' for stdin); empty runs the suite")
 		update       = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
 		threshold    = flag.Float64("threshold", 0.10, "allowed geomean regression (0.10 = +10%)")
+		capRatio     = flag.Float64("cap", 1.5, "per-benchmark current/baseline ratio ceiling (0 disables)")
 		benchRe      = flag.String("bench", defaultBench, "benchmark regexp passed to go test")
 		pkg          = flag.String("pkg", ".", "package holding the suite")
 		benchtime    = flag.String("benchtime", "300ms", "go test -benchtime per benchmark")
@@ -76,7 +79,7 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("%w (run `benchgate -update` to create it)", err))
 	}
-	rep := benchgate.Compare(base.Benchmarks, best, *threshold)
+	rep := benchgate.Compare(base.Benchmarks, best, *threshold, *capRatio)
 	rep.Render(os.Stdout)
 	if !rep.Pass() {
 		os.Exit(1)

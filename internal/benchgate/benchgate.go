@@ -6,11 +6,14 @@
 // (minimum) ns/op across the current run's -count repetitions — the least
 // noisy statistic for regression detection, since noise on a quiet machine
 // is one-sided — and form the ratio current/baseline. The run fails when
-// the geometric mean of those ratios exceeds 1+threshold, or when a
-// baseline benchmark is missing from the run (suite drift hides
-// regressions). Individual benchmarks may exceed the threshold without
-// failing the gate as long as the geomean holds; they are still listed so
-// a targeted regression is visible in the log.
+// the geometric mean of those ratios exceeds 1+threshold, when any single
+// ratio exceeds the per-benchmark cap (so a targeted hot-path regression
+// cannot hide behind seven flat benchmarks — a lone 2x slowdown among
+// eight moves the geomean only to ~1.09), or when a baseline benchmark is
+// missing from the run (suite drift hides regressions). Individual
+// benchmarks may exceed the geomean threshold without failing the gate as
+// long as they stay under the cap; they are still listed worst-first so
+// the offender is visible in the log.
 package benchgate
 
 import (
@@ -134,11 +137,14 @@ type Report struct {
 	Extra     []string // in the run, not in the baseline — informational
 	Geomean   float64  // geometric mean of all ratios
 	Threshold float64  // allowed geomean regression, e.g. 0.10
+	Cap       float64  // per-benchmark ratio ceiling, e.g. 1.5; <= 0 disables
 }
 
 // Compare builds the Report for current best-times against the baseline.
-func Compare(base, cur map[string]float64, threshold float64) Report {
-	rep := Report{Threshold: threshold}
+// capRatio is the per-benchmark ceiling any single current/baseline ratio
+// must stay under (<= 0 disables that check).
+func Compare(base, cur map[string]float64, threshold, capRatio float64) Report {
+	rep := Report{Threshold: threshold, Cap: capRatio}
 	logSum, nRatios := 0.0, 0
 	for name, b := range base {
 		c, ok := cur[name]
@@ -175,10 +181,23 @@ func Compare(base, cur map[string]float64, threshold float64) Report {
 	return rep
 }
 
-// Pass reports the gate verdict: every baseline benchmark measured and the
-// geomean within 1+threshold.
+// worstRatio is the largest single current/baseline ratio (Deltas are
+// sorted worst-first), or 0 when nothing was compared.
+func (r Report) worstRatio() float64 {
+	if len(r.Deltas) == 0 {
+		return 0
+	}
+	return r.Deltas[0].Ratio
+}
+
+// Pass reports the gate verdict: every baseline benchmark measured, the
+// geomean within 1+threshold, and (when Cap > 0) no single benchmark's
+// ratio above the cap.
 func (r Report) Pass() bool {
-	return len(r.Missing) == 0 && r.Geomean <= 1+r.Threshold
+	if len(r.Missing) > 0 || r.Geomean > 1+r.Threshold {
+		return false
+	}
+	return r.Cap <= 0 || r.worstRatio() <= r.Cap
 }
 
 // Render writes the human-readable comparison table and verdict.
@@ -186,7 +205,10 @@ func (r Report) Render(w io.Writer) {
 	fmt.Fprintf(w, "%-44s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
 	for _, d := range r.Deltas {
 		flag := ""
-		if d.Ratio > 1+r.Threshold {
+		switch {
+		case r.Cap > 0 && d.Ratio > r.Cap:
+			flag = "  <-- exceeds per-benchmark cap (gate fails)"
+		case d.Ratio > 1+r.Threshold:
 			flag = "  <-- exceeds threshold"
 		}
 		fmt.Fprintf(w, "%-44s %14.1f %14.1f %8.3f%s\n", d.Name, d.Base, d.Cur, d.Ratio, flag)
@@ -201,5 +223,10 @@ func (r Report) Render(w io.Writer) {
 	if !r.Pass() {
 		verdict = "FAIL"
 	}
-	fmt.Fprintf(w, "geomean ratio %.4f (limit %.4f): %s\n", r.Geomean, 1+r.Threshold, verdict)
+	if r.Cap > 0 {
+		fmt.Fprintf(w, "geomean ratio %.4f (limit %.4f), worst ratio %.4f (cap %.4f): %s\n",
+			r.Geomean, 1+r.Threshold, r.worstRatio(), r.Cap, verdict)
+	} else {
+		fmt.Fprintf(w, "geomean ratio %.4f (limit %.4f): %s\n", r.Geomean, 1+r.Threshold, verdict)
+	}
 }

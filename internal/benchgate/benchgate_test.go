@@ -43,7 +43,7 @@ func TestParseSamples(t *testing.T) {
 func TestCompareCleanRunPasses(t *testing.T) {
 	base := map[string]float64{"A": 100, "B": 200, "C": 50}
 	cur := map[string]float64{"A": 104, "B": 195, "C": 52, "D": 1}
-	rep := Compare(base, cur, 0.10)
+	rep := Compare(base, cur, 0.10, 1.5)
 	if !rep.Pass() {
 		t.Fatalf("clean run failed: geomean %v, missing %v", rep.Geomean, rep.Missing)
 	}
@@ -64,7 +64,7 @@ func TestCompareInjectedSlowdownFails(t *testing.T) {
 	for k, v := range base {
 		cur[k] = v * 1.25
 	}
-	rep := Compare(base, cur, 0.10)
+	rep := Compare(base, cur, 0.10, 1.5)
 	if rep.Pass() {
 		t.Fatalf("25%% slowdown passed a 10%% gate: geomean %v", rep.Geomean)
 	}
@@ -77,12 +77,13 @@ func TestCompareInjectedSlowdownFails(t *testing.T) {
 }
 
 // TestCompareSingleBenchRegressionWithinGeomean: one bench 30% slower while
-// the rest hold → geomean over 4 benches stays under 10%, the gate passes,
-// but the offender is flagged first in the report.
+// the rest hold → geomean over 4 benches stays under 10% and the blip is
+// under the 1.5 per-benchmark cap, so the gate passes, but the offender is
+// flagged first in the report.
 func TestCompareSingleBenchRegressionWithinGeomean(t *testing.T) {
 	base := map[string]float64{"A": 100, "B": 200, "C": 50, "D": 1000}
 	cur := map[string]float64{"A": 130, "B": 200, "C": 50, "D": 1000}
-	rep := Compare(base, cur, 0.10)
+	rep := Compare(base, cur, 0.10, 1.5)
 	if !rep.Pass() {
 		t.Fatalf("isolated 30%% single-bench blip failed the geomean gate: %v", rep.Geomean)
 	}
@@ -91,10 +92,39 @@ func TestCompareSingleBenchRegressionWithinGeomean(t *testing.T) {
 	}
 }
 
+// TestCompareSingleBenchRegressionTripsCap: a lone 2x hot-path regression
+// among 8 benchmarks moves the geomean only to ~1.09 — under the 10%
+// threshold — but the per-benchmark cap catches it. Disabling the cap
+// (cap <= 0) restores the geomean-only verdict.
+func TestCompareSingleBenchRegressionTripsCap(t *testing.T) {
+	base := map[string]float64{}
+	cur := map[string]float64{}
+	for _, k := range []string{"A", "B", "C", "D", "E", "F", "G", "H"} {
+		base[k] = 100
+		cur[k] = 100
+	}
+	cur["A"] = 200 // 2x slower; geomean = 2^(1/8) ≈ 1.0905
+	rep := Compare(base, cur, 0.10, 1.5)
+	if rep.Geomean > 1.10 {
+		t.Fatalf("geomean %v should be under the threshold — the cap is what must fail", rep.Geomean)
+	}
+	if rep.Pass() {
+		t.Fatal("2x single-bench regression passed a 1.5 per-benchmark cap")
+	}
+	if Compare(base, cur, 0.10, 0).Pass() != true {
+		t.Fatal("cap 0 must disable the per-benchmark check")
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "exceeds per-benchmark cap") {
+		t.Errorf("cap breach not flagged in render: %s", sb.String())
+	}
+}
+
 func TestCompareMissingBenchmarkFails(t *testing.T) {
 	base := map[string]float64{"A": 100, "B": 200}
 	cur := map[string]float64{"A": 100}
-	rep := Compare(base, cur, 0.10)
+	rep := Compare(base, cur, 0.10, 1.5)
 	if rep.Pass() {
 		t.Fatal("run missing a baseline benchmark must fail")
 	}
@@ -104,7 +134,7 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 }
 
 func TestCompareEmptyRunFails(t *testing.T) {
-	rep := Compare(map[string]float64{}, map[string]float64{}, 0.10)
+	rep := Compare(map[string]float64{}, map[string]float64{}, 0.10, 1.5)
 	if rep.Pass() {
 		t.Fatal("empty comparison must not pass")
 	}
@@ -139,12 +169,12 @@ func TestBaselineRoundTrip(t *testing.T) {
 func TestRenderVerdicts(t *testing.T) {
 	base := map[string]float64{"A": 100}
 	var sb strings.Builder
-	Compare(base, map[string]float64{"A": 101}, 0.10).Render(&sb)
+	Compare(base, map[string]float64{"A": 101}, 0.10, 1.5).Render(&sb)
 	if !strings.Contains(sb.String(), "PASS") {
 		t.Errorf("pass render: %s", sb.String())
 	}
 	sb.Reset()
-	Compare(base, map[string]float64{"A": 150}, 0.10).Render(&sb)
+	Compare(base, map[string]float64{"A": 150}, 0.10, 1.5).Render(&sb)
 	out := sb.String()
 	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "exceeds threshold") {
 		t.Errorf("fail render: %s", out)

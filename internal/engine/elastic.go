@@ -45,6 +45,7 @@ func (e *Engine[T]) Resize(n int) error {
 			e.replicas = append(e.replicas, e.factory(s))
 			e.chans = append(e.chans, make(chan []stream.Update, e.cfg.QueueDepth))
 			e.pending = append(e.pending, e.batchBuf())
+			e.exited = append(e.exited, nil)
 		}
 		e.cfg.Shards = n
 		e.publishStealSet()
@@ -62,11 +63,24 @@ func (e *Engine[T]) Resize(n int) error {
 		}
 		for s := n; s < old; s++ {
 			close(e.chans[s])
+		}
+		// Join the retired workers before dropping their state. Without the
+		// join, a retired work-stealing worker parked in its select can wake
+		// on a stale buffered hot signal after Resize returns and steal
+		// freshly produced batches into a replica that is no longer in
+		// e.replicas — silently dropping those updates. The wait is cheap:
+		// the engine is quiesced, so every queue is empty and each worker
+		// exits on its next scheduling. (The workers' hot path also checks
+		// for a closed own channel before stealing, as a second line of
+		// defense.)
+		for s := n; s < old; s++ {
+			<-e.exited[s]
 			e.pool.Put(e.pending[s][:0])
 		}
 		e.replicas = e.replicas[:n]
 		e.chans = e.chans[:n]
 		e.pending = e.pending[:n]
+		e.exited = e.exited[:n]
 		e.cfg.Shards = n
 		e.publishStealSet()
 	}

@@ -152,6 +152,58 @@ func TestResizeSnapshotAgreement(t *testing.T) {
 	}
 }
 
+// TestResizeDownJoinsRetiredWorkers pins the orphaned-thief regression:
+// scale-down must join the retired shards' workers before returning. A
+// retired work-stealing worker left running could wake on a stale buffered
+// hot signal after Resize returns and steal fresh batches into its replica
+// — already folded into a survivor and never merged again, silently
+// dropping those updates. The test floods the hot channel with stale
+// signals (the worst case for the select race), resizes down, and then
+// verifies both that every retired worker has exited and that heavy
+// post-resize ingest still matches serial exactly.
+func TestResizeDownJoinsRetiredWorkers(t *testing.T) {
+	const n = 1024
+	st := stream.RandomTurnstile(n, 20000, 60, seeded(61))
+
+	factory := func(int) *countmin.Sketch { return countmin.New(64, 5, seeded(62)) }
+	merge := func(dst, src *countmin.Sketch) error { return dst.Merge(src) }
+
+	serial := factory(0)
+	st.Feed(serial)
+
+	eng := New(Config{
+		Shards: 8, BatchSize: 32, QueueDepth: 4, WorkStealing: true,
+	}, factory, merge)
+	eng.ProcessBatch(st[:8000])
+	// Leave stale wake signals buffered so retired workers are maximally
+	// likely to take the hot case instead of observing their closed channel.
+	for i := 0; i < cap(eng.hot); i++ {
+		eng.signalHot()
+	}
+	retired := append([]chan struct{}(nil), eng.exited[2:]...)
+	if err := eng.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	for s, done := range retired {
+		select {
+		case <-done:
+		default:
+			t.Fatalf("retired worker %d still running after Resize returned", s+2)
+		}
+	}
+	// Post-resize traffic must land only in live replicas: exact agreement.
+	eng.ProcessBatch(st[8000:])
+	merged, err := eng.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := merged.QueryMedian(uint64(i)), serial.QueryMedian(uint64(i)); got != want {
+			t.Fatalf("coordinate %d: post-resize %d != serial %d", i, got, want)
+		}
+	}
+}
+
 // TestResizeGuards pins the error surface: invalid target, no-op resize,
 // terminal engine.
 func TestResizeGuards(t *testing.T) {

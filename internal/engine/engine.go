@@ -173,7 +173,8 @@ type Engine[T stream.Sink] struct {
 	router   *hotRouter
 	pool     sync.Pool
 	wg       sync.WaitGroup
-	inflight sync.WaitGroup // batches handed off but not yet processed
+	exited   []chan struct{} // per shard, closed when its worker returns
+	inflight sync.WaitGroup  // batches handed off but not yet processed
 	spill    T
 	spillSet bool
 
@@ -208,6 +209,7 @@ func New[T stream.Sink](cfg Config, factory func(shard int) T, merge func(dst, s
 		replicas: make([]T, cfg.Shards),
 		chans:    make([]chan []stream.Update, cfg.Shards),
 		pending:  make([][]stream.Update, cfg.Shards),
+		exited:   make([]chan struct{}, cfg.Shards),
 		hot:      make(chan struct{}, 4*cfg.Shards+16),
 		hotAt:    max(1, cfg.QueueDepth/2),
 	}
@@ -243,7 +245,16 @@ func (e *Engine[T]) publishStealSet() {
 
 func (e *Engine[T]) spawn(s int) {
 	e.wg.Add(1)
-	go e.worker(s, e.chans[s], e.replicas[s])
+	done := make(chan struct{})
+	e.exited[s] = done
+	// Capture the channel and replica here, on the producer goroutine —
+	// reading e.chans/e.replicas inside the worker would race with the
+	// slice appends of a later Resize.
+	ch, replica := e.chans[s], e.replicas[s]
+	go func() {
+		defer close(done)
+		e.worker(s, ch, replica)
+	}()
 }
 
 // consume runs one batch through a replica and retires it.
@@ -269,8 +280,21 @@ func (e *Engine[T]) worker(shard int, own chan []stream.Update, replica T) {
 			}
 			e.consume(replica, batch)
 		case <-e.hot:
-			// A producer saw backlog somewhere: drain foreign queues into
-			// this worker's replica until every queue scans empty.
+			// A producer saw backlog somewhere. Before stealing, make sure
+			// this worker is still live: select picks randomly among ready
+			// cases, so a retired worker can reach here on a stale buffered
+			// signal even though `own` is closed — it must exit, not steal
+			// batches into a replica that has already been folded away.
+			select {
+			case batch, ok := <-own:
+				if !ok {
+					return
+				}
+				e.consume(replica, batch)
+			default:
+			}
+			// Drain foreign queues into this worker's replica until every
+			// queue scans empty.
 			for e.stealOne(shard, replica) {
 			}
 		}
