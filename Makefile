@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench microbench bench-codec bench-l0 bench-query bench-gate bench-baseline fuzz-codec profile lint lint-vet lint-fmt fmt
+.PHONY: build test race race-kernels bench microbench bench-codec bench-l0 bench-query bench-gate bench-baseline fuzz-codec profile lint lint-vet lint-fmt fmt
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,18 @@ test:
 # coverage.out (uploaded as a CI artifact).
 race:
 	$(GO) test -race -coverprofile=coverage.out -covermode=atomic ./...
+
+# Race-detector sweep of the kernel-dispatched packages under each forced
+# variant. REPRO_KERNEL names a variant the machine may not have (e.g. neon
+# on amd64) — dispatch then falls back to scalar, so every leg is valid
+# everywhere and the sweep additionally exercises that fallback under -race.
+race-kernels:
+	for k in scalar avx2 neon; do \
+		echo "== REPRO_KERNEL=$$k =="; \
+		REPRO_KERNEL=$$k $(GO) test -race \
+			./internal/kernel ./internal/field ./internal/hash \
+			./internal/prng ./internal/sparse ./internal/engine || exit 1; \
+	done
 
 # One iteration of every benchmark — a smoke test that the bench harness and
 # the serial-vs-engine ingestion comparison still run, not a measurement.
@@ -33,6 +45,7 @@ microbench: bench-query bench-codec
 	$(GO) test -run '^$$' -bench 'Mul$$|Pow|Eval|Scalar|Batch|Block' -benchtime 1000x \
 		./internal/field ./internal/hash ./internal/countsketch \
 		./internal/prng ./internal/sparse
+	$(GO) test -run '^$$' -bench 'Kernel' -benchtime 1000x ./internal/kernel
 
 # Wire-format microbenchmarks: raw codec framing throughput, per-kind
 # marshal/unmarshal ns and wire bytes, and the full sharded

@@ -1,5 +1,21 @@
 package field
 
+import (
+	"unsafe"
+
+	"repro/internal/kernel"
+)
+
+// Words reinterprets a []Elem as the raw []uint64 view the internal/kernel
+// layer dispatches on — a zero-copy cast, valid because Elem is a uint64 in
+// canonical form. Writes through the view are writes to the elements.
+func Words(es []Elem) []uint64 {
+	if len(es) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&es[0])), len(es))
+}
+
 // Fast multi-point polynomial evaluation and the structured Vandermonde
 // solve behind the query-side recovery engine (internal/sparse). Three
 // kernels, each pinned bit-identical to its scalar reference by the property
@@ -10,10 +26,10 @@ package field
 //     chain (e dependent Muls per point) collapses to e independent Adds per
 //     point — the access pattern of the Chien scan, which probes rev(loc) at
 //     a_i = 1..n.
-//   - Poly.EvalBatch: transposed 4-wide Horner for arbitrary point sets,
-//     mirroring the transposed syndrome kernel of sparse.ProcessBatch: four
-//     independent accumulator chains stay in flight per coefficient step
-//     instead of one chain draining per point.
+//   - Poly.EvalBatch: multi-point Horner for arbitrary point sets, dispatched
+//     through internal/kernel — 4-lane transposed chains on AVX2, a plain
+//     per-point loop on the scalar reference — so the multiplier pipeline
+//     stays full instead of one chain draining per point.
 //   - VandermondeSolver: the transposed-Vandermonde system
 //     Σ_t v_t·a_t^j = y_j (the value solve of Lemma 5 recovery) in O(e²)
 //     through the master polynomial Π(x-a_t), per-point synthetic division,
@@ -79,29 +95,22 @@ func (fd *FDStepper) Next() Elem {
 	return v
 }
 
+// NextBlock fills out with the next len(out) consecutive values — out[t] is
+// what the (t+1)-th of len(out) Next calls would return, bit for bit. The
+// block form amortizes one kernel dispatch over the whole run and lets the
+// vector backends update the difference table SIMD-wide, which is where the
+// Chien scan of sparse recovery spends its time.
+func (fd *FDStepper) NextBlock(out []Elem) {
+	kernel.FDScan(Words(fd.d), Words(out))
+}
+
 // EvalBatch evaluates p at every point of xs into out (len(out) must be at
-// least len(xs)). Points are taken in register-blocked groups of four with
-// the Horner recurrence transposed — the outer loop walks coefficients, the
-// inner keeps four independent acc·x+c chains in flight — so the multiplier
-// pipeline stays full instead of draining between points. Per point the
-// operation sequence equals Eval's, so results are bit-identical.
+// least len(xs)) through the dispatched kernel: four transposed Horner chains
+// per SIMD step on vector backends, a straight per-point Horner loop on the
+// scalar one. Per point the operation sequence is exact mod-p Horner in
+// canonical form, so results are bit-identical to Eval across all backends.
 func (p Poly) EvalBatch(xs []Elem, out []Elem) {
-	i := 0
-	for ; i+4 <= len(xs); i += 4 {
-		x0, x1, x2, x3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
-		var a0, a1, a2, a3 Elem
-		for j := len(p) - 1; j >= 0; j-- {
-			c := p[j]
-			a0 = Add(Mul(a0, x0), c)
-			a1 = Add(Mul(a1, x1), c)
-			a2 = Add(Mul(a2, x2), c)
-			a3 = Add(Mul(a3, x3), c)
-		}
-		out[i], out[i+1], out[i+2], out[i+3] = a0, a1, a2, a3
-	}
-	for ; i < len(xs); i++ {
-		out[i] = p.Eval(xs[i])
-	}
+	kernel.PolyEvalBatch(Words(p), Words(xs), Words(out))
 }
 
 // VandermondeSolver solves transposed Vandermonde systems

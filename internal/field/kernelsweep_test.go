@@ -1,0 +1,85 @@
+package field
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// sweepVariants runs fn once under every kernel variant selectable on this
+// machine, restoring the startup selection afterwards. The scalar Eval/Next
+// paths inside fn are not dispatched, so they serve as the fixed reference.
+func sweepVariants(t *testing.T, fn func(t *testing.T)) {
+	prev := kernel.Active()
+	t.Cleanup(func() {
+		if err := kernel.Select(prev); err != nil {
+			t.Fatalf("restoring kernel variant %q: %v", prev, err)
+		}
+	})
+	for _, name := range kernel.Variants() {
+		if err := kernel.Select(name); err != nil {
+			t.Fatalf("Select(%q): %v", name, err)
+		}
+		t.Run(name, fn)
+	}
+}
+
+func TestEvalBatchVariantsMatchEval(t *testing.T) {
+	r := rand.New(rand.NewPCG(41, 1))
+	polys := []Poly{
+		nil,
+		{New(r.Uint64())},
+		{New(r.Uint64()), New(r.Uint64())},
+		make(Poly, 7),
+		make(Poly, 12),
+	}
+	for _, p := range polys {
+		for i := range p {
+			p[i] = New(r.Uint64())
+		}
+	}
+	xs := make([]Elem, 131)
+	for i := range xs {
+		xs[i] = New(r.Uint64())
+	}
+	sweepVariants(t, func(t *testing.T) {
+		for _, p := range polys {
+			out := make([]Elem, len(xs))
+			p.EvalBatch(xs, out)
+			for i, x := range xs {
+				if want := p.Eval(x); out[i] != want {
+					t.Fatalf("deg %d: EvalBatch[%d] = %#x, Eval = %#x", p.Degree(), i, out[i], want)
+				}
+			}
+		}
+	})
+}
+
+func TestNextBlockVariantsMatchNext(t *testing.T) {
+	r := rand.New(rand.NewPCG(42, 1))
+	for _, deg := range []int{0, 1, 2, 4, 8, 15} {
+		p := make(Poly, deg+1)
+		for i := range p {
+			p[i] = New(r.Uint64())
+		}
+		p[deg] = Add(p[deg], 1) // keep the leading coefficient nonzero
+		sweepVariants(t, func(t *testing.T) {
+			ref := NewFDStepper(p, 3)
+			blk := NewFDStepper(p, 3)
+			// Odd-sized chunks so block boundaries land everywhere.
+			buf := make([]Elem, 7)
+			pos := 0
+			for pos < 100 {
+				n := min(len(buf), 100-pos)
+				blk.NextBlock(buf[:n])
+				for i := 0; i < n; i++ {
+					if want := ref.Next(); buf[i] != want {
+						t.Fatalf("deg %d: NextBlock value %d = %#x, Next = %#x", deg, pos+i, buf[i], want)
+					}
+				}
+				pos += n
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"repro/internal/field"
+	"repro/internal/kernel"
 )
 
 // invModulus converts a field element to a unit-interval real with one
@@ -156,13 +157,8 @@ func BucketSignBatch(h, g *FlatFamily, j int, m uint64, xs []uint64, buckets []u
 	buckets = buckets[:len(xs)]
 	signs = signs[:len(xs)]
 	if len(hc) == 2 && len(gc) == 2 {
-		h0, h1 := hc[0], hc[1]
-		g0, g1 := gc[0], gc[1]
-		for t, x := range xs {
-			xe := field.New(x)
-			buckets[t] = Bucket(field.Add(field.Mul(h1, xe), h0), m)
-			signs[t] = signFloat(field.Add(field.Mul(g1, xe), g0))
-		}
+		kernel.BucketSign2(uint64(hc[0]), uint64(hc[1]), uint64(gc[0]), uint64(gc[1]), m,
+			xs, buckets, signs)
 		return
 	}
 	for t, x := range xs {
@@ -192,34 +188,13 @@ func evalPoly(coef []field.Elem, x uint64) field.Elem {
 
 func evalBatch(coef []field.Elem, xs []uint64, out []field.Elem) {
 	out = out[:len(xs)]
-	switch len(coef) {
-	case 2:
-		c0, c1 := coef[0], coef[1]
-		for t, x := range xs {
-			out[t] = field.Add(field.Mul(c1, field.New(x)), c0)
-		}
-	case 4:
-		c0, c1, c2, c3 := coef[0], coef[1], coef[2], coef[3]
-		for t, x := range xs {
-			xe := field.New(x)
-			acc := field.Add(field.Mul(c3, xe), c2)
-			acc = field.Add(field.Mul(acc, xe), c1)
-			out[t] = field.Add(field.Mul(acc, xe), c0)
-		}
-	default:
-		for t, x := range xs {
-			out[t] = evalPoly(coef, x)
-		}
-	}
+	kernel.PolyEvalBatch(field.Words(coef), xs, field.Words(out))
 }
 
 func bucketBatch(coef []field.Elem, m uint64, xs []uint64, out []uint64) {
 	out = out[:len(xs)]
 	if len(coef) == 2 {
-		c0, c1 := coef[0], coef[1]
-		for t, x := range xs {
-			out[t] = Bucket(field.Add(field.Mul(c1, field.New(x)), c0), m)
-		}
+		kernel.Bucket2(uint64(coef[0]), uint64(coef[1]), m, xs, out)
 		return
 	}
 	for t, x := range xs {

@@ -1,0 +1,95 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Per-primitive microbenchmarks, runnable per variant with
+// REPRO_KERNEL=scalar|avx2|neon (the numbers land in BENCH_PR7.json).
+
+func benchKeys(n int) []uint64 {
+	r := rand.New(rand.NewSource(99))
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = r.Uint64()
+	}
+	return xs
+}
+
+func BenchmarkKernelBucketSign2(b *testing.B) {
+	xs := benchKeys(1024)
+	buckets := make([]uint64, len(xs))
+	signs := make([]float64, len(xs))
+	b.SetBytes(int64(len(xs)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BucketSign2(12345, 678910, 111213, 141516, 4096, xs, buckets, signs)
+	}
+}
+
+// BenchmarkKernelBucketSign2N4 is the dispatch fixed-cost canary: a 4-key
+// batch is one vector iteration, so ns/op here is almost entirely call
+// overhead. The AVX2 prologue once hid a legacy-SSE/AVX transition stall
+// worth ~1µs per call on Xeon-class parts; this stays to catch any relapse.
+func BenchmarkKernelBucketSign2N4(b *testing.B) {
+	xs := []uint64{1, 2, 3, 4}
+	buckets := make([]uint64, 4)
+	signs := make([]float64, 4)
+	for i := 0; i < b.N; i++ {
+		BucketSign2(12345, 678910, 111213, 141516, 64, xs, buckets, signs)
+	}
+}
+
+func BenchmarkKernelPolyEvalBatchK2(b *testing.B) {
+	xs := benchKeys(1024)
+	out := make([]uint64, len(xs))
+	coef := []uint64{12345, 678910}
+	b.SetBytes(int64(len(xs)))
+	for i := 0; i < b.N; i++ {
+		PolyEvalBatch(coef, xs, out)
+	}
+}
+
+func BenchmarkKernelPolyEvalBatchK4(b *testing.B) {
+	xs := benchKeys(1024)
+	out := make([]uint64, len(xs))
+	coef := []uint64{12345, 678910, 111213, 141516}
+	b.SetBytes(int64(len(xs)))
+	for i := 0; i < b.N; i++ {
+		PolyEvalBatch(coef, xs, out)
+	}
+}
+
+func BenchmarkKernelFDScan9(b *testing.B) {
+	d := make([]uint64, 9)
+	copy(d, benchKeys(9))
+	for i := range d {
+		d[i] %= modulus
+	}
+	out := make([]uint64, 4096)
+	b.SetBytes(int64(len(out)))
+	for i := 0; i < b.N; i++ {
+		FDScan(d, out)
+	}
+}
+
+func BenchmarkKernelSyndromeAdd4(b *testing.B) {
+	synd := make([]uint64, 16)
+	d := [4]uint64{1, 2, 3, 4}
+	a := [4]uint64{5, 6, 7, 8}
+	for i := 0; i < b.N; i++ {
+		SyndromeAdd4(synd, d, a)
+	}
+}
+
+func BenchmarkKernelAffineExpand(b *testing.B) {
+	buf := make([]uint64, 128)
+	buf[0] = 123456789
+	for i := 0; i < b.N; i++ {
+		// Expand one value to 128 (seven doubling levels).
+		for m := 1; m < 128; m *= 2 {
+			AffineExpand(987654321, 1122334455, buf[:2*m], m)
+		}
+	}
+}

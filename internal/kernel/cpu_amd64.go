@@ -1,0 +1,145 @@
+package kernel
+
+// AVX2 detection and the amd64 vector table. Detection follows the standard
+// protocol: leaf 1 must report AVX and OSXSAVE, XGETBV must confirm the OS
+// saves XMM+YMM state on context switch, and leaf 7 must report AVX2 —
+// skipping the XGETBV check would SIGILL on kernels with AVX state disabled.
+
+//go:noescape
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+//go:noescape
+func polyEvalBatchAVX2(coef []uint64, xs []uint64, out []uint64)
+
+//go:noescape
+func bucketSign2AVX2(h0, h1, g0, g1, m uint64, xs []uint64, buckets []uint64, signs []float64)
+
+//go:noescape
+func bucket2AVX2(c0, c1, m uint64, xs []uint64, out []uint64)
+
+//go:noescape
+func fdScanAVX2(d []uint64, out []uint64)
+
+//go:noescape
+func fdScan12AVX2(d *[12]uint64, out []uint64)
+
+//go:noescape
+func syndromeAdd4AVX2(synd []uint64, d, a *[4]uint64)
+
+//go:noescape
+func affineExpandAVX2(a, b uint64, buf []uint64, lo, m int)
+
+func detect() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsaveAVX = 1<<27 | 1<<28
+	if c1&osxsaveAVX != osxsaveAVX {
+		return
+	}
+	if eax, _ := xgetbv0(); eax&6 != 6 { // XMM and YMM state enabled by the OS
+		return
+	}
+	if _, b7, _, _ := cpuid(7, 0); b7&(1<<5) == 0 { // AVX2
+		return
+	}
+	vectorTable = &avx2Table
+}
+
+// avx2Table vectorizes every primitive. The Go wrappers route 4-lane blocks
+// to assembly and delegate tails and degenerate shapes to the scalar
+// reference, so the assembly only ever sees its documented preconditions.
+var avx2Table = table{
+	name:          AVX2,
+	polyEvalBatch: avx2PolyEvalBatch,
+	bucketSign2:   avx2BucketSign2,
+	bucket2:       avx2Bucket2,
+	fdScan:        avx2FDScan,
+	syndromeAdd4:  avx2SyndromeAdd4,
+	affineExpand:  avx2AffineExpand,
+}
+
+func avx2PolyEvalBatch(coef, xs, out []uint64) {
+	out = out[:len(xs)]
+	if len(coef) == 0 {
+		clear(out)
+		return
+	}
+	n := len(xs) &^ 3
+	if n > 0 {
+		polyEvalBatchAVX2(coef, xs[:n], out[:n])
+	}
+	if n < len(xs) {
+		scalarPolyEvalBatch(coef, xs[n:], out[n:])
+	}
+}
+
+func avx2BucketSign2(h0, h1, g0, g1, m uint64, xs, buckets []uint64, signs []float64) {
+	buckets = buckets[:len(xs)]
+	signs = signs[:len(xs)]
+	n := len(xs) &^ 3
+	if n > 0 {
+		bucketSign2AVX2(h0, h1, g0, g1, m, xs[:n], buckets[:n], signs[:n])
+	}
+	if n < len(xs) {
+		scalarBucketSign2(h0, h1, g0, g1, m, xs[n:], buckets[n:], signs[n:])
+	}
+}
+
+func avx2Bucket2(c0, c1, m uint64, xs, out []uint64) {
+	out = out[:len(xs)]
+	n := len(xs) &^ 3
+	if n > 0 {
+		bucket2AVX2(c0, c1, m, xs[:n], out[:n])
+	}
+	if n < len(xs) {
+		scalarBucket2(c0, c1, m, xs[n:], out[n:])
+	}
+}
+
+func avx2FDScan(d, out []uint64) {
+	// Below 4 vector lanes of difference entries the per-step loop overhead
+	// outweighs the SIMD add; the scalar path is faster and bit-identical.
+	if len(out) == 0 || len(d) < 5 {
+		scalarFDScan(d, out)
+		return
+	}
+	if len(d) <= 12 {
+		// Common case (Chien scan: deg(locator)+1 <= s+1 entries): run the
+		// whole scan out of registers on a zero-padded copy. The pad lanes
+		// stay zero under d[k] += d[k+1], so the copy-back is exact.
+		var buf [12]uint64
+		copy(buf[:], d)
+		fdScan12AVX2(&buf, out)
+		copy(d, buf[:len(d)])
+		return
+	}
+	fdScanAVX2(d, out)
+}
+
+func avx2SyndromeAdd4(synd []uint64, d, a [4]uint64) {
+	if len(synd) == 0 {
+		return
+	}
+	syndromeAdd4AVX2(synd, &d, &a)
+}
+
+func avx2AffineExpand(a, b uint64, buf []uint64, m int) {
+	lo := m
+	if m >= 4 {
+		// The assembly walks blocks of four descending to index lo = m%4;
+		// the sub-block tail below it follows, still in descending order.
+		lo = m & 3
+		affineExpandAVX2(a, b, buf, lo, m)
+	}
+	for i := lo - 1; i >= 0; i-- {
+		x := buf[i]
+		buf[2*i] = x
+		buf[2*i+1] = modAdd(modMul(a, x), b)
+	}
+}

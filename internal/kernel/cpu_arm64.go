@@ -1,0 +1,32 @@
+package kernel
+
+// NEON is a mandatory part of AArch64, so detection is unconditional. The
+// table vectorizes only the finite-difference scan — NEON has no 64-bit
+// lane multiply, and the scalar mod-p product already compiles to MUL+UMULH
+// on arm64, so limb-decomposed vector multiplies would be a loss (see the
+// header of kernel_arm64.s).
+
+//go:noescape
+func fdScanNEON(d []uint64, out []uint64)
+
+func detect() {
+	vectorTable = &neonTable
+}
+
+var neonTable = table{
+	name:          NEON,
+	polyEvalBatch: scalarPolyEvalBatch,
+	bucketSign2:   scalarBucketSign2,
+	bucket2:       scalarBucket2,
+	fdScan:        neonFDScan,
+	syndromeAdd4:  scalarSyndromeAdd4,
+	affineExpand:  scalarAffineExpand,
+}
+
+func neonFDScan(d, out []uint64) {
+	if len(out) == 0 || len(d) < 4 {
+		scalarFDScan(d, out)
+		return
+	}
+	fdScanNEON(d, out)
+}

@@ -1,0 +1,7 @@
+//go:build !amd64 && !arm64
+
+package kernel
+
+// No vector backend on this architecture: every primitive runs the scalar
+// reference, and Select("avx2"/"neon") falls back cleanly to it.
+func detect() {}

@@ -1,0 +1,178 @@
+// Package kernel is the runtime-dispatched vector-kernel layer under the
+// ingest/query hot paths. The three primitives that dominate every sketch's
+// cycle budget — k-wise hash evaluation (internal/hash), mod-p polynomial
+// arithmetic (internal/field, internal/sparse) and PRG block generation
+// (internal/prng) — call through a per-primitive function table selected once
+// at init: the pure-Go scalar reference always exists, and SIMD variants
+// (AVX2 on amd64, NEON on arm64) replace individual entries when the CPU
+// supports them.
+//
+// All kernels operate on raw uint64 values carrying elements of GF(2^61-1)
+// in canonical form [0, Modulus) — the same representation as
+// internal/field.Elem. kernel cannot import field (field's own batch entry
+// points dispatch through this package), so the few lines of Mersenne
+// arithmetic are restated in scalar.go; the differential tests in
+// kernel_test.go and the per-package variant sweeps pin every variant
+// bit-identical to the scalar reference.
+//
+// Selection order is AVX2 > NEON > scalar, overridable for testing with the
+// environment variable REPRO_KERNEL=scalar|avx2|neon: a known but unavailable
+// variant falls back cleanly to scalar (so one CI matrix axis can force
+// REPRO_KERNEL=scalar everywhere without per-arch conditionals), while an
+// unknown value fails loudly at process start — silently ignoring a typo
+// would un-force the very path the override was meant to test.
+package kernel
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Variant names accepted by Select and the REPRO_KERNEL environment variable.
+const (
+	Scalar = "scalar"
+	AVX2   = "avx2"
+	NEON   = "neon"
+)
+
+// EnvVar is the environment variable consulted once at package init.
+const EnvVar = "REPRO_KERNEL"
+
+// table is the per-primitive function-pointer set of one variant. Every
+// entry is always non-nil; variants that vectorize only some primitives
+// inherit the scalar implementation for the rest.
+type table struct {
+	name string
+
+	// polyEvalBatch writes the Horner evaluation of the polynomial with
+	// ascending coefficients coef at each point of xs into out[:len(xs)].
+	// Points are arbitrary uint64s, reduced to canonical form first (a
+	// no-op for already-canonical field elements).
+	polyEvalBatch func(coef, xs, out []uint64)
+
+	// bucketSign2 is the fused count-sketch row kernel for pairwise (k=2)
+	// families: buckets[t] = Lemire(h1·x+h0, m), signs[t] = ±1.0 from the
+	// low bit of g1·x+g0.
+	bucketSign2 func(h0, h1, g0, g1, m uint64, xs, buckets []uint64, signs []float64)
+
+	// bucket2 is the count-min row kernel: out[t] = Lemire(c1·x+c0, m).
+	bucket2 func(c0, c1, m uint64, xs, out []uint64)
+
+	// fdScan advances a forward-finite-difference table len(out) steps,
+	// writing the value before each step into out: the Chien-scan inner
+	// loop of sparse recovery.
+	fdScan func(d, out []uint64)
+
+	// syndromeAdd4 folds four updates (deltas d, evaluation points a) into
+	// the power-sum syndromes: synd[j] += Σ_i d[i]·a[i]^j for all j. The
+	// groups pass by value so the indirect dispatch call cannot force a
+	// caller's group registers to escape to the heap.
+	syndromeAdd4 func(synd []uint64, d, a [4]uint64)
+
+	// affineExpand doubles a Nisan subtree level in place: for i = m-1..0,
+	// buf[2i] = buf[i], buf[2i+1] = a·buf[i]+b. len(buf) must be ≥ 2m.
+	affineExpand func(a, b uint64, buf []uint64, m int)
+}
+
+var (
+	selectMu sync.Mutex
+	active   atomic.Pointer[table]
+
+	// best is the auto-detected preferred table, wired by the per-arch
+	// init in cpu_*.go (nil entries mean "not available on this CPU").
+	vectorTable *table
+)
+
+func init() {
+	detect() // per-arch: may set vectorTable
+	if err := initFromEnv(os.Getenv(EnvVar)); err != nil {
+		panic(err)
+	}
+}
+
+// initFromEnv applies one REPRO_KERNEL value: empty selects the best
+// available variant, a known name forces it (falling back to scalar when the
+// CPU lacks it), and an unknown name is an error. Split from init so tests
+// can exercise the error path without a subprocess.
+func initFromEnv(v string) error {
+	if v == "" {
+		if vectorTable != nil {
+			active.Store(vectorTable)
+		} else {
+			active.Store(&scalarTable)
+		}
+		return nil
+	}
+	if err := Select(v); err != nil {
+		return fmt.Errorf("kernel: invalid %s=%q: %w", EnvVar, v, err)
+	}
+	return nil
+}
+
+// Active returns the name of the currently selected variant.
+func Active() string { return active.Load().name }
+
+// Variants returns the names selectable on this machine: always "scalar",
+// plus the vector variant compiled in and supported by the CPU.
+func Variants() []string {
+	vs := []string{Scalar}
+	if vectorTable != nil {
+		vs = append(vs, vectorTable.name)
+	}
+	return vs
+}
+
+// Select switches the dispatch table. "scalar" always succeeds; a known
+// vector variant that is unavailable here (wrong architecture or missing CPU
+// feature) falls back cleanly to scalar and reports no error, so forced
+// configurations stay portable; an unknown name is an error and leaves the
+// selection unchanged. Safe for concurrent use with kernel calls (the table
+// pointer is swapped atomically), though tests that force variants should
+// not run in parallel with each other.
+func Select(name string) error {
+	selectMu.Lock()
+	defer selectMu.Unlock()
+	switch name {
+	case Scalar:
+		active.Store(&scalarTable)
+	case AVX2, NEON:
+		if vectorTable != nil && vectorTable.name == name {
+			active.Store(vectorTable)
+		} else {
+			active.Store(&scalarTable)
+		}
+	default:
+		return fmt.Errorf("unknown kernel variant %q (want %s, %s or %s)", name, Scalar, AVX2, NEON)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points (one atomic load + indirect call per batch).
+// ---------------------------------------------------------------------------
+
+// PolyEvalBatch evaluates the polynomial Σ coef[i]·x^i at each (raw uint64)
+// point of xs into out[:len(xs)], Horner order, over GF(2^61-1). A nil/empty
+// coef writes zeros.
+func PolyEvalBatch(coef, xs, out []uint64) { active.Load().polyEvalBatch(coef, xs, out) }
+
+// BucketSign2 is the fused pairwise count-sketch row kernel; see table.
+// h0,h1,g0,g1 must be canonical field elements and m ≥ 1.
+func BucketSign2(h0, h1, g0, g1, m uint64, xs, buckets []uint64, signs []float64) {
+	active.Load().bucketSign2(h0, h1, g0, g1, m, xs, buckets, signs)
+}
+
+// Bucket2 is the pairwise count-min row kernel; see table.
+func Bucket2(c0, c1, m uint64, xs, out []uint64) { active.Load().bucket2(c0, c1, m, xs, out) }
+
+// FDScan writes len(out) consecutive finite-difference values and advances
+// the table d in place; out[t] is the polynomial value at the t-th point.
+func FDScan(d, out []uint64) { active.Load().fdScan(d, out) }
+
+// SyndromeAdd4 folds four updates into the power-sum syndromes; see table.
+func SyndromeAdd4(synd []uint64, d, a [4]uint64) { active.Load().syndromeAdd4(synd, d, a) }
+
+// AffineExpand doubles one Nisan subtree level in place; see table.
+func AffineExpand(a, b uint64, buf []uint64, m int) { active.Load().affineExpand(a, b, buf, m) }

@@ -1,0 +1,318 @@
+package kernel
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// vectorTables returns the non-scalar tables compiled in and usable on this
+// CPU — at most one today, but the sweep stays correct if more are added.
+func vectorTables() []*table {
+	if vectorTable == nil {
+		return nil
+	}
+	return []*table{vectorTable}
+}
+
+// restoreSelection re-applies the process's startup kernel selection after a
+// test has called Select or initFromEnv.
+func restoreSelection(t *testing.T) {
+	t.Cleanup(func() {
+		if err := initFromEnv(os.Getenv(EnvVar)); err != nil {
+			t.Fatalf("restoring kernel selection: %v", err)
+		}
+	})
+}
+
+func TestSelectUnknownVariant(t *testing.T) {
+	restoreSelection(t)
+	before := Active()
+	if err := Select("bogus"); err == nil {
+		t.Fatal("Select(\"bogus\") succeeded, want error")
+	}
+	if got := Active(); got != before {
+		t.Fatalf("failed Select changed active variant: %q -> %q", before, got)
+	}
+}
+
+func TestSelectUnavailableFallsBackToScalar(t *testing.T) {
+	restoreSelection(t)
+	available := map[string]bool{}
+	for _, v := range Variants() {
+		available[v] = true
+	}
+	for _, name := range []string{AVX2, NEON} {
+		if available[name] {
+			continue
+		}
+		if err := Select(name); err != nil {
+			t.Fatalf("Select(%q) on a machine without it: %v, want clean scalar fallback", name, err)
+		}
+		if got := Active(); got != Scalar {
+			t.Fatalf("Select(%q) fallback selected %q, want %q", name, got, Scalar)
+		}
+	}
+}
+
+func TestSelectRoundTrip(t *testing.T) {
+	restoreSelection(t)
+	for _, name := range Variants() {
+		if err := Select(name); err != nil {
+			t.Fatalf("Select(%q): %v", name, err)
+		}
+		if got := Active(); got != name {
+			t.Fatalf("after Select(%q), Active() = %q", name, got)
+		}
+	}
+}
+
+func TestInitFromEnv(t *testing.T) {
+	restoreSelection(t)
+	if err := initFromEnv("bogus"); err == nil {
+		t.Fatal("initFromEnv(\"bogus\") succeeded, want error")
+	}
+	if err := initFromEnv(Scalar); err != nil {
+		t.Fatalf("initFromEnv(scalar): %v", err)
+	}
+	if got := Active(); got != Scalar {
+		t.Fatalf("after initFromEnv(scalar), Active() = %q", got)
+	}
+	if err := initFromEnv(""); err != nil {
+		t.Fatalf("initFromEnv(\"\"): %v", err)
+	}
+	want := Scalar
+	if vectorTable != nil {
+		want = vectorTable.name
+	}
+	if got := Active(); got != want {
+		t.Fatalf("initFromEnv(\"\") selected %q, want best available %q", got, want)
+	}
+}
+
+func TestVariantsListsScalarFirst(t *testing.T) {
+	vs := Variants()
+	if len(vs) == 0 || vs[0] != Scalar {
+		t.Fatalf("Variants() = %v, want scalar first", vs)
+	}
+}
+
+// randCanonical returns a uniform canonical field element.
+func randCanonical(r *rand.Rand) uint64 { return r.Uint64() % modulus }
+
+// randPoints mixes raw uint64 points (the hash path feeds unreduced keys)
+// with boundary values around the modulus.
+func randPoints(r *rand.Rand, n int) []uint64 {
+	xs := make([]uint64, n)
+	for i := range xs {
+		switch r.Intn(8) {
+		case 0:
+			xs[i] = 0
+		case 1:
+			xs[i] = modulus - 1
+		case 2:
+			xs[i] = modulus
+		case 3:
+			xs[i] = ^uint64(0)
+		default:
+			xs[i] = r.Uint64()
+		}
+	}
+	return xs
+}
+
+func TestPolyEvalBatchDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(7001))
+	for _, vt := range vectorTables() {
+		for _, k := range []int{0, 1, 2, 3, 4, 5, 7, 12} {
+			for _, n := range []int{0, 1, 3, 4, 5, 8, 31, 64} {
+				coef := make([]uint64, k)
+				for i := range coef {
+					coef[i] = randCanonical(r)
+				}
+				xs := randPoints(r, n)
+				want := make([]uint64, n)
+				got := make([]uint64, n)
+				scalarTable.polyEvalBatch(coef, xs, want)
+				vt.polyEvalBatch(coef, xs, got)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s polyEvalBatch k=%d n=%d: out[%d] = %#x, scalar %#x (x=%#x)",
+							vt.name, k, n, i, got[i], want[i], xs[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBucketSign2Differential(t *testing.T) {
+	r := rand.New(rand.NewSource(7002))
+	for _, vt := range vectorTables() {
+		for _, m := range []uint64{1, 2, 3, 64, 4096, 123457, 1 << 40} {
+			for _, n := range []int{0, 1, 4, 5, 37, 128} {
+				h0, h1 := randCanonical(r), randCanonical(r)
+				g0, g1 := randCanonical(r), randCanonical(r)
+				xs := randPoints(r, n)
+				wantB := make([]uint64, n)
+				gotB := make([]uint64, n)
+				wantS := make([]float64, n)
+				gotS := make([]float64, n)
+				scalarTable.bucketSign2(h0, h1, g0, g1, m, xs, wantB, wantS)
+				vt.bucketSign2(h0, h1, g0, g1, m, xs, gotB, gotS)
+				for i := range wantB {
+					if wantB[i] != gotB[i] || wantS[i] != gotS[i] {
+						t.Fatalf("%s bucketSign2 m=%d n=%d: (%d,%v), scalar (%d,%v) at i=%d x=%#x",
+							vt.name, m, n, gotB[i], gotS[i], wantB[i], wantS[i], i, xs[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBucket2Differential(t *testing.T) {
+	r := rand.New(rand.NewSource(7003))
+	for _, vt := range vectorTables() {
+		for _, m := range []uint64{1, 3, 64, 4096, 1 << 50} {
+			for _, n := range []int{0, 1, 4, 5, 37, 128} {
+				c0, c1 := randCanonical(r), randCanonical(r)
+				xs := randPoints(r, n)
+				want := make([]uint64, n)
+				got := make([]uint64, n)
+				scalarTable.bucket2(c0, c1, m, xs, want)
+				vt.bucket2(c0, c1, m, xs, got)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s bucket2 m=%d n=%d: out[%d] = %d, scalar %d (x=%#x)",
+							vt.name, m, n, i, got[i], want[i], xs[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFDScanDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(7004))
+	for _, vt := range vectorTables() {
+		for _, dn := range []int{1, 2, 3, 4, 5, 6, 9, 11, 12, 13, 17, 33} {
+			for _, steps := range []int{0, 1, 2, 7, 50} {
+				d := make([]uint64, dn)
+				for i := range d {
+					d[i] = randCanonical(r)
+				}
+				dRef := append([]uint64(nil), d...)
+				want := make([]uint64, steps)
+				got := make([]uint64, steps)
+				scalarTable.fdScan(dRef, want)
+				vt.fdScan(d, got)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s fdScan |d|=%d steps=%d: out[%d] = %#x, scalar %#x",
+							vt.name, dn, steps, i, got[i], want[i])
+					}
+				}
+				for i := range d {
+					if d[i] != dRef[i] {
+						t.Fatalf("%s fdScan |d|=%d steps=%d: d[%d] = %#x, scalar %#x",
+							vt.name, dn, steps, i, d[i], dRef[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSyndromeAdd4Differential(t *testing.T) {
+	r := rand.New(rand.NewSource(7005))
+	for _, vt := range vectorTables() {
+		for _, sn := range []int{0, 1, 2, 3, 4, 8, 17} {
+			var d, a [4]uint64
+			for i := range d {
+				d[i] = randCanonical(r)
+				a[i] = randCanonical(r)
+			}
+			want := make([]uint64, sn)
+			for i := range want {
+				want[i] = randCanonical(r)
+			}
+			got := append([]uint64(nil), want...)
+			scalarTable.syndromeAdd4(want, d, a)
+			vt.syndromeAdd4(got, d, a)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%s syndromeAdd4 |synd|=%d: synd[%d] = %#x, scalar %#x",
+						vt.name, sn, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAffineExpandDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(7006))
+	for _, vt := range vectorTables() {
+		for _, m := range []int{1, 2, 3, 4, 5, 6, 8, 16, 33} {
+			a, b := randCanonical(r), randCanonical(r)
+			buf := make([]uint64, 2*m)
+			for i := 0; i < m; i++ {
+				buf[i] = randCanonical(r)
+			}
+			ref := append([]uint64(nil), buf...)
+			scalarTable.affineExpand(a, b, ref, m)
+			vt.affineExpand(a, b, buf, m)
+			for i := range ref {
+				if ref[i] != buf[i] {
+					t.Fatalf("%s affineExpand m=%d: buf[%d] = %#x, scalar %#x",
+						vt.name, m, i, buf[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDispatchEntryPoints drives every exported wrapper under each selectable
+// variant, checking the dispatch plumbing end to end.
+func TestDispatchEntryPoints(t *testing.T) {
+	restoreSelection(t)
+	r := rand.New(rand.NewSource(7007))
+	xs := randPoints(r, 21)
+	coef := []uint64{randCanonical(r), randCanonical(r), randCanonical(r)}
+	var results [][]uint64
+	for _, name := range Variants() {
+		if err := Select(name); err != nil {
+			t.Fatalf("Select(%q): %v", name, err)
+		}
+		out := make([]uint64, len(xs))
+		PolyEvalBatch(coef, xs, out)
+		buckets := make([]uint64, len(xs))
+		signs := make([]float64, len(xs))
+		BucketSign2(coef[0], coef[1], coef[2], coef[0], 97, xs, buckets, signs)
+		Bucket2(coef[0], coef[1], 97, xs, out[:0])
+		d := append([]uint64(nil), coef...)
+		scan := make([]uint64, 5)
+		FDScan(d, scan)
+		var du, au [4]uint64
+		for i := range du {
+			du[i], au[i] = randCanonical(rand.New(rand.NewSource(int64(i)))), uint64(i+2)
+		}
+		synd := make([]uint64, 6)
+		SyndromeAdd4(synd, du, au)
+		buf := make([]uint64, 8)
+		copy(buf, coef)
+		buf[3] = 1
+		AffineExpand(coef[0], coef[1], buf, 4)
+		flat := append(append(append(append([]uint64(nil), out...), buckets...), scan...), synd...)
+		flat = append(flat, buf...)
+		results = append(results, flat)
+	}
+	for i := 1; i < len(results); i++ {
+		for j := range results[0] {
+			if results[i][j] != results[0][j] {
+				t.Fatalf("variant %q disagrees with %q at flat index %d",
+					Variants()[i], Variants()[0], j)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package kernel
+
+import "math/bits"
+
+// Scalar reference implementations: the bit-identity baseline every vector
+// variant is pinned against. The Mersenne-prime arithmetic restates
+// internal/field (kernel sits below field in the import graph); both work on
+// canonical representatives of GF(2^61-1) in [0, modulus), so equal values
+// always have equal bits and "bit-identical" reduces to exact mod-p algebra.
+
+// modulus is the field characteristic 2^61 - 1 (= field.Modulus).
+const modulus uint64 = (1 << 61) - 1
+
+var scalarTable = table{
+	name:          Scalar,
+	polyEvalBatch: scalarPolyEvalBatch,
+	bucketSign2:   scalarBucketSign2,
+	bucket2:       scalarBucket2,
+	fdScan:        scalarFDScan,
+	syndromeAdd4:  scalarSyndromeAdd4,
+	affineExpand:  scalarAffineExpand,
+}
+
+// reduce maps any uint64 into canonical form (two Mersenne folds).
+func reduce(x uint64) uint64 {
+	x = (x & modulus) + (x >> 61)
+	if x >= modulus {
+		x -= modulus
+	}
+	return x
+}
+
+// modAdd adds two canonical elements.
+func modAdd(a, b uint64) uint64 {
+	s := a + b
+	if s >= modulus {
+		s -= modulus
+	}
+	return s
+}
+
+// modMul multiplies two canonical elements via the 128-bit product and
+// 2^64 ≡ 8 (mod 2^61-1).
+func modMul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return reduce((lo & modulus) + (lo >> 61) + hi<<3)
+}
+
+// lemire maps a canonical element v to [0, m): floor(v·m / 2^61) as the high
+// word of the 128-bit product (v<<3)·m — identical to hash.Bucket.
+func lemire(v, m uint64) uint64 {
+	hi, _ := bits.Mul64(v<<3, m)
+	return hi
+}
+
+// signFloat maps a canonical element to ±1.0 from its low bit, branch-free —
+// identical to hash.signFloat.
+func signFloat(v uint64) float64 {
+	return float64(int64(v&1)<<1 - 1)
+}
+
+func scalarPolyEvalBatch(coef, xs, out []uint64) {
+	out = out[:len(xs)]
+	switch len(coef) {
+	case 0:
+		for t := range out {
+			out[t] = 0
+		}
+	case 2:
+		c0, c1 := coef[0], coef[1]
+		for t, x := range xs {
+			out[t] = modAdd(modMul(c1, reduce(x)), c0)
+		}
+	case 4:
+		c0, c1, c2, c3 := coef[0], coef[1], coef[2], coef[3]
+		for t, x := range xs {
+			xe := reduce(x)
+			acc := modAdd(modMul(c3, xe), c2)
+			acc = modAdd(modMul(acc, xe), c1)
+			out[t] = modAdd(modMul(acc, xe), c0)
+		}
+	default:
+		for t, x := range xs {
+			xe := reduce(x)
+			var acc uint64
+			for i := len(coef) - 1; i >= 0; i-- {
+				acc = modAdd(modMul(acc, xe), coef[i])
+			}
+			out[t] = acc
+		}
+	}
+}
+
+func scalarBucketSign2(h0, h1, g0, g1, m uint64, xs, buckets []uint64, signs []float64) {
+	buckets = buckets[:len(xs)]
+	signs = signs[:len(xs)]
+	for t, x := range xs {
+		xe := reduce(x)
+		buckets[t] = lemire(modAdd(modMul(h1, xe), h0), m)
+		signs[t] = signFloat(modAdd(modMul(g1, xe), g0))
+	}
+}
+
+func scalarBucket2(c0, c1, m uint64, xs, out []uint64) {
+	out = out[:len(xs)]
+	for t, x := range xs {
+		out[t] = lemire(modAdd(modMul(c1, reduce(x)), c0), m)
+	}
+}
+
+func scalarFDScan(d, out []uint64) {
+	// One step: emit d[0], then d[k] += d[k+1] left to right — each d[k]
+	// reads the not-yet-updated d[k+1], exactly field.FDStepper.Next.
+	for t := range out {
+		out[t] = d[0]
+		for k := 0; k+1 < len(d); k++ {
+			d[k] = modAdd(d[k], d[k+1])
+		}
+	}
+}
+
+func scalarSyndromeAdd4(synd []uint64, d, a [4]uint64) {
+	d0, d1, d2, d3 := d[0], d[1], d[2], d[3]
+	a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+	p0, p1, p2, p3 := uint64(1), uint64(1), uint64(1), uint64(1)
+	for j := range synd {
+		s := synd[j]
+		s = modAdd(s, modMul(d0, p0))
+		s = modAdd(s, modMul(d1, p1))
+		s = modAdd(s, modMul(d2, p2))
+		s = modAdd(s, modMul(d3, p3))
+		synd[j] = s
+		p0 = modMul(p0, a0)
+		p1 = modMul(p1, a1)
+		p2 = modMul(p2, a2)
+		p3 = modMul(p3, a3)
+	}
+}
+
+func scalarAffineExpand(a, b uint64, buf []uint64, m int) {
+	// Descending order makes the doubling safe in place: writes at 2i and
+	// 2i+1 never land on a not-yet-read buf[k], k < i.
+	for i := m - 1; i >= 0; i-- {
+		x := buf[i]
+		buf[2*i] = x
+		buf[2*i+1] = modAdd(modMul(a, x), b)
+	}
+}

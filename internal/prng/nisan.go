@@ -26,6 +26,7 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/field"
+	"repro/internal/kernel"
 )
 
 // BlockBits is the width w of one output block.
@@ -107,11 +108,18 @@ func (g *Nisan) Block(b uint64) uint64 {
 // the hash functions selected by the address bits above l. Consecutive
 // addresses that share a high-bit prefix re-enter the walk at the first
 // differing bit (found with one XOR + Len64), so only the suffix below that
-// bit pays h_j applications. Sorted or run-structured index sequences — the
-// L0 sampler queries a contiguous range of per-level blocks per update —
-// amortize to O(1) field operations per query instead of O(depth); arbitrary
-// orders remain correct, merely slower. dst and idx must have equal length.
-// Nothing allocates after the first call.
+// bit pays h_j applications.
+//
+// Long runs of consecutive addresses (16+ from a 16-aligned base — bulk
+// range generation, not the L0 sampler's ~dozen blocks per update, which
+// stay on the walk) take a subtree fast path: the run is decomposed greedily
+// into aligned power-of-two subtrees, and each subtree of height h is
+// expanded breadth-first in place inside dst by h doubling passes
+// (kernel.AffineExpand: node x becomes the pair x, h_l(x)), one kernel
+// dispatch per level instead of per address. Every output is the same exact
+// field-arithmetic composition Block computes, so results stay bit-identical
+// on all kernel backends; arbitrary orders remain correct, merely slower.
+// dst and idx must have equal length. Nothing allocates after the first call.
 func (g *Nisan) BlockBatch(dst []uint64, idx []uint64) {
 	if len(dst) != len(idx) {
 		panic("prng: BlockBatch dst/idx length mismatch")
@@ -129,29 +137,110 @@ func (g *Nisan) BlockBatch(dst []uint64, idx []uint64) {
 	stack := g.stack
 	stack[g.depth] = g.x0
 	// The first query pays the full walk: start above the top level.
-	prev := ^uint64(0)
 	start := g.depth
-	for t, b := range idx {
-		b &= mask
+	var prev uint64
+	t := 0
+	for t < len(idx) {
+		b := idx[t] & mask
 		if t > 0 {
 			diff := prev ^ b
 			if diff == 0 {
 				dst[t] = dst[t-1]
+				t++
 				continue
 			}
 			// Bits depth-1..Len64(diff) agree with the previous address, so
 			// the stack is valid down to that level; resume there.
 			start = bits.Len64(diff)
 		}
-		x := stack[start]
-		for j := start; j >= 1; j-- {
-			if b&(1<<(j-1)) != 0 {
-				x = field.Add(field.Mul(g.ha[j-1], x), g.hb[j-1])
+		// A subtree expansion only pays off from height 4 up, and an aligned
+		// height-4 subtree needs a 16-aligned base with at least 16
+		// consecutive addresses ahead — so the run scan probes exactly
+		// there. Everything else (the L0 sampler's ~dozen consecutive
+		// blocks per update included) takes the per-address re-entry walk
+		// at zero extra bookkeeping; a long unaligned run walks at most 15
+		// addresses before reaching an aligned probe point, and a failed
+		// probe costs at most 15 wasted comparisons.
+		run := 0
+		if b&15 == 0 {
+			run = 1
+			for t+run < len(idx) && b+uint64(run) <= mask && idx[t+run]&mask == b+uint64(run) {
+				run++
 			}
-			stack[j-1] = x
+			if run < 16 {
+				run = 0
+			}
 		}
-		dst[t] = uint64(x)
-		prev = b
+		if run == 0 {
+			x := stack[start]
+			for j := start; j >= 1; j-- {
+				if b&(1<<(j-1)) != 0 {
+					x = field.Add(field.Mul(g.ha[j-1], x), g.hb[j-1])
+				}
+				stack[j-1] = x
+			}
+			dst[t] = uint64(x)
+			prev = b
+			t++
+			continue
+		}
+		for run > 0 {
+			// Largest aligned subtree at b fitting in the run: height h with
+			// 2^h | b and 2^h <= run (TrailingZeros64(0) = 64 caps at depth).
+			h := bits.TrailingZeros64(b)
+			if h > g.depth {
+				h = g.depth
+			}
+			if lg := bits.Len64(uint64(run)) - 1; h > lg {
+				h = lg
+			}
+			// Subtree root: bits above max(start, h) already match the stack;
+			// walk the remaining bits start-1..h of b.
+			lvl := start
+			if h > lvl {
+				lvl = h
+			}
+			x := stack[lvl]
+			for j := lvl; j > h; j-- {
+				if b&(1<<(j-1)) != 0 {
+					x = field.Add(field.Mul(g.ha[j-1], x), g.hb[j-1])
+				}
+				stack[j-1] = x
+			}
+			// Breadth-first doubling, top level of the subtree first: after
+			// the level-l pass, seg[:2m] holds the nodes at level l-1 in
+			// address order, so h passes leave the 2^h block values in place.
+			n := 1 << h
+			seg := dst[t : t+n]
+			seg[0] = uint64(x)
+			for l := h; l >= 1; l-- {
+				m := 1 << (h - l)
+				if m < 8 {
+					// Below a vector's worth of nodes the dispatch + call
+					// overhead exceeds the handful of multiplies; inline the
+					// identical doubling (same ops, same canonical results).
+					a, hb := g.ha[l-1], g.hb[l-1]
+					for i := m - 1; i >= 0; i-- {
+						x := field.Elem(seg[i])
+						seg[2*i] = uint64(x)
+						seg[2*i+1] = uint64(field.Add(field.Mul(a, x), hb))
+					}
+					continue
+				}
+				kernel.AffineExpand(uint64(g.ha[l-1]), uint64(g.hb[l-1]), seg[:2*m], m)
+			}
+			// Leave the stack positioned at the subtree's last address (all
+			// low h bits set) so the next re-entry resumes correctly.
+			for j := h; j >= 1; j-- {
+				x = field.Add(field.Mul(g.ha[j-1], x), g.hb[j-1])
+				stack[j-1] = x
+			}
+			prev = b + uint64(n) - 1
+			t += n
+			run -= n
+			b += uint64(n)
+			start = bits.Len64(prev ^ b)
+		}
 	}
 }
 

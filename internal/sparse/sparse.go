@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/field"
+	"repro/internal/kernel"
 	"repro/internal/stream"
 )
 
@@ -70,6 +71,7 @@ type Recoverer struct {
 	decodeOK  bool          // cached DENSE/sparse verdict
 	rev       field.Poly    // reversed locator buffer
 	fd        field.FDStepper
+	scan      []field.Elem // Chien-scan block buffer (see decode)
 	positions []int        // decoded support positions
 	pts       []field.Elem // evaluation points a_t = pos_t + 1
 	vals      []field.Elem // recovered values
@@ -134,44 +136,41 @@ func (rc *Recoverer) Process(u stream.Update) { rc.Add(u.Index, u.Delta) }
 // dominant cost is the serial multiplicative chain pw_{j+1} = pw_j * a (2s
 // dependent field multiplies, each waiting on the last); transposing keeps
 // four independent chains in flight per j step, so the multiplier pipeline
-// stays full instead of draining between syndromes. Group order and field
-// arithmetic are exact, so the state is bit-identical to repeated Process
-// calls (pinned by TestPropertyTransposedBatchMatchesScalar); the leftover
-// tail (< 4 updates) runs the scalar loop. Nothing allocates.
+// stays full instead of draining between syndromes. The four-wide groups
+// dispatch through kernel.SyndromeAdd4 (one SIMD lane per update on the
+// vector backends); group order and field arithmetic are exact, so the state
+// is bit-identical to repeated Process calls (pinned by
+// TestPropertyTransposedBatchMatchesScalar); the leftover tail (< 4 updates)
+// runs the scalar loop. Nothing allocates.
 func (rc *Recoverer) ProcessBatch(batch []stream.Update) {
 	if len(batch) == 0 {
 		return
 	}
 	rc.dirty = true
 	synd := rc.synd
+	sw := field.Words(synd)
 	fp := rc.fp
 	i := 0
 	for ; i+4 <= len(batch); i += 4 {
 		u0, u1, u2, u3 := batch[i], batch[i+1], batch[i+2], batch[i+3]
-		d0 := field.FromInt64(u0.Delta)
-		d1 := field.FromInt64(u1.Delta)
-		d2 := field.FromInt64(u2.Delta)
-		d3 := field.FromInt64(u3.Delta)
-		a0 := field.New(uint64(u0.Index) + 1)
-		a1 := field.New(uint64(u1.Index) + 1)
-		a2 := field.New(uint64(u2.Index) + 1)
-		a3 := field.New(uint64(u3.Index) + 1)
-		p0, p1, p2, p3 := field.Elem(1), field.Elem(1), field.Elem(1), field.Elem(1)
-		for j := range synd {
-			s := synd[j]
-			s = field.Add(s, field.Mul(d0, p0))
-			s = field.Add(s, field.Mul(d1, p1))
-			s = field.Add(s, field.Mul(d2, p2))
-			s = field.Add(s, field.Mul(d3, p3))
-			synd[j] = s
-			p0 = field.Mul(p0, a0)
-			p1 = field.Mul(p1, a1)
-			p2 = field.Mul(p2, a2)
-			p3 = field.Mul(p3, a3)
+		d := [4]uint64{
+			uint64(field.FromInt64(u0.Delta)),
+			uint64(field.FromInt64(u1.Delta)),
+			uint64(field.FromInt64(u2.Delta)),
+			uint64(field.FromInt64(u3.Delta)),
 		}
-		f := field.Add(field.Mul(d0, rc.rhoPow.Pow(uint64(u0.Index))), field.Mul(d1, rc.rhoPow.Pow(uint64(u1.Index))))
-		f = field.Add(f, field.Mul(d2, rc.rhoPow.Pow(uint64(u2.Index))))
-		f = field.Add(f, field.Mul(d3, rc.rhoPow.Pow(uint64(u3.Index))))
+		a := [4]uint64{
+			uint64(field.New(uint64(u0.Index) + 1)),
+			uint64(field.New(uint64(u1.Index) + 1)),
+			uint64(field.New(uint64(u2.Index) + 1)),
+			uint64(field.New(uint64(u3.Index) + 1)),
+		}
+		kernel.SyndromeAdd4(sw, d, a)
+		f := field.Add(
+			field.Mul(field.Elem(d[0]), rc.rhoPow.Pow(uint64(u0.Index))),
+			field.Mul(field.Elem(d[1]), rc.rhoPow.Pow(uint64(u1.Index))))
+		f = field.Add(f, field.Mul(field.Elem(d[2]), rc.rhoPow.Pow(uint64(u2.Index))))
+		f = field.Add(f, field.Mul(field.Elem(d[3]), rc.rhoPow.Pow(uint64(u3.Index))))
 		fp = field.Add(fp, f)
 	}
 	for ; i < len(batch); i++ {
@@ -291,15 +290,25 @@ func (rc *Recoverer) decode() bool {
 	for i := 0; i <= e; i++ {
 		rev[i] = loc[e-i]
 	}
-	// Finite-difference Chien scan over the consecutive points 1..n, early
-	// exit once all e roots are found.
+	// Finite-difference Chien scan over the consecutive points 1..n in blocks
+	// of chienBlock values per kernel dispatch (field.FDStepper.NextBlock),
+	// early exit once all e roots are found. The block granularity computes at
+	// most chienBlock-1 values past the last root — e extra Adds each — which
+	// is noise next to the per-position dispatch the block form removes.
+	const chienBlock = 256
 	positions := rc.positions[:0]
 	rc.fd.Reset(rev, 1)
-	for i := 0; i < rc.n; i++ {
-		if rc.fd.Next() == 0 {
-			positions = append(positions, i)
-			if len(positions) == e {
-				break
+	scan := growElems(&rc.scan, min(chienBlock, rc.n))
+scanLoop:
+	for base := 0; base < rc.n; base += len(scan) {
+		blk := scan[:min(len(scan), rc.n-base)]
+		rc.fd.NextBlock(blk)
+		for t, v := range blk {
+			if v == 0 {
+				positions = append(positions, base+t)
+				if len(positions) == e {
+					break scanLoop
+				}
 			}
 		}
 	}
