@@ -21,7 +21,7 @@ race:
 # on amd64) — dispatch then falls back to scalar, so every leg is valid
 # everywhere and the sweep additionally exercises that fallback under -race.
 race-kernels:
-	for k in scalar avx2 neon; do \
+	for k in scalar avx2 avx512 neon; do \
 		echo "== REPRO_KERNEL=$$k =="; \
 		REPRO_KERNEL=$$k $(GO) test -race \
 			./internal/kernel ./internal/field ./internal/hash \

@@ -93,6 +93,19 @@ func BenchmarkIngestSerialBatched(b *testing.B) {
 	reportThroughput(b, len(st))
 }
 
+// BenchmarkIngestSerialBatchedWide drives the same stream through a wide
+// count-sketch (m = 2^14: 98304 buckets per row, DRAM-resident) — the regime
+// the prefetched counter-scatter kernel targets. Not part of the bench-gate
+// baseline set (the gate regexp is $-anchored).
+func BenchmarkIngestSerialBatchedWide(b *testing.B) {
+	st := ingestWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.FeedBatch(1024, countsketch.New(1<<14, 4, rand.New(rand.NewPCG(3, 5))))
+	}
+	reportThroughput(b, len(st))
+}
+
 // BenchmarkIngestEngine is the full shard → batch → merge pipeline at
 // GOMAXPROCS shards; on a multi-core runner it should beat BenchmarkIngestSerial
 // by ≥ 2x.

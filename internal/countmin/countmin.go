@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/hash"
+	"repro/internal/kernel"
 	"repro/internal/stream"
 )
 
@@ -32,11 +33,13 @@ type Sketch struct {
 	h     *hash.FlatFamily
 	cells [][]int64
 
-	// Batch scratch (key/delta views of the batch, per-row kernel buckets),
-	// grown on demand: steady-state ProcessBatch calls allocate nothing.
+	// Batch scratch (key/delta views of the batch, per-row kernel buckets,
+	// scatter-fold state), grown on demand: steady-state ProcessBatch calls
+	// allocate nothing.
 	scratchIdx []uint64
 	scratchDel []int64
 	scratchBkt []uint64
+	scatter    kernel.ScatterScratch
 }
 
 // New creates a sketch with the given width (buckets per row) and depth
@@ -82,8 +85,8 @@ func (s *Sketch) Process(u stream.Update) { s.Add(uint64(u.Index), u.Delta) }
 // ProcessBatch implements stream.BatchSink: the batch's keys are extracted
 // once, then each row runs the flat BucketBatch kernel (coefficients in
 // registers, Lemire reduction, no divide) and folds the deltas into its
-// cells. Equivalent to repeated Process calls; steady-state calls allocate
-// nothing.
+// cells through the kernel.ScatterAdd primitive (prefetched, batch-order).
+// Equivalent to repeated Process calls; steady-state calls allocate nothing.
 func (s *Sketch) ProcessBatch(batch []stream.Update) {
 	n := len(batch)
 	idx := stream.Keys(batch, &s.scratchIdx)
@@ -94,10 +97,7 @@ func (s *Sketch) ProcessBatch(batch []stream.Update) {
 	bkt := s.scratchBkt[:n]
 	for j := 0; j < s.depth; j++ {
 		s.h.BucketBatch(j, s.width, idx, bkt)
-		cells := s.cells[j]
-		for t, b := range bkt {
-			cells[b] += del[t]
-		}
+		kernel.ScatterAddI64(&s.scatter, s.cells[j], bkt, del)
 	}
 }
 

@@ -58,8 +58,31 @@ func BenchmarkProcessSerial(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(st)), "ns/update")
 }
 
+// BenchmarkAddBatchWide is the counter-scatter acceptance regime: m = 2^14
+// gives 98304 buckets per row (~768 KiB of float64), past L2 on the gate
+// hardware, so the fold is bound on the random cell-line fetch the
+// prefetched kernel.ScatterAdd path hides.
+func BenchmarkAddBatchWide(b *testing.B) {
+	s := New(1<<14, 4, rand.New(rand.NewPCG(3, 5)))
+	r := rand.New(rand.NewPCG(17, 29))
+	idx := make([]uint64, 8192)
+	del := make([]float64, 8192)
+	for t := range idx {
+		idx[t] = r.Uint64N(1 << 20)
+		del[t] = float64(1 + t%7)
+	}
+	s.AddBatch(idx, del)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddBatch(idx, del)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(idx)), "ns/update")
+}
+
 // TestProcessBatchZeroAlloc pins the acceptance criterion: once the scratch
-// is warm, ProcessBatch and AddBatch allocate zero bytes per call.
+// is warm, ProcessBatch, AddBatch, and the Estimate query path allocate zero
+// bytes per call.
 func TestProcessBatchZeroAlloc(t *testing.T) {
 	s, st := benchSketchAndBatch()
 	s.ProcessBatch(st)
@@ -75,5 +98,8 @@ func TestProcessBatchZeroAlloc(t *testing.T) {
 	s.AddBatch(idx, del)
 	if n := testing.AllocsPerRun(10, func() { s.AddBatch(idx, del) }); n != 0 {
 		t.Errorf("AddBatch allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { s.Estimate(42) }); n != 0 {
+		t.Errorf("Estimate allocates %v times per call, want 0", n)
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/hash"
+	"repro/internal/kernel"
 	"repro/internal/stream"
 )
 
@@ -47,12 +48,15 @@ type Sketch struct {
 	cells   [][]float64
 
 	// Batch scratch, grown on demand and reused forever after: key and delta
-	// views of the incoming batch, plus the per-row bucket/sign kernel
-	// outputs. Not goroutine-safe — same contract as the cells themselves.
+	// views of the incoming batch, the per-row bucket/sign kernel outputs,
+	// and the signed deltas fed to the scatter fold. Not goroutine-safe —
+	// same contract as the cells themselves.
 	scratchIdx []uint64
 	scratchDel []float64
 	scratchBkt []uint64
 	scratchSgn []float64
+	scratchSD  []float64
+	scatter    kernel.ScatterScratch
 }
 
 // New creates a count-sketch with parameter m and the given number of rows
@@ -102,6 +106,7 @@ func (s *Sketch) growKernel(n int) {
 	if cap(s.scratchBkt) < n {
 		s.scratchBkt = make([]uint64, n)
 		s.scratchSgn = make([]float64, n)
+		s.scratchSD = make([]float64, n)
 	}
 }
 
@@ -123,18 +128,22 @@ func (s *Sketch) AddBatch(indices []uint64, deltas []float64) {
 	s.addBatch(indices, deltas)
 }
 
-// addBatch runs the fused bucket+sign kernel once per row and folds the batch
-// into that row's cells: all hash coefficients stay in registers across the
-// batch, the kernel outputs stay L1-resident, and nothing allocates.
+// addBatch runs the fused bucket+sign kernel once per row, pre-multiplies the
+// signed deltas (a dense vectorizable pass), and folds them through the
+// kernel.ScatterAdd primitive: all hash coefficients stay in registers across
+// the batch, the kernel outputs stay L1-resident, the scatter fold prefetches
+// the random cell lines ahead of the adds, and nothing allocates. Per-cell
+// accumulation order is batch order (the ScatterAdd contract), so the state
+// is bit-identical to the serial Add path.
 func (s *Sketch) addBatch(idx []uint64, del []float64) {
 	n := len(idx)
-	bkt, sgn := s.scratchBkt[:n], s.scratchSgn[:n]
+	bkt, sgn, sd := s.scratchBkt[:n], s.scratchSgn[:n], s.scratchSD[:n]
 	for j := 0; j < s.rows; j++ {
 		hash.BucketSignBatch(s.h, s.g, j, s.buckets, idx, bkt, sgn)
-		cells := s.cells[j]
-		for t, b := range bkt {
-			cells[b] += sgn[t] * del[t]
+		for t := range sgn {
+			sd[t] = sgn[t] * del[t]
 		}
+		kernel.ScatterAddF64(&s.scatter, s.cells[j], bkt, sd)
 	}
 }
 
@@ -161,15 +170,26 @@ func (s *Sketch) Merge(other *Sketch) error {
 	return nil
 }
 
-// Estimate returns x*_i, the median-of-rows estimate of coordinate i.
+// Estimate returns x*_i, the median-of-rows estimate of coordinate i. It is
+// allocation-free for sketches up to estimateStackRows rows (every practical
+// l = O(log n)), and touches no shared mutable state, so concurrent Estimate
+// calls against a quiescent sketch remain safe.
 func (s *Sketch) Estimate(i uint64) float64 {
-	ests := make([]float64, s.rows)
+	var buf [estimateStackRows]float64
+	ests := buf[:0]
+	if s.rows > len(buf) {
+		ests = make([]float64, 0, s.rows)
+	}
 	for j := 0; j < s.rows; j++ {
 		k := s.h.Bucket(j, i, s.buckets)
-		ests[j] = float64(s.g.Sign(j, i)) * s.cells[j][k]
+		ests = append(ests, float64(s.g.Sign(j, i))*s.cells[j][k])
 	}
 	return median(ests)
 }
+
+// estimateStackRows bounds the stack-resident estimate buffer; rows is
+// l = O(log n), so 64 covers any input a 64-bit index can address.
+const estimateStackRows = 64
 
 // Decode returns the full estimate vector x* for coordinates [0, n).
 func (s *Sketch) Decode(n int) []float64 {
@@ -247,8 +267,18 @@ func (s *Sketch) RestoreState(d *codec.Decoder) {
 	}
 }
 
+// median sorts v in place (insertion sort: v is O(log n) long and must not
+// escape — sort.Float64s would box it) and returns the median.
 func median(v []float64) float64 {
-	sort.Float64s(v)
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
 	n := len(v)
 	if n%2 == 1 {
 		return v[n/2]

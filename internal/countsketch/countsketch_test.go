@@ -223,6 +223,7 @@ func BenchmarkEstimate(b *testing.B) {
 	for i := 0; i < 10000; i++ {
 		s.Add(uint64(i), float64(i))
 	}
+	b.ReportAllocs() // documents the stack-resident median buffer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Estimate(uint64(i % 10000))
@@ -268,6 +269,37 @@ func TestProcessBatchEqualsProcess(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		if serial.Estimate(uint64(i)) != batched.Estimate(uint64(i)) {
 			t.Fatalf("coordinate %d: batched state diverged", i)
+		}
+	}
+}
+
+// TestAddBatchWideBitIdentical pins the scatter-fold contract at sketch
+// level: on a wide (m = 2^14, DRAM-sized rows) sketch, batched ingestion with
+// real-valued mixed-magnitude deltas must leave every cell bit-identical to
+// the serial Add path — per-cell accumulation order is batch order.
+func TestAddBatchWideBitIdentical(t *testing.T) {
+	mk := func() *Sketch { return New(1<<14, 3, rand.New(rand.NewPCG(41, 42))) }
+	r := rand.New(rand.NewPCG(43, 44))
+	const n = 6000
+	idx := make([]uint64, n)
+	del := make([]float64, n)
+	for i := range idx {
+		idx[i] = r.Uint64N(1 << 20)
+		del[i] = r.NormFloat64() * math.Ldexp(1, r.IntN(60)-30)
+	}
+	serial, batched := mk(), mk()
+	for i := range idx {
+		serial.Add(idx[i], del[i])
+	}
+	batched.AddBatch(idx[:n/2], del[:n/2]) // two chunks: exercise scratch reuse
+	batched.AddBatch(idx[n/2:], del[n/2:])
+	for j := range serial.cells {
+		for k := range serial.cells[j] {
+			sv, bv := serial.cells[j][k], batched.cells[j][k]
+			if math.Float64bits(sv) != math.Float64bits(bv) {
+				t.Fatalf("row %d cell %d: batched %x, serial %x", j, k,
+					math.Float64bits(bv), math.Float64bits(sv))
+			}
 		}
 	}
 }

@@ -1,9 +1,14 @@
 package kernel
 
-// AVX2 detection and the amd64 vector table. Detection follows the standard
-// protocol: leaf 1 must report AVX and OSXSAVE, XGETBV must confirm the OS
-// saves XMM+YMM state on context switch, and leaf 7 must report AVX2 —
-// skipping the XGETBV check would SIGILL on kernels with AVX state disabled.
+// AVX2 / AVX-512 detection and the amd64 vector tables. Detection follows
+// the standard protocol: leaf 1 must report AVX and OSXSAVE, XGETBV must
+// confirm the OS saves the relevant register state on context switch, and
+// leaf 7 must report the ISA bits — skipping the XGETBV check would SIGILL
+// on kernels with AVX (or AVX-512) state disabled. The AVX-512 tier
+// additionally requires opmask/ZMM/Hi16-ZMM XSAVE state and the F/CD/DQ/VL
+// feature quartet (CD for VPCONFLICTQ, DQ for the KMOVB mask moves); when
+// AVX512_IFMA is also present, the three modmul-bound primitives switch to
+// the 52-bit VPMADD52 limb kernels.
 
 //go:noescape
 func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
@@ -32,6 +37,42 @@ func syndromeAdd4AVX2(synd []uint64, d, a *[4]uint64)
 //go:noescape
 func affineExpandAVX2(a, b uint64, buf []uint64, lo, m int)
 
+//go:noescape
+func polyEvalBatchAVX512(coef []uint64, xs []uint64, out []uint64)
+
+//go:noescape
+func bucketSign2AVX512(h0, h1, g0, g1, m uint64, xs []uint64, buckets []uint64, signs []float64)
+
+//go:noescape
+func bucket2AVX512(c0, c1, m uint64, xs []uint64, out []uint64)
+
+//go:noescape
+func polyEvalBatchIFMA(coef []uint64, xs []uint64, out []uint64)
+
+//go:noescape
+func bucketSign2IFMA(h0, h1, g0, g1, m uint64, xs []uint64, buckets []uint64, signs []float64)
+
+//go:noescape
+func bucket2IFMA(c0, c1, m uint64, xs []uint64, out []uint64)
+
+//go:noescape
+func scatterAddF64PF(cells []float64, idx []uint64, del []float64)
+
+//go:noescape
+func scatterAddI64PF(cells []int64, idx []uint64, del []int64)
+
+//go:noescape
+func scatterAddF64NP(cells []float64, idx []uint64, del []float64)
+
+//go:noescape
+func scatterAddI64NP(cells []int64, idx []uint64, del []int64)
+
+//go:noescape
+func scatterAddF64AVX512(cells []float64, idx []uint64, del []float64)
+
+//go:noescape
+func scatterAddI64AVX512(cells []int64, idx []uint64, del []int64)
+
 func detect() {
 	maxID, _, _, _ := cpuid(0, 0)
 	if maxID < 7 {
@@ -42,18 +83,52 @@ func detect() {
 	if c1&osxsaveAVX != osxsaveAVX {
 		return
 	}
-	if eax, _ := xgetbv0(); eax&6 != 6 { // XMM and YMM state enabled by the OS
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 { // XMM and YMM state enabled by the OS
 		return
 	}
-	if _, b7, _, _ := cpuid(7, 0); b7&(1<<5) == 0 { // AVX2
+	_, b7, _, _ := cpuid(7, 0)
+	if b7&(1<<5) == 0 { // AVX2
 		return
 	}
-	vectorTable = &avx2Table
+	available = append(available, &avx2Table)
+
+	// AVX-512: leaf-7 EBX F(16), DQ(17), CD(28), VL(31), plus XCR0
+	// opmask(5)/ZMM_Hi256(6)/Hi16_ZMM(7) state on top of the XMM/YMM bits
+	// already checked — 0xE6 altogether.
+	const avx512Feat = 1<<16 | 1<<17 | 1<<28 | 1<<31
+	if b7&avx512Feat != avx512Feat || xcr0&0xE6 != 0xE6 {
+		return
+	}
+	if b7&(1<<21) != 0 { // AVX512_IFMA: 52-bit multiply-add limb kernels
+		avx512Table.polyEvalBatch = avx512PolyEvalBatchIFMA
+		avx512Table.bucketSign2 = avx512BucketSign2IFMA
+		avx512Table.bucket2 = avx512Bucket2IFMA
+		// Keep the VPMULUDQ flavor reachable for the differential tests:
+		// an IFMA machine can run both, so both get pinned against scalar.
+		alt := avx512Table
+		alt.polyEvalBatch = avx512PolyEvalBatch
+		alt.bucketSign2 = avx512BucketSign2
+		alt.bucket2 = avx512Bucket2
+		testAltTables = append(testAltTables, &alt)
+	}
+	// The VPCONFLICTQ-guarded gather/add/scatter fold is never the dispatch
+	// default (the prefetched scalar loop measures faster at every width on
+	// the gate hardware — see kernel_scatter_amd64.s), but it must stay
+	// pinned bit-identical, so the sweep gets a flavor table carrying it.
+	altSc := avx512Table
+	altSc.scatterAddF64 = avx512ScatterAddF64
+	altSc.scatterAddI64 = avx512ScatterAddI64
+	testAltTables = append(testAltTables, &altSc)
+	available = append(available, &avx512Table)
 }
 
-// avx2Table vectorizes every primitive. The Go wrappers route 4-lane blocks
-// to assembly and delegate tails and degenerate shapes to the scalar
-// reference, so the assembly only ever sees its documented preconditions.
+// avx2Table vectorizes the six PR-7 primitives at 4 lanes. The Go wrappers
+// route 4-lane blocks to assembly and delegate tails and degenerate shapes
+// to the scalar reference, so the assembly only ever sees its documented
+// preconditions. The counter scatter is the prefetched scalar-order loop —
+// baseline amd64 instructions, no AVX needed (AVX2 has gathers but no
+// scatter stores, so there is no 4-lane vector fold to have).
 var avx2Table = table{
 	name:          AVX2,
 	polyEvalBatch: avx2PolyEvalBatch,
@@ -62,6 +137,31 @@ var avx2Table = table{
 	fdScan:        avx2FDScan,
 	syndromeAdd4:  avx2SyndromeAdd4,
 	affineExpand:  avx2AffineExpand,
+	scatterAddF64: amd64ScatterAddF64,
+	scatterAddI64: amd64ScatterAddI64,
+}
+
+// avx512Table widens the modmul-bound primitives to 8 lanes. The
+// add-dominated primitives (fdScan, syndromeAdd4, affineExpand) inherit the
+// AVX2 kernels: they are latency- or store-forwarding-bound, so doubling
+// lane width buys nothing, and the 256-bit forms avoid license-based
+// frequency dips. The counter scatter keeps the prefetched scalar-order
+// loop as well: the VPCONFLICTQ-guarded VSCATTERQPD fold (also in this
+// file) measures 8-20% behind it at every row width on Skylake-SP — a
+// zmm gather+scatter pair costs the same store-port budget as eight scalar
+// read-modify-writes and cannot prefetch ahead — so it lives in
+// testAltTables, pinned but not selected. detect() swaps the modmul trio
+// to the IFMA52 flavor when the CPU has it.
+var avx512Table = table{
+	name:          AVX512,
+	polyEvalBatch: avx512PolyEvalBatch,
+	bucketSign2:   avx512BucketSign2,
+	bucket2:       avx512Bucket2,
+	fdScan:        avx2FDScan,
+	syndromeAdd4:  avx2SyndromeAdd4,
+	affineExpand:  avx2AffineExpand,
+	scatterAddF64: amd64ScatterAddF64,
+	scatterAddI64: amd64ScatterAddI64,
 }
 
 func avx2PolyEvalBatch(coef, xs, out []uint64) {
@@ -141,5 +241,168 @@ func avx2AffineExpand(a, b uint64, buf []uint64, m int) {
 		x := buf[i]
 		buf[2*i] = x
 		buf[2*i+1] = modAdd(modMul(a, x), b)
+	}
+}
+
+func avx512PolyEvalBatch(coef, xs, out []uint64) {
+	out = out[:len(xs)]
+	if len(coef) == 0 {
+		clear(out)
+		return
+	}
+	n := len(xs) &^ 7
+	if n > 0 {
+		polyEvalBatchAVX512(coef, xs[:n], out[:n])
+	}
+	if n < len(xs) {
+		scalarPolyEvalBatch(coef, xs[n:], out[n:])
+	}
+}
+
+func avx512BucketSign2(h0, h1, g0, g1, m uint64, xs, buckets []uint64, signs []float64) {
+	buckets = buckets[:len(xs)]
+	signs = signs[:len(xs)]
+	n := len(xs) &^ 7
+	if n > 0 {
+		bucketSign2AVX512(h0, h1, g0, g1, m, xs[:n], buckets[:n], signs[:n])
+	}
+	if n < len(xs) {
+		scalarBucketSign2(h0, h1, g0, g1, m, xs[n:], buckets[n:], signs[n:])
+	}
+}
+
+func avx512Bucket2(c0, c1, m uint64, xs, out []uint64) {
+	out = out[:len(xs)]
+	n := len(xs) &^ 7
+	if n > 0 {
+		bucket2AVX512(c0, c1, m, xs[:n], out[:n])
+	}
+	if n < len(xs) {
+		scalarBucket2(c0, c1, m, xs[n:], out[n:])
+	}
+}
+
+func avx512PolyEvalBatchIFMA(coef, xs, out []uint64) {
+	out = out[:len(xs)]
+	if len(coef) == 0 {
+		clear(out)
+		return
+	}
+	n := len(xs) &^ 7
+	if n > 0 {
+		polyEvalBatchIFMA(coef, xs[:n], out[:n])
+	}
+	if n < len(xs) {
+		scalarPolyEvalBatch(coef, xs[n:], out[n:])
+	}
+}
+
+func avx512BucketSign2IFMA(h0, h1, g0, g1, m uint64, xs, buckets []uint64, signs []float64) {
+	buckets = buckets[:len(xs)]
+	signs = signs[:len(xs)]
+	n := len(xs) &^ 7
+	if n > 0 {
+		bucketSign2IFMA(h0, h1, g0, g1, m, xs[:n], buckets[:n], signs[:n])
+	}
+	if n < len(xs) {
+		scalarBucketSign2(h0, h1, g0, g1, m, xs[n:], buckets[n:], signs[n:])
+	}
+}
+
+func avx512Bucket2IFMA(c0, c1, m uint64, xs, out []uint64) {
+	out = out[:len(xs)]
+	n := len(xs) &^ 7
+	if n > 0 {
+		bucket2IFMA(c0, c1, m, xs[:n], out[:n])
+	}
+	if n < len(xs) {
+		scalarBucket2(c0, c1, m, xs[n:], out[n:])
+	}
+}
+
+// The amd64 scatter fold has two assembly flavors, picked by row width:
+//
+//   - NP (no prefetch): tight unrolled read-modify-write loop for rows up to
+//     scatterNPMaxCells. Those rows live in L1/L2, where a prefetch hits
+//     cache anyway and its address load + PREFETCHT0 are pure port pressure.
+//   - PF (prefetched): issues PREFETCHT0 for the cell line scatterPFDist
+//     elements ahead, for rows that spill L2 and bind on the line fetch.
+//
+// scatterPFMinBatch gates the PF loop: the assembly reads idx up to
+// scatterPFDist+2 elements ahead of the fold cursor inside its main loop, so
+// it needs the batch comfortably longer than the prefetch distance; tiny
+// batches take the compiled reference, which is fine because they are
+// call-overhead-bound anyway.
+const (
+	scatterPFDist     = 40 // must match the offsets in kernel_scatter_amd64.s
+	scatterPFMinBatch = scatterPFDist + 8
+
+	// scatterNPMaxCells = 512 KiB of float64: comfortably inside the >= 1 MiB
+	// L2 of every amd64 target we tune for.
+	scatterNPMaxCells = 64 * 1024
+)
+
+func amd64ScatterAddF64(cells []float64, idx []uint64, del []float64) {
+	del = del[:len(idx)]
+	switch {
+	case len(cells) <= scatterNPMaxCells:
+		if len(idx) < 4 { // NP main loop folds 4 at a time
+			scalarScatterAddF64(cells, idx, del)
+			return
+		}
+		scatterAddF64NP(cells, idx, del)
+	case len(idx) < scatterPFMinBatch:
+		scalarScatterAddF64(cells, idx, del)
+	default:
+		scatterAddF64PF(cells, idx, del)
+	}
+}
+
+func amd64ScatterAddI64(cells []int64, idx []uint64, del []int64) {
+	del = del[:len(idx)]
+	switch {
+	case len(cells) <= scatterNPMaxCells:
+		if len(idx) < 4 {
+			scalarScatterAddI64(cells, idx, del)
+			return
+		}
+		scatterAddI64NP(cells, idx, del)
+	case len(idx) < scatterPFMinBatch:
+		scalarScatterAddI64(cells, idx, del)
+	default:
+		scatterAddI64PF(cells, idx, del)
+	}
+}
+
+// avx512ScatterMinCells gates the vector scatter flavor by row width: on
+// narrow (L1-resident) rows the scalar read-modify-write loop wins — the
+// gather/scatter pair costs ~20 cycles per group regardless of locality —
+// and narrow rows also raise the in-group duplicate-bucket rate that forces
+// the ordered in-asm fallback.
+const avx512ScatterMinCells = 1024
+
+func avx512ScatterAddF64(cells []float64, idx []uint64, del []float64) {
+	del = del[:len(idx)]
+	n := len(idx) &^ 7
+	if n == 0 || len(cells) < avx512ScatterMinCells {
+		scalarScatterAddF64(cells, idx, del)
+		return
+	}
+	scatterAddF64AVX512(cells, idx[:n], del[:n])
+	if n < len(idx) {
+		scalarScatterAddF64(cells, idx[n:], del[n:])
+	}
+}
+
+func avx512ScatterAddI64(cells []int64, idx []uint64, del []int64) {
+	del = del[:len(idx)]
+	n := len(idx) &^ 7
+	if n == 0 || len(cells) < avx512ScatterMinCells {
+		scalarScatterAddI64(cells, idx, del)
+		return
+	}
+	scatterAddI64AVX512(cells, idx[:n], del[:n])
+	if n < len(idx) {
+		scalarScatterAddI64(cells, idx[n:], del[n:])
 	}
 }

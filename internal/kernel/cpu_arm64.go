@@ -1,26 +1,42 @@
 package kernel
 
-// NEON is a mandatory part of AArch64, so detection is unconditional. The
-// table vectorizes only the finite-difference scan — NEON has no 64-bit
-// lane multiply, and the scalar mod-p product already compiles to MUL+UMULH
-// on arm64, so limb-decomposed vector multiplies would be a loss (see the
-// header of kernel_arm64.s).
+// NEON is a mandatory part of AArch64, so detection is unconditional.
+//
+// AdvSIMD has no 64-bit lane multiply, so the modmul-bound primitives
+// (polyEvalBatch, bucketSign2, bucket2) are not vector code: they are
+// hand-scheduled scalar assembly that interleaves two independent
+// MUL/UMULH limb chains per iteration, hiding the multiplier latency the
+// compiled one-key-at-a-time reference cannot (see kernel_arm64.s). The
+// add-dominated finite-difference scan is genuinely vectorized at two
+// lanes. syndromeAdd4 and affineExpand stay on the scalar reference: their
+// loop bodies already expose two-plus independent chains to the OoO core.
 
 //go:noescape
 func fdScanNEON(d []uint64, out []uint64)
 
+//go:noescape
+func polyEvalBatchNEON(coef []uint64, xs []uint64, out []uint64)
+
+//go:noescape
+func bucketSign2NEON(h0, h1, g0, g1, m uint64, xs []uint64, buckets []uint64, signs []float64)
+
+//go:noescape
+func bucket2NEON(c0, c1, m uint64, xs []uint64, out []uint64)
+
 func detect() {
-	vectorTable = &neonTable
+	available = append(available, &neonTable)
 }
 
 var neonTable = table{
 	name:          NEON,
-	polyEvalBatch: scalarPolyEvalBatch,
-	bucketSign2:   scalarBucketSign2,
-	bucket2:       scalarBucket2,
+	polyEvalBatch: neonPolyEvalBatch,
+	bucketSign2:   neonBucketSign2,
+	bucket2:       neonBucket2,
 	fdScan:        neonFDScan,
 	syndromeAdd4:  scalarSyndromeAdd4,
 	affineExpand:  scalarAffineExpand,
+	scatterAddF64: scalarScatterAddF64,
+	scatterAddI64: scalarScatterAddI64,
 }
 
 func neonFDScan(d, out []uint64) {
@@ -29,4 +45,42 @@ func neonFDScan(d, out []uint64) {
 		return
 	}
 	fdScanNEON(d, out)
+}
+
+func neonPolyEvalBatch(coef, xs, out []uint64) {
+	out = out[:len(xs)]
+	if len(coef) == 0 {
+		clear(out)
+		return
+	}
+	n := len(xs) &^ 1
+	if n > 0 {
+		polyEvalBatchNEON(coef, xs[:n], out[:n])
+	}
+	if n < len(xs) {
+		scalarPolyEvalBatch(coef, xs[n:], out[n:])
+	}
+}
+
+func neonBucketSign2(h0, h1, g0, g1, m uint64, xs, buckets []uint64, signs []float64) {
+	buckets = buckets[:len(xs)]
+	signs = signs[:len(xs)]
+	n := len(xs) &^ 1
+	if n > 0 {
+		bucketSign2NEON(h0, h1, g0, g1, m, xs[:n], buckets[:n], signs[:n])
+	}
+	if n < len(xs) {
+		scalarBucketSign2(h0, h1, g0, g1, m, xs[n:], buckets[n:], signs[n:])
+	}
+}
+
+func neonBucket2(c0, c1, m uint64, xs, out []uint64) {
+	out = out[:len(xs)]
+	n := len(xs) &^ 1
+	if n > 0 {
+		bucket2NEON(c0, c1, m, xs[:n], out[:n])
+	}
+	if n < len(xs) {
+		scalarBucket2(c0, c1, m, xs[n:], out[n:])
+	}
 }

@@ -3,5 +3,5 @@
 package kernel
 
 // No vector backend on this architecture: every primitive runs the scalar
-// reference, and Select("avx2"/"neon") falls back cleanly to it.
+// reference, and Select("avx2"/"avx512"/"neon") falls back cleanly to it.
 func detect() {}

@@ -1,11 +1,12 @@
 // Package kernel is the runtime-dispatched vector-kernel layer under the
-// ingest/query hot paths. The three primitives that dominate every sketch's
+// ingest/query hot paths. The primitives that dominate every sketch's
 // cycle budget — k-wise hash evaluation (internal/hash), mod-p polynomial
-// arithmetic (internal/field, internal/sparse) and PRG block generation
-// (internal/prng) — call through a per-primitive function table selected once
-// at init: the pure-Go scalar reference always exists, and SIMD variants
-// (AVX2 on amd64, NEON on arm64) replace individual entries when the CPU
-// supports them.
+// arithmetic (internal/field, internal/sparse), PRG block generation
+// (internal/prng) and the counter scatter under the count-sketch/count-min
+// folds — call through a per-primitive function table selected once at
+// init: the pure-Go scalar reference always exists, and SIMD variants
+// (AVX2 and AVX-512 on amd64, NEON on arm64) replace individual entries
+// when the CPU supports them.
 //
 // All kernels operate on raw uint64 values carrying elements of GF(2^61-1)
 // in canonical form [0, Modulus) — the same representation as
@@ -15,12 +16,13 @@
 // kernel_test.go and the per-package variant sweeps pin every variant
 // bit-identical to the scalar reference.
 //
-// Selection order is AVX2 > NEON > scalar, overridable for testing with the
-// environment variable REPRO_KERNEL=scalar|avx2|neon: a known but unavailable
-// variant falls back cleanly to scalar (so one CI matrix axis can force
-// REPRO_KERNEL=scalar everywhere without per-arch conditionals), while an
-// unknown value fails loudly at process start — silently ignoring a typo
-// would un-force the very path the override was meant to test.
+// Selection order is AVX-512 > AVX2 > NEON > scalar, overridable for
+// testing with the environment variable REPRO_KERNEL=scalar|avx2|avx512|neon:
+// a known but unavailable variant falls back cleanly to scalar (so one CI
+// matrix axis can force REPRO_KERNEL=scalar everywhere without per-arch
+// conditionals), while an unknown value fails loudly at process start —
+// silently ignoring a typo would un-force the very path the override was
+// meant to test.
 package kernel
 
 import (
@@ -34,6 +36,7 @@ import (
 const (
 	Scalar = "scalar"
 	AVX2   = "avx2"
+	AVX512 = "avx512"
 	NEON   = "neon"
 )
 
@@ -42,7 +45,7 @@ const EnvVar = "REPRO_KERNEL"
 
 // table is the per-primitive function-pointer set of one variant. Every
 // entry is always non-nil; variants that vectorize only some primitives
-// inherit the scalar implementation for the rest.
+// inherit another variant's implementation for the rest.
 type table struct {
 	name string
 
@@ -74,19 +77,34 @@ type table struct {
 	// affineExpand doubles a Nisan subtree level in place: for i = m-1..0,
 	// buf[2i] = buf[i], buf[2i+1] = a·buf[i]+b. len(buf) must be ≥ 2m.
 	affineExpand func(a, b uint64, buf []uint64, m int)
+
+	// scatterAddF64 folds cells[idx[t]] += del[t] for t ascending — the
+	// count-sketch counter scatter. Per-cell accumulation order is batch
+	// order, so float64 results are bit-identical across variants.
+	scatterAddF64 func(cells []float64, idx []uint64, del []float64)
+
+	// scatterAddI64 is the integer twin (the count-min fold).
+	scatterAddI64 func(cells []int64, idx []uint64, del []int64)
 }
 
 var (
 	selectMu sync.Mutex
 	active   atomic.Pointer[table]
 
-	// best is the auto-detected preferred table, wired by the per-arch
-	// init in cpu_*.go (nil entries mean "not available on this CPU").
-	vectorTable *table
+	// available lists the vector tables compiled in and supported by this
+	// CPU, in ascending preference order (the last entry is the best);
+	// wired by the per-arch init in cpu_*.go. Empty means scalar only.
+	available []*table
+
+	// testAltTables lists extra tables reachable only from the differential
+	// tests: flavors detection skipped in favor of a better one but that
+	// this CPU can still execute (the VPMULUDQ AVX-512 modmul on an IFMA
+	// machine). Never selectable; swept by kernel_test.go.
+	testAltTables []*table
 )
 
 func init() {
-	detect() // per-arch: may set vectorTable
+	detect() // per-arch: may append to available
 	if err := initFromEnv(os.Getenv(EnvVar)); err != nil {
 		panic(err)
 	}
@@ -98,8 +116,8 @@ func init() {
 // can exercise the error path without a subprocess.
 func initFromEnv(v string) error {
 	if v == "" {
-		if vectorTable != nil {
-			active.Store(vectorTable)
+		if len(available) > 0 {
+			active.Store(available[len(available)-1])
 		} else {
 			active.Store(&scalarTable)
 		}
@@ -115,11 +133,12 @@ func initFromEnv(v string) error {
 func Active() string { return active.Load().name }
 
 // Variants returns the names selectable on this machine: always "scalar",
-// plus the vector variant compiled in and supported by the CPU.
+// plus every vector variant compiled in and supported by the CPU, best last
+// (on an AVX-512 machine that is scalar, avx2, avx512).
 func Variants() []string {
 	vs := []string{Scalar}
-	if vectorTable != nil {
-		vs = append(vs, vectorTable.name)
+	for _, t := range available {
+		vs = append(vs, t.name)
 	}
 	return vs
 }
@@ -137,14 +156,17 @@ func Select(name string) error {
 	switch name {
 	case Scalar:
 		active.Store(&scalarTable)
-	case AVX2, NEON:
-		if vectorTable != nil && vectorTable.name == name {
-			active.Store(vectorTable)
-		} else {
-			active.Store(&scalarTable)
+	case AVX2, AVX512, NEON:
+		active.Store(&scalarTable)
+		for _, t := range available {
+			if t.name == name {
+				active.Store(t)
+				break
+			}
 		}
 	default:
-		return fmt.Errorf("unknown kernel variant %q (want %s, %s or %s)", name, Scalar, AVX2, NEON)
+		return fmt.Errorf("unknown kernel variant %q (want %s, %s, %s or %s)",
+			name, Scalar, AVX2, AVX512, NEON)
 	}
 	return nil
 }

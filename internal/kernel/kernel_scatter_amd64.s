@@ -1,0 +1,179 @@
+// Counter-scatter folds (baseline amd64, SSE2 only), two flavors per type:
+//
+// cells[idx[t]] += del[t], strictly in batch order — bit-identical to the
+// pure-Go reference by construction. Both flavors drop the compiled loop's
+// bounds checks; they differ on prefetch:
+//
+//   - *PF issues PREFETCHT0 for the cell line scatterPFDist elements ahead,
+//     so on rows that spill L2 the random line is (mostly) in flight by the
+//     time its add retires.
+//   - *NP skips prefetching for cache-resident rows, where the prefetch's
+//     address load + PREFETCHT0 are pure load-port overhead, and unrolls
+//     deeper instead.
+//
+// The width gate picking between them lives in cpu_amd64.go; the prefetch
+// distance here must match scatterPFDist there (the wrappers require
+// len(idx) > that distance before calling into a *PF routine).
+
+#include "textflag.h"
+
+// func scatterAddF64PF(cells []float64, idx []uint64, del []float64)
+// Requires len(idx) >= scatterPFMinBatch (see cpu_amd64.go).
+TEXT ·scatterAddF64PF(SB), NOSPLIT, $0-72
+	MOVQ cells_base+0(FP), SI
+	MOVQ idx_base+24(FP), DI
+	MOVQ idx_len+32(FP), CX
+	MOVQ del_base+48(FP), R8
+	MOVQ CX, R9
+	SUBQ $42, R9                 // main-loop bound: reads idx[t+41] at most
+	XORQ R10, R10
+
+mainloop:
+	MOVQ       320(DI)(R10*8), R12
+	PREFETCHT0 (SI)(R12*8)
+	MOVQ       328(DI)(R10*8), R12
+	PREFETCHT0 (SI)(R12*8)
+	MOVQ       (DI)(R10*8), R11
+	MOVSD      (SI)(R11*8), X0
+	ADDSD      (R8)(R10*8), X0
+	MOVSD      X0, (SI)(R11*8)
+	MOVQ       8(DI)(R10*8), R11
+	MOVSD      (SI)(R11*8), X1
+	ADDSD      8(R8)(R10*8), X1
+	MOVSD      X1, (SI)(R11*8)
+	ADDQ       $2, R10
+	CMPQ       R10, R9
+	JLT        mainloop
+
+tailloop:
+	MOVQ  (DI)(R10*8), R11
+	MOVSD (SI)(R11*8), X0
+	ADDSD (R8)(R10*8), X0
+	MOVSD X0, (SI)(R11*8)
+	INCQ  R10
+	CMPQ  R10, CX
+	JLT   tailloop
+	RET
+
+// func scatterAddI64PF(cells []int64, idx []uint64, del []int64)
+// Integer twin of scatterAddF64PF, same contract.
+TEXT ·scatterAddI64PF(SB), NOSPLIT, $0-72
+	MOVQ cells_base+0(FP), SI
+	MOVQ idx_base+24(FP), DI
+	MOVQ idx_len+32(FP), CX
+	MOVQ del_base+48(FP), R8
+	MOVQ CX, R9
+	SUBQ $42, R9                 // main-loop bound: reads idx[t+41] at most
+	XORQ R10, R10
+
+mainloop:
+	MOVQ       320(DI)(R10*8), R12
+	PREFETCHT0 (SI)(R12*8)
+	MOVQ       328(DI)(R10*8), R12
+	PREFETCHT0 (SI)(R12*8)
+	MOVQ       (DI)(R10*8), R11
+	MOVQ       (R8)(R10*8), R13
+	ADDQ       R13, (SI)(R11*8)
+	MOVQ       8(DI)(R10*8), R11
+	MOVQ       8(R8)(R10*8), R13
+	ADDQ       R13, (SI)(R11*8)
+	ADDQ       $2, R10
+	CMPQ       R10, R9
+	JLT        mainloop
+
+tailloop:
+	MOVQ (DI)(R10*8), R11
+	MOVQ (R8)(R10*8), R13
+	ADDQ R13, (SI)(R11*8)
+	INCQ R10
+	CMPQ R10, CX
+	JLT  tailloop
+	RET
+
+// func scatterAddF64NP(cells []float64, idx []uint64, del []float64)
+// Tight no-prefetch fold for cache-resident rows: same in-order contract,
+// no bounds checks, unrolled x4. Requires len(idx) >= 4.
+TEXT ·scatterAddF64NP(SB), NOSPLIT, $0-72
+	MOVQ cells_base+0(FP), SI
+	MOVQ idx_base+24(FP), DI
+	MOVQ idx_len+32(FP), CX
+	MOVQ del_base+48(FP), R8
+	MOVQ CX, R9
+	ANDQ $-4, R9
+	XORQ R10, R10
+
+mainloop:
+	MOVQ  (DI)(R10*8), R11
+	MOVSD (SI)(R11*8), X0
+	ADDSD (R8)(R10*8), X0
+	MOVSD X0, (SI)(R11*8)
+	MOVQ  8(DI)(R10*8), R11
+	MOVSD (SI)(R11*8), X1
+	ADDSD 8(R8)(R10*8), X1
+	MOVSD X1, (SI)(R11*8)
+	MOVQ  16(DI)(R10*8), R11
+	MOVSD (SI)(R11*8), X2
+	ADDSD 16(R8)(R10*8), X2
+	MOVSD X2, (SI)(R11*8)
+	MOVQ  24(DI)(R10*8), R11
+	MOVSD (SI)(R11*8), X3
+	ADDSD 24(R8)(R10*8), X3
+	MOVSD X3, (SI)(R11*8)
+	ADDQ  $4, R10
+	CMPQ  R10, R9
+	JLT   mainloop
+	CMPQ  R10, CX
+	JGE   done
+
+tailloop:
+	MOVQ  (DI)(R10*8), R11
+	MOVSD (SI)(R11*8), X0
+	ADDSD (R8)(R10*8), X0
+	MOVSD X0, (SI)(R11*8)
+	INCQ  R10
+	CMPQ  R10, CX
+	JLT   tailloop
+
+done:
+	RET
+
+// func scatterAddI64NP(cells []int64, idx []uint64, del []int64)
+// Integer twin of scatterAddF64NP, same contract.
+TEXT ·scatterAddI64NP(SB), NOSPLIT, $0-72
+	MOVQ cells_base+0(FP), SI
+	MOVQ idx_base+24(FP), DI
+	MOVQ idx_len+32(FP), CX
+	MOVQ del_base+48(FP), R8
+	MOVQ CX, R9
+	ANDQ $-4, R9
+	XORQ R10, R10
+
+mainloop:
+	MOVQ (DI)(R10*8), R11
+	MOVQ (R8)(R10*8), R13
+	ADDQ R13, (SI)(R11*8)
+	MOVQ 8(DI)(R10*8), R11
+	MOVQ 8(R8)(R10*8), R13
+	ADDQ R13, (SI)(R11*8)
+	MOVQ 16(DI)(R10*8), R11
+	MOVQ 16(R8)(R10*8), R13
+	ADDQ R13, (SI)(R11*8)
+	MOVQ 24(DI)(R10*8), R11
+	MOVQ 24(R8)(R10*8), R13
+	ADDQ R13, (SI)(R11*8)
+	ADDQ $4, R10
+	CMPQ R10, R9
+	JLT  mainloop
+	CMPQ R10, CX
+	JGE  done
+
+tailloop:
+	MOVQ (DI)(R10*8), R11
+	MOVQ (R8)(R10*8), R13
+	ADDQ R13, (SI)(R11*8)
+	INCQ R10
+	CMPQ R10, CX
+	JLT  tailloop
+
+done:
+	RET

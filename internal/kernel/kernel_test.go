@@ -6,13 +6,12 @@ import (
 	"testing"
 )
 
-// vectorTables returns the non-scalar tables compiled in and usable on this
-// CPU — at most one today, but the sweep stays correct if more are added.
+// vectorTables returns every non-scalar table this CPU can execute: the
+// selectable variants (available) plus the test-only alternates (flavors
+// detection skipped in favor of a better one, like the VPMULUDQ AVX-512
+// modmul on an IFMA machine). All of them get pinned against scalar.
 func vectorTables() []*table {
-	if vectorTable == nil {
-		return nil
-	}
-	return []*table{vectorTable}
+	return append(append([]*table{}, available...), testAltTables...)
 }
 
 // restoreSelection re-applies the process's startup kernel selection after a
@@ -42,7 +41,7 @@ func TestSelectUnavailableFallsBackToScalar(t *testing.T) {
 	for _, v := range Variants() {
 		available[v] = true
 	}
-	for _, name := range []string{AVX2, NEON} {
+	for _, name := range []string{AVX2, AVX512, NEON} {
 		if available[name] {
 			continue
 		}
@@ -82,8 +81,8 @@ func TestInitFromEnv(t *testing.T) {
 		t.Fatalf("initFromEnv(\"\"): %v", err)
 	}
 	want := Scalar
-	if vectorTable != nil {
-		want = vectorTable.name
+	if len(available) > 0 {
+		want = available[len(available)-1].name
 	}
 	if got := Active(); got != want {
 		t.Fatalf("initFromEnv(\"\") selected %q, want best available %q", got, want)

@@ -19,6 +19,8 @@ var scalarTable = table{
 	fdScan:        scalarFDScan,
 	syndromeAdd4:  scalarSyndromeAdd4,
 	affineExpand:  scalarAffineExpand,
+	scatterAddF64: scalarScatterAddF64,
+	scatterAddI64: scalarScatterAddI64,
 }
 
 // reduce maps any uint64 into canonical form (two Mersenne folds).
@@ -134,6 +136,20 @@ func scalarSyndromeAdd4(synd []uint64, d, a [4]uint64) {
 		p1 = modMul(p1, a1)
 		p2 = modMul(p2, a2)
 		p3 = modMul(p3, a3)
+	}
+}
+
+func scalarScatterAddF64(cells []float64, idx []uint64, del []float64) {
+	del = del[:len(idx)]
+	for t, b := range idx {
+		cells[b] += del[t]
+	}
+}
+
+func scalarScatterAddI64(cells []int64, idx []uint64, del []int64) {
+	del = del[:len(idx)]
+	for t, b := range idx {
+		cells[b] += del[t]
 	}
 }
 

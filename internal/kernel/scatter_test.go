@@ -1,0 +1,191 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randDeltas returns float64 deltas with wildly mixed magnitudes and signs,
+// so any reordering of per-cell additions changes the rounded result — the
+// sharpest probe for the stability contract.
+func randDeltas(r *rand.Rand, n int) []float64 {
+	del := make([]float64, n)
+	for i := range del {
+		del[i] = r.NormFloat64() * math.Ldexp(1, r.Intn(80)-40)
+	}
+	return del
+}
+
+// randBuckets returns n indices < width, skewed so that small widths force
+// frequent in-group duplicates (the AVX-512 conflict path) and large widths
+// exercise the spread-out gather/scatter path.
+func randBuckets(r *rand.Rand, n, width int) []uint64 {
+	idx := make([]uint64, n)
+	for i := range idx {
+		if r.Intn(4) == 0 {
+			idx[i] = uint64(r.Intn(1 + width/64)) // hot head: duplicates
+		} else {
+			idx[i] = uint64(r.Intn(width))
+		}
+	}
+	return idx
+}
+
+// TestScatterAddDifferential pins every table's raw scatter fold against the
+// scalar reference, bit for bit, across widths straddling the AVX-512 width
+// gate and batch shapes straddling the 8-lane groups.
+func TestScatterAddDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(8001))
+	for _, vt := range vectorTables() {
+		// 65536/65537 straddle the amd64 NP/PF width gate (scatterNPMaxCells).
+		for _, width := range []int{1, 7, 1023, 1024, 4096, 65536, 65537, 1 << 17} {
+			for _, n := range []int{0, 1, 7, 8, 9, 16, 255, 1024} {
+				idx := randBuckets(r, n, width)
+				del := randDeltas(r, n)
+				want := make([]float64, width)
+				got := make([]float64, width)
+				for i := range want {
+					want[i] = r.NormFloat64()
+					got[i] = want[i]
+				}
+				scalarTable.scatterAddF64(want, idx, del)
+				vt.scatterAddF64(got, idx, del)
+				for i := range want {
+					if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+						t.Fatalf("%s scatterAddF64 width=%d n=%d: cells[%d] = %x, scalar %x",
+							vt.name, width, n, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+					}
+				}
+
+				deli := make([]int64, n)
+				for i := range deli {
+					deli[i] = int64(r.Uint64())
+				}
+				wantI := make([]int64, width)
+				gotI := make([]int64, width)
+				for i := range wantI {
+					wantI[i] = int64(r.Uint64())
+					gotI[i] = wantI[i]
+				}
+				scalarTable.scatterAddI64(wantI, idx, deli)
+				vt.scatterAddI64(gotI, idx, deli)
+				for i := range wantI {
+					if wantI[i] != gotI[i] {
+						t.Fatalf("%s scatterAddI64 width=%d n=%d: cells[%d] = %d, scalar %d",
+							vt.name, width, n, i, gotI[i], wantI[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScatterAddBlockedProperty is the stability property test: the blocked
+// ScatterAdd entry points must be bit-identical to the direct scalar fold
+// for every variant, across random widths and batch sizes either side of
+// the blocking thresholds (including the exact boundary).
+func TestScatterAddBlockedProperty(t *testing.T) {
+	restoreSelection(t)
+	r := rand.New(rand.NewSource(8002))
+	widths := []int{
+		scatterWideCells - 1, scatterWideCells, scatterWideCells + 1,
+		scatterBlockCells, 3 * scatterBlockCells,
+		scatterWideCells + scatterBlockCells/2, 8 * scatterBlockCells,
+		// Wide enough that blockShift coarsens past scatterMaxBins bins.
+		(scatterMaxBins + 3) * scatterBlockCells,
+	}
+	for i := 0; i < 8; i++ {
+		widths = append(widths, 1+r.Intn(8*scatterBlockCells))
+	}
+	batches := []int{scatterMinBatch - 1, scatterMinBatch, scatterMinBatch + 1, 1, 13, 8192}
+	sc := ScatterScratch{Blocked: true}
+	for _, name := range Variants() {
+		if err := Select(name); err != nil {
+			t.Fatalf("Select(%q): %v", name, err)
+		}
+		for _, width := range widths {
+			for _, n := range batches {
+				idx := randBuckets(r, n, width)
+				del := randDeltas(r, n)
+				want := make([]float64, width)
+				got := make([]float64, width)
+				scalarScatterAddF64(want, idx, del)
+				ScatterAddF64(&sc, got, idx, del)
+				for i := range want {
+					if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+						t.Fatalf("%s blocked ScatterAddF64 width=%d n=%d: cells[%d] = %x, want %x",
+							name, width, n, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+					}
+				}
+
+				deli := make([]int64, n)
+				for i := range deli {
+					deli[i] = int64(r.Uint64())
+				}
+				wantI := make([]int64, width)
+				gotI := make([]int64, width)
+				scalarScatterAddI64(wantI, idx, deli)
+				ScatterAddI64(&sc, gotI, idx, deli)
+				for i := range wantI {
+					if wantI[i] != gotI[i] {
+						t.Fatalf("%s blocked ScatterAddI64 width=%d n=%d: cells[%d] = %d, want %d",
+							name, width, n, i, gotI[i], wantI[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScatterAddNilScratch checks the documented nil-scratch path:
+// a nil scratch must still fold correctly (direct, unblocked).
+func TestScatterAddNilScratch(t *testing.T) {
+	r := rand.New(rand.NewSource(8003))
+	width := scatterWideCells + 5
+	idx := randBuckets(r, 1024, width)
+	del := randDeltas(r, 1024)
+	want := make([]float64, width)
+	got := make([]float64, width)
+	scalarScatterAddF64(want, idx, del)
+	ScatterAddF64(nil, got, idx, del)
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("nil-scratch ScatterAddF64: cells[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	wantI := make([]int64, width)
+	gotI := make([]int64, width)
+	deli := make([]int64, 1024)
+	for i := range deli {
+		deli[i] = int64(r.Uint64())
+	}
+	scalarScatterAddI64(wantI, idx, deli)
+	ScatterAddI64(nil, gotI, idx, deli)
+	for i := range wantI {
+		if wantI[i] != gotI[i] {
+			t.Fatalf("nil-scratch ScatterAddI64: cells[%d] = %d, want %d", i, gotI[i], wantI[i])
+		}
+	}
+}
+
+// TestScatterScratchZeroAlloc: a warm scratch makes blocked scatters
+// allocation-free in steady state.
+func TestScatterScratchZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(8004))
+	width := 8 * scatterBlockCells
+	cells := make([]float64, width)
+	cellsI := make([]int64, width)
+	idx := randBuckets(r, 4096, width)
+	del := randDeltas(r, 4096)
+	deli := make([]int64, 4096)
+	sc := ScatterScratch{Blocked: true}
+	ScatterAddF64(&sc, cells, idx, del) // warm
+	ScatterAddI64(&sc, cellsI, idx, deli)
+	if n := testing.AllocsPerRun(10, func() {
+		ScatterAddF64(&sc, cells, idx, del)
+		ScatterAddI64(&sc, cellsI, idx, deli)
+	}); n != 0 {
+		t.Fatalf("blocked ScatterAdd with warm scratch allocates %v per run, want 0", n)
+	}
+}
