@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-kernels bench microbench bench-codec bench-l0 bench-query bench-gate bench-baseline fuzz-codec profile lint lint-vet lint-fmt fmt
+.PHONY: build test race race-kernels chaos bench microbench bench-codec bench-l0 bench-query bench-gate bench-baseline fuzz-codec profile lint lint-vet lint-fmt fmt
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,18 @@ race-kernels:
 			./internal/kernel ./internal/field ./internal/hash \
 			./internal/prng ./internal/sparse ./internal/engine || exit 1; \
 	done
+
+# Chaos leg: the deterministic fault-injection property suites under -race.
+# Each sweeps seeded fault schedules (torn checkpoint writes, fsync errors,
+# bit flips, journal faults, worker panics, forced queue overflow, merge
+# failures) and requires every run to end exact or with a typed error. A
+# failing seed prints a REPRO_FAULTS=seed:rate one-liner that replays
+# exactly that schedule.
+chaos:
+	$(GO) test -race -run 'TestChaosFaultSeeds|TestChaosWithoutStore|TestDurableKillRestartExactness|TestWorkerPanic' \
+		-count 1 ./internal/engine
+	$(GO) test -race -run 'TestKillRestartExactness|TestInjected' \
+		-count 1 ./internal/checkpoint
 
 # One iteration of every benchmark — a smoke test that the bench harness and
 # the serial-vs-engine ingestion comparison still run, not a measurement.

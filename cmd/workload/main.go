@@ -38,10 +38,18 @@
 // so the N slices partition the stream. -import is self-describing: the
 // files carry their kind, config and seed, and mismatched shards fail with
 // the typed merge errors.
+//
+// By default -import is resilient: a file that cannot be read (after a few
+// retries for transient errors), decoded or merged is skipped with a note,
+// and the summary line counts the skips by reason — merging the shards that
+// did arrive is usually more useful than nothing. -strict restores
+// fail-on-first-problem for pipelines that need all-or-nothing semantics.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand/v2"
@@ -56,6 +64,7 @@ import (
 	"repro/internal/countsketch"
 	"repro/internal/engine"
 	"repro/internal/heavyhitters"
+	"repro/internal/retry"
 	"repro/internal/stream"
 )
 
@@ -74,10 +83,11 @@ func main() {
 	importList := flag.String("import", "", "comma-separated sketch files: load, merge and query them (no stream is generated)")
 	sketchKind := flag.String("sketch", "l0", "public sketch kind for -export: l0 | lp | hh")
 	shardSpec := flag.String("shard", "0/1", "with -export, ingest only the i-th of N disjoint stream slices, as \"i/N\"")
+	strict := flag.Bool("strict", false, "with -import, fail on the first unusable file instead of skipping it with a report")
 	flag.Parse()
 
 	if *importList != "" {
-		if err := runImport(strings.Split(*importList, ",")); err != nil {
+		if err := runImport(strings.Split(*importList, ","), *strict); err != nil {
 			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
 			os.Exit(2)
 		}
@@ -269,36 +279,92 @@ func parseShard(spec string) (idx, cnt int, err error) {
 	return idx, cnt, nil
 }
 
+// readSketchFile reads one exported sketch, retrying transient I/O errors
+// with capped backoff; a missing file is permanent and fails immediately.
+func readSketchFile(path string) ([]byte, error) {
+	var data []byte
+	err := retry.Do(context.Background(), retry.Policy{Attempts: 3}, func() error {
+		var err error
+		data, err = os.ReadFile(path)
+		if errors.Is(err, os.ErrNotExist) {
+			return retry.Permanent(err)
+		}
+		return err
+	})
+	return data, err
+}
+
+// importSkips counts the files -import could not use, by typed reason.
+type importSkips struct {
+	unreadable  int // read failed after retries
+	undecodable int // bytes did not decode as a sketch (codec errors)
+	unmergeable int // decoded, but incompatible with the shards so far
+}
+
+func (k importSkips) total() int { return k.unreadable + k.undecodable + k.unmergeable }
+
+func (k importSkips) String() string {
+	return fmt.Sprintf("%d unreadable, %d undecodable, %d unmergeable",
+		k.unreadable, k.undecodable, k.unmergeable)
+}
+
 // runImport loads each serialized sketch, merges the rest into the first —
 // the remote-merge half of the distributed pattern — and queries the merged
 // sketch. The files are self-describing: kind, config and seed travel with
 // the bytes, and shards from different seeds or configs are rejected with
 // the typed merge errors.
-func runImport(files []string) error {
+//
+// Unusable files are skipped and counted by reason unless strict is set, in
+// which case the first problem aborts the import.
+func runImport(files []string, strict bool) error {
 	var merged streamsample.Sketch
+	var skips importSkips
+	used := 0
+	skip := func(f, reason string, err error, counter *int) error {
+		if strict {
+			return fmt.Errorf("%s %s: %w", reason, f, err)
+		}
+		*counter++
+		fmt.Fprintf(os.Stderr, "workload: skipping %s file %s: %v\n", reason, f, err)
+		return nil
+	}
 	for _, f := range files {
 		f = strings.TrimSpace(f)
-		data, err := os.ReadFile(f)
+		data, err := readSketchFile(f)
 		if err != nil {
-			return err
+			if err := skip(f, "unreadable", err, &skips.unreadable); err != nil {
+				return err
+			}
+			continue
 		}
 		s, err := streamsample.Load(data)
 		if err != nil {
-			return fmt.Errorf("load %s: %w", f, err)
+			if err := skip(f, "undecodable", err, &skips.undecodable); err != nil {
+				return err
+			}
+			continue
 		}
 		if merged == nil {
 			merged = s
+			used++
 			continue
 		}
 		if err := merged.Merge(s); err != nil {
-			return fmt.Errorf("merge %s: %w", f, err)
+			if err := skip(f, "unmergeable", err, &skips.unmergeable); err != nil {
+				return err
+			}
+			continue
 		}
+		used++
 	}
 	if merged == nil {
+		if skips.total() > 0 {
+			return fmt.Errorf("-import: no usable sketch among %d file(s): %v", len(files), skips)
+		}
 		return fmt.Errorf("-import needs at least one file")
 	}
-	fmt.Fprintf(os.Stderr, "merged %d shard sketches (%T, %d bits)\n",
-		len(files), merged, merged.SpaceBits())
+	fmt.Fprintf(os.Stderr, "merged %d/%d shard sketches (%T, %d bits); skipped: %v\n",
+		used, len(files), merged, merged.SpaceBits(), skips)
 	switch s := merged.(type) {
 	case *streamsample.L0Sampler:
 		if i, v, ok := s.Sample(); ok {

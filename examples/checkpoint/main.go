@@ -1,15 +1,17 @@
-// Checkpoint: survive a crash in the middle of a sharded ingest.
+// Checkpoint: survive a process kill in the middle of a sharded ingest.
 //
 // The engine's shard replicas are serializable linear sketches, so a long
-// ingest can checkpoint periodically with Snapshot — one MarshalBinary blob
-// per shard — and, after a crash, a fresh engine Restores the blobs and
-// replays only the updates that arrived after the checkpoint. Because the
-// sketches are linear and the shard routing is deterministic, the resumed
-// result is byte-for-byte the result of an uninterrupted run.
+// ingest can bind a durable checkpoint store (internal/checkpoint): every
+// accepted batch is journaled write-ahead, and a full generation — one blob
+// per shard, written atomically via write-temp + fsync + rename — lands
+// every CheckpointEvery updates. After a crash a fresh engine binds the
+// same directory and adopts the last good generation plus the journal tail;
+// because the sketches are linear, the resumed result is byte-for-byte the
+// result of an uninterrupted run, no matter where the process died.
 //
-// This example ingests a 200k-update turnstile stream, checkpoints halfway,
-// kills the engine (simulating a process crash that loses all in-memory
-// state), resumes from the snapshot in a "new process", and shows that the
+// This example ingests a 200k-update turnstile stream, kills the engine
+// mid-stream WITHOUT a final checkpoint (the worst case: only the journal
+// survives), resumes from disk in a "new process", and shows that the
 // resumed sampler answers exactly like an uninterrupted one.
 //
 // Run: go run ./examples/checkpoint
@@ -18,8 +20,11 @@ package main
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 
 	streamsample "repro"
+	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/stream"
 )
@@ -32,7 +37,7 @@ const (
 )
 
 // factory builds one same-seed L0 sampler replica per shard: identical
-// WithSeed values make the replicas mergeable and snapshots restorable.
+// WithSeed values make the replicas mergeable and checkpoints restorable.
 func factory(int) *streamsample.L0Sampler {
 	return streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
 }
@@ -40,12 +45,33 @@ func factory(int) *streamsample.L0Sampler {
 func merge(dst, src *streamsample.L0Sampler) error { return dst.Merge(src) }
 
 func newEngine() *engine.Engine[*streamsample.L0Sampler] {
-	return engine.New(engine.Config{Shards: shards}, factory, merge)
+	// A generation every 50k updates; between generations the write-ahead
+	// journal carries every accepted batch.
+	return engine.New(engine.Config{Shards: shards, CheckpointEvery: 50_000}, factory, merge)
+}
+
+func bind(e *engine.Engine[*streamsample.L0Sampler], dir string) *checkpoint.Store {
+	store, err := checkpoint.Open(dir, checkpoint.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if err := e.CheckpointTo(store,
+		(*streamsample.L0Sampler).MarshalBinary,
+		(*streamsample.L0Sampler).UnmarshalBinary); err != nil {
+		panic(err)
+	}
+	return store
 }
 
 func main() {
 	st := stream.RandomTurnstile(n, length, 100, rand.New(rand.NewPCG(7, 9)))
-	cut := len(st) / 2
+	cut := 130_000 // where the crash will strike — NOT a checkpoint boundary
+
+	dir, err := os.MkdirTemp("", "checkpoint-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
 
 	// Reference: one uninterrupted run over the whole stream.
 	reference := newEngine()
@@ -57,29 +83,31 @@ func main() {
 	refIdx, refVal, refOK := refSketch.Sample()
 	fmt.Printf("uninterrupted: sample=(%d,%d) ok=%v\n", refIdx, refVal, refOK)
 
-	// Crashing run: ingest half, checkpoint, die.
+	// Doomed run: bind the durable store, ingest 130k updates in 10k-update
+	// batches (periodic checkpoints land on batch boundaries), die. The last
+	// generation covers the first 100k; the journal tail carries the rest.
 	doomed := newEngine()
-	doomed.Feed(st[:cut])
-	snapshot, err := doomed.Snapshot((*streamsample.L0Sampler).MarshalBinary)
-	if err != nil {
-		panic(err)
+	store := bind(doomed, dir)
+	for i := 0; i < cut; i += 10_000 {
+		doomed.Feed(st[i : i+10_000])
 	}
-	var snapshotBytes int
-	for _, blob := range snapshot {
-		snapshotBytes += len(blob)
-	}
-	fmt.Printf("checkpoint at update %d: %d shard blobs, %d bytes total\n",
-		cut, len(snapshot), snapshotBytes)
+	stats := doomed.Stats()
+	fmt.Printf("killed at update %d: %d generations on disk, latest %d\n",
+		cut, stats.Checkpoints, stats.Generation)
 	doomed.Close() // the crash: every in-memory replica is gone
-	fmt.Println("simulated crash: engine closed, in-memory state lost")
+	store.Close()
+	entries, _ := filepath.Glob(filepath.Join(dir, "*"))
+	fmt.Printf("simulated crash: in-memory state lost, %d files survive\n", len(entries))
 
-	// Resumed run, as a new process would do it: rebuild the engine, restore
-	// the checkpoint into the replicas, replay only the post-checkpoint
-	// suffix of the stream.
+	// Resumed run, as a new process would do it: rebuild the engine, bind
+	// the same directory — CheckpointTo adopts the last good generation and
+	// replays the journal tail — then feed only the suffix the doomed
+	// process never accepted. (A real pipeline stores its source offset next
+	// to the checkpoint; here we know the doomed run accepted exactly cut
+	// updates.)
 	resumed := newEngine()
-	if err := resumed.Restore(snapshot, (*streamsample.L0Sampler).UnmarshalBinary); err != nil {
-		panic(err)
-	}
+	store2 := bind(resumed, dir)
+	defer store2.Close()
 	resumed.Feed(st[cut:])
 	resSketch, err := resumed.Results()
 	if err != nil {

@@ -1,0 +1,433 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/retry"
+	"repro/internal/stream"
+)
+
+// noSleep keeps test backoffs instant.
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func openTest(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.Retry.Sleep == nil {
+		opts.Retry.Sleep = noSleep
+	}
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func reopen(t *testing.T, s *Store, opts Options) *Store {
+	t.Helper()
+	s.Close()
+	if opts.Retry.Sleep == nil {
+		opts.Retry.Sleep = noSleep
+	}
+	n, err := Open(s.dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func batch(vals ...int) stream.Stream {
+	out := make(stream.Stream, len(vals))
+	for i, v := range vals {
+		out[i] = stream.Update{Index: v, Delta: int64(v) + 1}
+	}
+	return out
+}
+
+func TestSaveLatestRoundTrip(t *testing.T) {
+	s := openTest(t, Options{})
+	states := [][]byte{[]byte("shard zero"), {}, []byte("shard two, longer state")}
+	gen, err := s.Save(states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("first generation = %d, want 1", gen)
+	}
+	rec, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Generation != 1 || len(rec.States) != len(states) {
+		t.Fatalf("recovery %+v, want generation 1 with %d states", rec, len(states))
+	}
+	for i := range states {
+		if !bytes.Equal(rec.States[i], states[i]) {
+			t.Fatalf("state %d corrupted in round trip", i)
+		}
+	}
+	if len(rec.Tail) != 0 || len(rec.Torn) != 0 {
+		t.Fatalf("fresh save has tail %d / torn %v", len(rec.Tail), rec.Torn)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := openTest(t, Options{})
+	if _, err := s.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty store Latest err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestJournalBeforeFirstSave: appends with no generation yet land in the
+// generation-0 baseline segment and recover against zero state.
+func TestJournalBeforeFirstSave(t *testing.T) {
+	s := openTest(t, Options{})
+	b1, b2 := batch(1, 2, 3), batch(4, 5)
+	if err := s.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := reopen(t, s, Options{}).Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Generation != 0 || rec.States != nil {
+		t.Fatalf("baseline recovery %+v, want generation 0 with nil states", rec)
+	}
+	if len(rec.Tail) != 2 || rec.TailUpdates != 5 {
+		t.Fatalf("tail %d batches / %d updates, want 2 / 5", len(rec.Tail), rec.TailUpdates)
+	}
+	for i, want := range []stream.Stream{b1, b2} {
+		for j, u := range want {
+			if rec.Tail[i][j] != u {
+				t.Fatalf("tail[%d][%d] = %+v, want %+v", i, j, rec.Tail[i][j], u)
+			}
+		}
+	}
+}
+
+func TestSaveRotatesJournal(t *testing.T) {
+	s := openTest(t, Options{})
+	if err := s.Append(batch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([][]byte{[]byte("st")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(batch(2)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-save batch is folded into the generation; only the post-save
+	// batch replays.
+	if rec.Generation != 1 || len(rec.Tail) != 1 || rec.Tail[0][0].Index != 2 {
+		t.Fatalf("post-rotation recovery %+v", rec)
+	}
+}
+
+// TestTornGenerationFallsBack corrupts the newest generation file on disk
+// and checks recovery falls back to the previous one while replaying both
+// segments of the journal chain.
+func TestTornGenerationFallsBack(t *testing.T) {
+	s := openTest(t, Options{Keep: 3})
+	if _, err := s.Save([][]byte{[]byte("gen1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(batch(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([][]byte{[]byte("gen2")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(batch(20)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt generation 2 in place (lying hardware).
+	path := s.genPath(2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-12] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Generation != 1 || !bytes.Equal(rec.States[0], []byte("gen1")) {
+		t.Fatalf("fallback recovery %+v, want generation 1", rec)
+	}
+	if len(rec.Torn) != 1 || rec.Torn[0] != 2 {
+		t.Fatalf("torn list %v, want [2]", rec.Torn)
+	}
+	// Both the batch folded into torn gen 2 and the batch after it replay.
+	if len(rec.Tail) != 2 || rec.Tail[0][0].Index != 10 || rec.Tail[1][0].Index != 20 {
+		t.Fatalf("fallback tail %+v, want the full chain since generation 1", rec.Tail)
+	}
+}
+
+// TestAllGenerationsTornReplaysBaseline: every generation corrupt but the
+// journal chain reaches back to segment 0 — recovery replays everything
+// from zero state.
+func TestAllGenerationsTornReplaysBaseline(t *testing.T) {
+	s := openTest(t, Options{Keep: 10})
+	if err := s.Append(batch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Save([][]byte{[]byte("g1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(batch(2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range s.Generations() {
+		data, err := os.ReadFile(s.genPath(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[9] ^= 1
+		if err := os.WriteFile(s.genPath(g), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Generation != 0 || rec.States != nil || len(rec.Tail) != 2 {
+		t.Fatalf("baseline fallback %+v, want generation 0 with both batches", rec)
+	}
+}
+
+// TestNoCheckpointWhenBaselineGone: all generations torn and the baseline
+// journal pruned — the typed dead end.
+func TestNoCheckpointWhenBaselineGone(t *testing.T) {
+	s := openTest(t, Options{})
+	if _, err := s.Save([][]byte{[]byte("g1")}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.genPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[9] ^= 1
+	if err := os.WriteFile(s.genPath(1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(s.journalPath(0)) // prune the baseline by hand
+	_, err = s.Latest()
+	if !errors.Is(err, ErrNoCheckpoint) || !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint joined with ErrTornWrite", err)
+	}
+}
+
+// TestGenerationGapDetected: a missing mid-chain journal segment is a typed
+// hard failure, never a silent partial recovery.
+func TestGenerationGapDetected(t *testing.T) {
+	s := openTest(t, Options{Keep: 5})
+	for i := 0; i < 3; i++ {
+		if err := s.Append(batch(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Save([][]byte{[]byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear generations 2 and 3 so recovery needs journals 1..3, then remove
+	// journal 2 from the middle of that chain.
+	for _, g := range []uint64{2, 3} {
+		data, err := os.ReadFile(s.genPath(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[9] ^= 1
+		if err := os.WriteFile(s.genPath(g), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	os.Remove(s.journalPath(2))
+	if _, err := s.Latest(); !errors.Is(err, ErrGenerationGap) {
+		t.Fatalf("err = %v, want ErrGenerationGap", err)
+	}
+}
+
+// TestTornJournalTailIsCrashFrontier: a half-written final record is
+// silently dropped (it never finished being accepted) and everything before
+// it replays.
+func TestTornJournalTailIsCrashFrontier(t *testing.T) {
+	s := openTest(t, Options{})
+	if err := s.Append(batch(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(batch(3)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Tear the last record: chop bytes off the file tail.
+	path := filepath.Join(s.dir, "journal-0000000000000000.jnl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Open(s.dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	rec, err := n.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 1 || len(rec.Tail[0]) != 2 {
+		t.Fatalf("tail %+v, want only the first complete batch", rec.Tail)
+	}
+	// Resuming appends must first truncate the torn tail, keeping the file
+	// a clean record sequence.
+	if err := n.Append(batch(9)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = n.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 2 || rec.Tail[1][0].Index != 9 {
+		t.Fatalf("post-resume tail %+v, want the torn record replaced", rec.Tail)
+	}
+}
+
+func TestRetentionPrunes(t *testing.T) {
+	s := openTest(t, Options{Keep: 2})
+	for i := 0; i < 5; i++ {
+		if err := s.Append(batch(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Save([][]byte{[]byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens := s.Generations()
+	if len(gens) != 2 || gens[0] != 4 || gens[1] != 5 {
+		t.Fatalf("retained generations %v, want [4 5]", gens)
+	}
+	if _, err := os.Stat(s.journalPath(3)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("journal below the retention window not pruned")
+	}
+	if _, err := os.Stat(s.journalPath(4)); err != nil {
+		t.Fatal("journal needed by the oldest retained generation was pruned")
+	}
+}
+
+func TestReopenNeverReusesGenerations(t *testing.T) {
+	s := openTest(t, Options{})
+	if _, err := s.Save([][]byte{[]byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	n := reopen(t, s, Options{})
+	gen, err := n.Save([][]byte{[]byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("generation after reopen = %d, want 2", gen)
+	}
+}
+
+// TestInjectedCorruptionFallsBack drives the store's own fault injector at
+// rate 1 on the corrupt-write point: the save lands torn, recovery detects
+// it and falls back with ErrTornWrite accounting.
+func TestInjectedCorruptionFallsBack(t *testing.T) {
+	s := openTest(t, Options{Keep: 3})
+	if _, err := s.Save([][]byte{[]byte("good")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(batch(7)); err != nil {
+		t.Fatal(err)
+	}
+	s.opts.Injector = faultinject.New(1, 1).Only(faultinject.CheckpointCorrupt)
+	if _, err := s.Save([][]byte{[]byte("doomed")}); err != nil {
+		t.Fatal(err) // the corruption lies: the save reports success
+	}
+	s.opts.Injector = nil
+	rec, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Generation != 1 || !bytes.Equal(rec.States[0], []byte("good")) {
+		t.Fatalf("recovery %+v, want fallback to generation 1", rec)
+	}
+	if len(rec.Torn) != 1 || rec.Torn[0] != 2 {
+		t.Fatalf("torn accounting %v, want [2]", rec.Torn)
+	}
+	if len(rec.Tail) != 1 || rec.Tail[0][0].Index != 7 {
+		t.Fatalf("tail %+v, want the journaled batch preserved", rec.Tail)
+	}
+}
+
+// TestInjectedAppendFaultsRetried: transient journal-append failures are
+// absorbed by the retry policy and never corrupt the record sequence.
+func TestInjectedAppendFaultsRetried(t *testing.T) {
+	s := openTest(t, Options{
+		Injector: faultinject.New(3, 0.4).Only(faultinject.JournalAppend),
+		Retry:    retry.Policy{Attempts: 8, Sleep: noSleep},
+	})
+	const batches = 50
+	for i := 0; i < batches; i++ {
+		if err := s.Append(batch(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	s.opts.Injector = nil
+	rec, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != batches {
+		t.Fatalf("recovered %d batches, want %d", len(rec.Tail), batches)
+	}
+	for i, b := range rec.Tail {
+		if len(b) != 1 || b[0].Index != i {
+			t.Fatalf("batch %d corrupted: %+v", i, b)
+		}
+	}
+}
+
+// TestInjectedSyncFailureSurfacesTyped: a persistently failing fsync makes
+// Save return the injected error after exhausting retries, leaving the
+// previous generation untouched.
+func TestInjectedSyncFailureSurfacesTyped(t *testing.T) {
+	s := openTest(t, Options{})
+	if _, err := s.Save([][]byte{[]byte("stable")}); err != nil {
+		t.Fatal(err)
+	}
+	s.opts.Injector = faultinject.New(1, 1).Only(faultinject.CheckpointSync)
+	s.opts.Retry = retry.Policy{Attempts: 3, Sleep: noSleep}
+	_, err := s.Save([][]byte{[]byte("doomed")})
+	var ie *faultinject.InjectedErr
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want the injected fsync failure", err)
+	}
+	s.opts.Injector = nil
+	rec, lerr := s.Latest()
+	if lerr != nil || rec.Generation != 1 || !bytes.Equal(rec.States[0], []byte("stable")) {
+		t.Fatalf("previous generation damaged by failed save: %+v, %v", rec, lerr)
+	}
+}

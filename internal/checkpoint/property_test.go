@@ -1,0 +1,146 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/retry"
+	"repro/internal/stream"
+)
+
+// The store-level exactness property: whatever interleaving of appends,
+// saves, crashes (close + reopen) and injected I/O faults happens, Latest
+// must reconstruct exactly the accepted prefix — the state at the last
+// successful Save plus every batch whose Append returned nil afterwards —
+// or fail with a typed error. "Exactly" is checked by replaying the
+// recovery onto a vector and comparing against the ground-truth vector of
+// accepted updates.
+
+const propDim = 64
+
+// encodeVec / decodeVec are the test's stand-in for a marshaled shard
+// replica: the dense vector as little-endian words.
+func encodeVec(v []int64) []byte {
+	out := make([]byte, 0, 8*len(v))
+	for _, x := range v {
+		out = binary.LittleEndian.AppendUint64(out, uint64(x))
+	}
+	return out
+}
+
+func applyBlob(dst []int64, blob []byte) {
+	for i := 0; i+8 <= len(blob) && i/8 < len(dst); i += 8 {
+		dst[i/8] += int64(binary.LittleEndian.Uint64(blob[i:]))
+	}
+}
+
+func applyBatch(dst []int64, b stream.Stream) {
+	for _, u := range b {
+		dst[u.Index%len(dst)] += u.Delta
+	}
+}
+
+func vecEqual(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKillRestartExactness sweeps fault seeds; a failure prints the
+// one-line repro the chaos CI leg asks for.
+func TestKillRestartExactness(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		seed := seed
+		if err := runKillRestart(t, seed); err != nil {
+			t.Fatalf("seed %d: %v\nrepro: go test -race -run 'TestKillRestartExactness' ./internal/checkpoint (seed %d)",
+				seed, err, seed)
+		}
+	}
+}
+
+func runKillRestart(t *testing.T, seed uint64) error {
+	r := rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+	dir := t.TempDir()
+	inj := faultinject.New(seed, 0.05).Only(
+		faultinject.CheckpointCorrupt, faultinject.CheckpointWrite,
+		faultinject.CheckpointSync, faultinject.JournalAppend,
+	)
+	opts := Options{
+		Keep:     2,
+		Injector: inj,
+		Retry:    retry.Policy{Attempts: 6, Sleep: noSleep},
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	defer func() { s.Close() }()
+
+	// accepted is the ground truth: every update the store acknowledged.
+	accepted := make([]int64, propDim)
+	// saved mirrors what the last acknowledged Save contained.
+	saved := make([]int64, propDim)
+
+	steps := 60 + r.IntN(60)
+	for i := 0; i < steps; i++ {
+		switch op := r.IntN(10); {
+		case op < 6: // append a small random batch
+			b := make(stream.Stream, 1+r.IntN(8))
+			for j := range b {
+				b[j] = stream.Update{Index: r.IntN(propDim), Delta: int64(r.IntN(21) - 10)}
+			}
+			if err := s.Append(b); err == nil {
+				applyBatch(accepted, b)
+			}
+		case op < 8: // checkpoint: the saved state absorbs everything accepted
+			if _, err := s.Save([][]byte{encodeVec(accepted)}); err == nil {
+				copy(saved, accepted)
+			} else if errors.Is(err, ErrClosed) {
+				return errors.New("store poisoned itself on a retryable save")
+			}
+		default: // crash: drop the handle, reopen cold
+			s.Close()
+			if s, err = Open(dir, opts); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Final crash + recovery.
+	s.Close()
+	s, err = Open(dir, opts)
+	if err != nil {
+		return err
+	}
+	s.opts.Injector = nil // recovery itself runs clean in this property
+	rec, err := s.Latest()
+	if err != nil {
+		// Typed dead ends are legitimate outcomes under injected torn
+		// writes — but only the typed ones.
+		if errors.Is(err, ErrNoCheckpoint) || errors.Is(err, ErrGenerationGap) {
+			return nil
+		}
+		return err
+	}
+	got := make([]int64, propDim)
+	for _, blob := range rec.States {
+		applyBlob(got, blob)
+	}
+	for _, b := range rec.Tail {
+		applyBatch(got, b)
+	}
+	if !vecEqual(got, accepted) {
+		return errors.New("recovered state differs from the accepted prefix")
+	}
+	return nil
+}

@@ -188,7 +188,7 @@ func TestWorkStealingDrainsStalledShard(t *testing.T) {
 	// swapping its replica's gate in before any batch reaches it.
 	hotIdx := 0
 	h := eng.shardOf(hotIdx)
-	eng.replicas[h].gate = gate
+	eng.slots[h].replica.gate = gate
 
 	// 500 batches of 8 updates, all for shard h: its queue (depth 2) fills
 	// immediately and only thieves can make progress until the gate opens.

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/stream"
@@ -23,12 +22,16 @@ import (
 //
 // Resize must be called from the producer goroutine. It quiesces the
 // workers (so it is also a checkpoint barrier: a pending Spill replica is
-// folded in first), then grows or shrinks the worker pool. On a fold error
-// — possible only when factory/merge break the same-seed contract — the
-// engine is closed and becomes terminal, and the error is returned.
+// folded in first, and a tainted engine with a bound store rolls back to
+// exactness), then grows or shrinks the worker pool. Folding a retired
+// shard that is still tainted — no store to roll back from — carries the
+// taint onto the surviving slot, so the degradation stays visible in the
+// eventual PartialResultError. On a fold error — possible only when
+// factory/merge break the same-seed contract — the engine is closed and
+// becomes terminal, and the error is returned.
 func (e *Engine[T]) Resize(n int) error {
 	if e.done {
-		return errors.New("engine: Resize after Results/Close")
+		return fmt.Errorf("engine: Resize: %w", ErrEngineClosed)
 	}
 	if n < 1 {
 		return fmt.Errorf("engine: Resize to %d shards", n)
@@ -42,45 +45,50 @@ func (e *Engine[T]) Resize(n int) error {
 	old := e.cfg.Shards
 	if n > old {
 		for s := old; s < n; s++ {
-			e.replicas = append(e.replicas, e.factory(s))
-			e.chans = append(e.chans, make(chan []stream.Update, e.cfg.QueueDepth))
-			e.pending = append(e.pending, e.batchBuf())
-			e.exited = append(e.exited, nil)
+			slot := &shardSlot[T]{
+				idx:     s,
+				replica: e.factory(s),
+				ch:      make(chan []stream.Update, e.cfg.QueueDepth),
+			}
+			slot.pending = e.batchBuf()
+			e.slots = append(e.slots, slot)
 		}
 		e.cfg.Shards = n
 		e.publishStealSet()
 		for s := old; s < n; s++ {
-			e.spawn(s)
+			e.spawn(e.slots[s])
 		}
 	} else {
 		// Fold first; only retire workers once every merge has succeeded,
 		// so a failure leaves the engine closable rather than half-torn.
 		for s := n; s < old; s++ {
-			if err := e.merge(e.replicas[s%n], e.replicas[s]); err != nil {
+			if err := e.mergeInto(e.slots[s%n].replica, e.slots[s].replica); err != nil {
 				e.Close()
 				return fmt.Errorf("engine: folding shard %d into %d: %w", s, s%n, err)
 			}
 		}
 		for s := n; s < old; s++ {
-			close(e.chans[s])
+			close(e.slots[s].ch)
 		}
 		// Join the retired workers before dropping their state. Without the
 		// join, a retired work-stealing worker parked in its select can wake
 		// on a stale buffered hot signal after Resize returns and steal
-		// freshly produced batches into a replica that is no longer in
-		// e.replicas — silently dropping those updates. The wait is cheap:
-		// the engine is quiesced, so every queue is empty and each worker
-		// exits on its next scheduling. (The workers' hot path also checks
-		// for a closed own channel before stealing, as a second line of
-		// defense.)
+		// freshly produced batches into a replica that is no longer in any
+		// slot — silently dropping those updates. The wait is cheap: the
+		// engine is quiesced, so every queue is empty and each worker exits
+		// on its next scheduling. (The workers' hot path also checks for a
+		// closed own channel before stealing, as a second line of defense.)
+		// The join also orders the retired workers' final supervision-field
+		// writes before the taint fold below.
 		for s := n; s < old; s++ {
-			<-e.exited[s]
-			e.pool.Put(e.pending[s][:0])
+			<-e.slots[s].exited
+			e.pool.Put(e.slots[s].pending[:0])
+			dst := e.slots[s%n]
+			dst.tainted = dst.tainted || e.slots[s].tainted
+			dst.lost += e.slots[s].lost
+			dst.absorbed += e.slots[s].absorbed
 		}
-		e.replicas = e.replicas[:n]
-		e.chans = e.chans[:n]
-		e.pending = e.pending[:n]
-		e.exited = e.exited[:n]
+		e.slots = e.slots[:n]
 		e.cfg.Shards = n
 		e.publishStealSet()
 	}

@@ -180,7 +180,10 @@ func TestResizeDownJoinsRetiredWorkers(t *testing.T) {
 	for i := 0; i < cap(eng.hot); i++ {
 		eng.signalHot()
 	}
-	retired := append([]chan struct{}(nil), eng.exited[2:]...)
+	var retired []chan struct{}
+	for _, slot := range eng.slots[2:] {
+		retired = append(retired, slot.exited)
+	}
 	if err := eng.Resize(2); err != nil {
 		t.Fatal(err)
 	}

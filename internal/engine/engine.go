@@ -37,8 +37,21 @@
 //     across all shards instead of pinning them to one.
 //
 // Producer methods (Process, ProcessBatch, Feed, Results, Close, Snapshot,
-// Restore, Resize, Stats) must be called from one goroutine; the
-// parallelism lives in the shard workers.
+// Restore, Resize, Stats, CheckpointTo, CheckpointNow) must be called from
+// one goroutine; the parallelism lives in the shard workers.
+//
+// # Supervision
+//
+// A panicking replica is quarantined rather than allowed to kill the
+// process: the shard worker recovers, discards the indeterminate replica,
+// respawns a fresh same-seed one in its place and keeps draining its queue,
+// so no fault schedule can wedge the producer against a full queue. The
+// shard is marked tainted — its discarded replica's updates are missing —
+// and at the next quiesce barrier the engine re-establishes exactness by
+// rolling every replica back to the bound checkpoint store's last good
+// generation and replaying the journal tail (see durable.go). Without a
+// store the taint is permanent and Results returns the degraded merge
+// together with a typed *PartialResultError naming the quarantined shards.
 //
 // # Checkpoint and resume
 //
@@ -51,6 +64,11 @@
 // those states into its replicas and replays only the updates after the
 // checkpoint — the resumed result is exactly the uninterrupted one. See
 // examples/checkpoint.
+//
+// CheckpointTo upgrades this to crash safety: it binds an
+// internal/checkpoint.Store, journals every accepted batch write-ahead, and
+// writes a durable generation every Config.CheckpointEvery updates, so a
+// killed process resumes byte-identical from disk.
 package engine
 
 import (
@@ -61,8 +79,15 @@ import (
 	"sync/atomic"
 
 	"repro/internal/codec"
+	"repro/internal/faultinject"
 	"repro/internal/stream"
 )
+
+// ErrEngineClosed is the typed sentinel for every use-after-termination
+// guard: producer entry points called after Results or Close either return
+// an error wrapping it or, on the hot ingest path, panic with an error
+// wrapping it.
+var ErrEngineClosed = errors.New("engine: engine is terminal after Results/Close")
 
 // BackpressurePolicy selects what the producer does when a shard's bounded
 // queue is full.
@@ -120,6 +145,17 @@ type Config struct {
 	// HotKeyPhi is the traffic fraction at which a key counts as hot
 	// (default 1/64).
 	HotKeyPhi float64
+	// CheckpointEvery, with a store bound via CheckpointTo, writes a durable
+	// generation after roughly this many accepted updates (checkpoints land
+	// on batch boundaries). Zero means no periodic checkpoints: the store
+	// still journals every batch write-ahead, and CheckpointNow remains
+	// available.
+	CheckpointEvery int
+	// Injector, when non-nil, enables deterministic fault injection on the
+	// engine's internal decision points (forced queue overflow, merge
+	// failures, worker panics) — see internal/faultinject. Nil (the default)
+	// costs one predictable branch per injection point.
+	Injector *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +192,40 @@ type Stats struct {
 	// updates fanned across shards instead of routed by coordinate.
 	HotKeys   int
 	HotRouted int64
+	// Panics counts replica panics caught and quarantined by the shard
+	// workers; Recoveries counts tainted shards whose exactness was
+	// re-established by a checkpoint rollback.
+	Panics     int64
+	Recoveries int64
+	// Checkpoints counts durable generations written via the bound store;
+	// Generation is the store's current generation number (zero when no
+	// store is bound).
+	Checkpoints int64
+	Generation  uint64
+}
+
+// shardSlot is the per-shard state bundle. Slots are individually heap
+// allocated so the pointer a worker captures at spawn stays valid across
+// the slice appends of a later Resize.
+//
+// Ownership discipline (this is what makes the supervision fields safe
+// without locks): replica, tainted, lost and absorbed are written by the
+// owning worker only while it holds an in-flight batch token, and by the
+// producer only after inflight.Wait() has drained every token — the
+// WaitGroup edge plus the channel send/recv edge of the next handoff order
+// all of it. A worker reads its own slot only after receiving a batch, so
+// even a thief woken by a stale hot signal never races a quiesced
+// producer's writes.
+type shardSlot[T stream.Sink] struct {
+	idx     int
+	replica T
+	ch      chan []stream.Update
+	pending []stream.Update
+	exited  chan struct{} // closed when the shard's worker returns
+	// Supervision state, per the ownership discipline above.
+	tainted  bool  // replica panicked; its updates are missing until rollback
+	lost     int64 // updates discarded with quarantined replicas
+	absorbed int64 // updates folded into replica since it was last (re)built
 }
 
 // Engine fans an update stream out to same-seed sketch replicas, one per
@@ -164,17 +234,14 @@ type Engine[T stream.Sink] struct {
 	cfg      Config
 	factory  func(shard int) T
 	merge    func(dst, src T) error
-	replicas []T
-	chans    []chan []stream.Update
-	pending  [][]stream.Update
+	slots    []*shardSlot[T]
 	stealSet atomic.Pointer[[]chan []stream.Update]
 	hot      chan struct{}
 	hotAt    int
 	router   *hotRouter
 	pool     sync.Pool
 	wg       sync.WaitGroup
-	exited   []chan struct{} // per shard, closed when its worker returns
-	inflight sync.WaitGroup  // batches handed off but not yet processed
+	inflight sync.WaitGroup // batches handed off but not yet processed
 	spill    T
 	spillSet bool
 
@@ -183,6 +250,10 @@ type Engine[T stream.Sink] struct {
 	spilledBatches int64
 	spilledUpdates int64
 	steals         atomic.Int64
+	panics         atomic.Int64 // written by workers, read anywhere
+	recoveries     int64        // producer-only
+
+	durable durableState[T] // zero unless CheckpointTo bound a store
 
 	done   bool
 	result T
@@ -200,102 +271,131 @@ type Engine[T stream.Sink] struct {
 // indices at or beyond the current count (Resize scale-up, the Spill
 // policy's producer-local replica); the same-seed contract holds for every
 // index. merge folds src into dst.
+//
+// factory must additionally be safe for concurrent use: a shard worker
+// invokes it to respawn a fresh replica when quarantining a panicked one.
+// The factories in this repository qualify (each call builds its own
+// seeded PRNG); a factory closing over shared mutable state would not.
 func New[T stream.Sink](cfg Config, factory func(shard int) T, merge func(dst, src T) error) *Engine[T] {
 	cfg = cfg.withDefaults()
 	e := &Engine[T]{
-		cfg:      cfg,
-		factory:  factory,
-		merge:    merge,
-		replicas: make([]T, cfg.Shards),
-		chans:    make([]chan []stream.Update, cfg.Shards),
-		pending:  make([][]stream.Update, cfg.Shards),
-		exited:   make([]chan struct{}, cfg.Shards),
-		hot:      make(chan struct{}, 4*cfg.Shards+16),
-		hotAt:    max(1, cfg.QueueDepth/2),
+		cfg:     cfg,
+		factory: factory,
+		merge:   merge,
+		slots:   make([]*shardSlot[T], cfg.Shards),
+		hot:     make(chan struct{}, 4*cfg.Shards+16),
+		hotAt:   max(1, cfg.QueueDepth/2),
 	}
 	if cfg.HotKeyRouting {
 		e.router = newHotRouter(cfg)
 	}
 	e.pool.New = func() any { return make([]stream.Update, 0, cfg.BatchSize) }
-	for s := range e.replicas {
-		e.replicas[s] = factory(s)
-		e.chans[s] = make(chan []stream.Update, cfg.QueueDepth)
-		e.pending[s] = e.batchBuf()
+	for s := range e.slots {
+		e.slots[s] = &shardSlot[T]{
+			idx:     s,
+			replica: factory(s),
+			ch:      make(chan []stream.Update, cfg.QueueDepth),
+		}
+		e.slots[s].pending = e.batchBuf()
 	}
 	e.publishStealSet()
 	for s := 0; s < cfg.Shards; s++ {
-		e.spawn(s)
+		e.spawn(e.slots[s])
 	}
 	return e
+}
+
+// mustOpen is the single use-after-termination guard on the hot ingest
+// entry points. Feeding a terminal engine is a programming error, so it
+// panics; the panic value is an error wrapping ErrEngineClosed so recovery
+// sites can type-check it.
+func (e *Engine[T]) mustOpen() {
+	if e.done {
+		panic(fmt.Errorf("engine: Process after Results/Close: %w", ErrEngineClosed))
+	}
 }
 
 func (e *Engine[T]) batchBuf() []stream.Update {
 	return e.pool.Get().([]stream.Update)[:0]
 }
 
-// publishStealSet snapshots the current channel slice for the work-stealing
+// publishStealSet snapshots the current channel set for the work-stealing
 // workers. Called from the producer goroutine at construction and at the
 // quiesced point of every Resize; workers Load it on each steal scan, so
 // structural changes never race with thieves.
 func (e *Engine[T]) publishStealSet() {
-	snap := make([]chan []stream.Update, len(e.chans))
-	copy(snap, e.chans)
+	snap := make([]chan []stream.Update, len(e.slots))
+	for i, slot := range e.slots {
+		snap[i] = slot.ch
+	}
 	e.stealSet.Store(&snap)
 }
 
-func (e *Engine[T]) spawn(s int) {
+func (e *Engine[T]) spawn(slot *shardSlot[T]) {
 	e.wg.Add(1)
-	done := make(chan struct{})
-	e.exited[s] = done
-	// Capture the channel and replica here, on the producer goroutine —
-	// reading e.chans/e.replicas inside the worker would race with the
-	// slice appends of a later Resize.
-	ch, replica := e.chans[s], e.replicas[s]
+	slot.exited = make(chan struct{})
 	go func() {
-		defer close(done)
-		e.worker(s, ch, replica)
+		defer close(slot.exited)
+		e.worker(slot)
 	}()
 }
 
-// consume runs one batch through a replica and retires it.
-func (e *Engine[T]) consume(replica T, batch []stream.Update) {
-	stream.ProcessAll(replica, batch)
-	e.pool.Put(batch[:0])
-	e.inflight.Done()
+// consume runs one batch through the slot's replica and retires it. A
+// panic out of the replica is quarantined here: the replica's state is
+// indeterminate mid-batch, so it is discarded, a fresh same-seed replica
+// takes its place, and the slot is marked tainted for the supervisor to
+// re-establish exactness at the next quiesce barrier. The worker itself
+// never dies — it keeps draining its queue — so a panic can never wedge
+// the producer against a full channel.
+func (e *Engine[T]) consume(slot *shardSlot[T], batch []stream.Update) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Add(1)
+			slot.lost += slot.absorbed + int64(len(batch))
+			slot.absorbed = 0
+			slot.tainted = true
+			slot.replica = e.factory(slot.idx)
+		}
+		e.pool.Put(batch[:0])
+		e.inflight.Done()
+	}()
+	e.cfg.Injector.MaybePanic(faultinject.WorkerPanic)
+	stream.ProcessAll(slot.replica, batch)
+	slot.absorbed += int64(len(batch))
 }
 
-func (e *Engine[T]) worker(shard int, own chan []stream.Update, replica T) {
+func (e *Engine[T]) worker(slot *shardSlot[T]) {
 	defer e.wg.Done()
 	if !e.cfg.WorkStealing {
-		for batch := range own {
-			e.consume(replica, batch)
+		for batch := range slot.ch {
+			e.consume(slot, batch)
 		}
 		return
 	}
 	for {
 		select {
-		case batch, ok := <-own:
+		case batch, ok := <-slot.ch:
 			if !ok {
 				return
 			}
-			e.consume(replica, batch)
+			e.consume(slot, batch)
 		case <-e.hot:
 			// A producer saw backlog somewhere. Before stealing, make sure
 			// this worker is still live: select picks randomly among ready
 			// cases, so a retired worker can reach here on a stale buffered
-			// signal even though `own` is closed — it must exit, not steal
-			// batches into a replica that has already been folded away.
+			// signal even though its channel is closed — it must exit, not
+			// steal batches into a replica that has already been folded away.
 			select {
-			case batch, ok := <-own:
+			case batch, ok := <-slot.ch:
 				if !ok {
 					return
 				}
-				e.consume(replica, batch)
+				e.consume(slot, batch)
 			default:
 			}
 			// Drain foreign queues into this worker's replica until every
 			// queue scans empty.
-			for e.stealOne(shard, replica) {
+			for e.stealOne(slot) {
 			}
 		}
 	}
@@ -304,10 +404,10 @@ func (e *Engine[T]) worker(shard int, own chan []stream.Update, replica T) {
 // stealOne attempts to drain one batch from any other shard's queue into
 // this worker's replica (exact by linearity). Returns false when every
 // foreign queue scanned empty.
-func (e *Engine[T]) stealOne(self int, replica T) bool {
+func (e *Engine[T]) stealOne(slot *shardSlot[T]) bool {
 	set := *e.stealSet.Load()
 	for i, ch := range set {
-		if i == self {
+		if i == slot.idx {
 			continue
 		}
 		select {
@@ -315,7 +415,7 @@ func (e *Engine[T]) stealOne(self int, replica T) bool {
 			if !ok {
 				continue // retired shard, nothing buffered
 			}
-			e.consume(replica, batch)
+			e.consume(slot, batch)
 			e.steals.Add(1)
 			return true
 		default:
@@ -336,31 +436,36 @@ func (e *Engine[T]) signalHot() {
 
 // send hands one batch to a shard worker, tracking it for quiesce. Under the
 // Spill policy a full queue degrades to the producer-local spill replica
-// instead of blocking.
+// instead of blocking. The EngineQueue injection point forces the
+// full-queue path so chaos schedules exercise spill and hot-signal handling
+// without needing to actually stall a worker.
 func (e *Engine[T]) send(s int, batch []stream.Update) {
-	ch := e.chans[s]
-	if e.cfg.WorkStealing && len(ch) >= e.hotAt {
+	slot := e.slots[s]
+	forcedFull := e.cfg.Injector.Fire(faultinject.EngineQueue)
+	if e.cfg.WorkStealing && (forcedFull || len(slot.ch) >= e.hotAt) {
 		e.signalHot()
 	}
 	e.inflight.Add(1)
 	if e.cfg.Backpressure == Spill {
-		select {
-		case ch <- batch:
-			return
-		default:
+		if !forcedFull {
+			select {
+			case slot.ch <- batch:
+				return
+			default:
+			}
 		}
 		e.inflight.Done()
 		e.spillBatch(batch)
 		return
 	}
-	ch <- batch
+	slot.ch <- batch
 }
 
 // spillBatch folds an overflow batch into the producer-local same-seed
 // replica; flushSpill merges it back at the next quiesce point.
 func (e *Engine[T]) spillBatch(batch []stream.Update) {
 	if !e.spillSet {
-		e.spill = e.factory(len(e.replicas))
+		e.spill = e.factory(len(e.slots))
 		e.spillSet = true
 	}
 	stream.ProcessAll(e.spill, batch)
@@ -375,13 +480,22 @@ func (e *Engine[T]) flushSpill() error {
 	if !e.spillSet {
 		return nil
 	}
-	if err := e.merge(e.replicas[0], e.spill); err != nil {
+	if err := e.mergeInto(e.slots[0].replica, e.spill); err != nil {
 		return fmt.Errorf("engine: folding spill replica: %w", err)
 	}
 	var zero T
 	e.spill = zero
 	e.spillSet = false
 	return nil
+}
+
+// mergeInto is merge plus the EngineMerge injection point, so chaos
+// schedules can force fold failures at every place replicas combine.
+func (e *Engine[T]) mergeInto(dst, src T) error {
+	if err := e.cfg.Injector.Err(faultinject.EngineMerge); err != nil {
+		return err
+	}
+	return e.merge(dst, src)
 }
 
 // shardOf routes a coordinate to its owning shard: a Fibonacci mix of the
@@ -414,22 +528,23 @@ func (e *Engine[T]) shardFor(index int) int {
 // route appends the update to its shard's pending batch, handing the batch
 // off once full.
 func (e *Engine[T]) route(s int, u stream.Update) {
-	p := append(e.pending[s], u)
-	e.pending[s] = p
+	slot := e.slots[s]
+	p := append(slot.pending, u)
+	slot.pending = p
 	if len(p) == e.cfg.BatchSize {
 		e.send(s, p)
-		e.pending[s] = e.batchBuf()
+		slot.pending = e.batchBuf()
 	}
 }
 
 // Process implements stream.Sink: the update joins its shard's pending
 // batch, which is handed off once full.
 func (e *Engine[T]) Process(u stream.Update) {
-	if e.done {
-		panic("engine: Process after Results/Close")
-	}
+	e.mustOpen()
+	e.journalOne(u)
 	e.route(e.shardFor(u.Index), u)
 	e.routed++
+	e.maybeCheckpoint(1)
 }
 
 // ProcessBatch implements stream.BatchSink: one done-check and one shard
@@ -439,27 +554,30 @@ func (e *Engine[T]) Process(u stream.Update) {
 // kernel speeds the per-update append would otherwise be the engine's
 // dominant cost on one core.
 func (e *Engine[T]) ProcessBatch(batch []stream.Update) {
-	if e.done {
-		panic("engine: Process after Results/Close")
-	}
-	e.routed += int64(len(batch))
+	e.mustOpen()
+	e.journalBatch(batch)
+	n := len(batch)
+	e.routed += int64(n)
 	if e.cfg.Shards == 1 && e.router == nil {
 		for len(batch) > 0 {
-			p := e.pending[0]
-			n := copy(p[len(p):e.cfg.BatchSize], batch)
-			p = p[:len(p)+n]
-			batch = batch[n:]
+			slot := e.slots[0]
+			p := slot.pending
+			c := copy(p[len(p):e.cfg.BatchSize], batch)
+			p = p[:len(p)+c]
+			batch = batch[c:]
 			if len(p) == e.cfg.BatchSize {
 				e.send(0, p)
 				p = e.batchBuf()
 			}
-			e.pending[0] = p
+			slot.pending = p
 		}
+		e.maybeCheckpoint(n)
 		return
 	}
 	for _, u := range batch {
 		e.route(e.shardFor(u.Index), u)
 	}
+	e.maybeCheckpoint(n)
 }
 
 // Feed routes an entire stream through the engine.
@@ -482,6 +600,12 @@ func (e *Engine[T]) Stats() Stats {
 		SpilledBatches: e.spilledBatches,
 		SpilledUpdates: e.spilledUpdates,
 		Steals:         e.steals.Load(),
+		Panics:         e.panics.Load(),
+		Recoveries:     e.recoveries,
+		Checkpoints:    e.durable.checkpoints,
+	}
+	if e.durable.store != nil {
+		st.Generation = e.durable.store.Generation()
 	}
 	if e.router != nil {
 		st.HotKeys = e.router.hotKeys
@@ -490,53 +614,94 @@ func (e *Engine[T]) Stats() Stats {
 	return st
 }
 
+// anyTainted reports whether some shard's replica was quarantined and
+// exactness has not been re-established. Producer-only; the slot fields are
+// safe to read at quiesce points and after shutdown.
+func (e *Engine[T]) anyTainted() bool {
+	for _, slot := range e.slots {
+		if slot.tainted {
+			return true
+		}
+	}
+	return false
+}
+
 // Results flushes all pending batches, waits for the workers to drain, and
 // merges every replica (plus any spill replica) into shard 0's, which it
 // returns: the sketch of the full vector, exactly as if one sketch had
 // consumed the whole stream. The engine is terminal afterwards; further
 // Process calls panic. Calling Results again returns the same result.
+//
+// If shard workers quarantined panicking replicas and a checkpoint store is
+// bound, Results first rolls the engine back to the last durable generation
+// plus the journal tail, so the result is still exact. Without a store (or
+// when the rollback itself fails) Results returns the degraded merge of the
+// surviving replicas together with a *PartialResultError naming the
+// quarantined shards — a typed partial answer instead of a crash or a
+// silent hole.
 func (e *Engine[T]) Results() (T, error) {
 	if e.done {
 		return e.result, e.err
 	}
 	e.shutdown()
-	e.result = e.replicas[0]
-	for s := 1; s < len(e.replicas); s++ {
-		if err := e.merge(e.result, e.replicas[s]); err != nil {
+	// Fold the spill replica before any rollback: a rollback rebuilds the
+	// replicas from the journal, which already covers the spilled updates,
+	// so flushing after it would double-count them.
+	spillErr := e.flushSpill()
+	if e.anyTainted() && e.durable.store != nil {
+		if err := e.rollback(); err != nil {
+			if e.durable.recoverErr == nil {
+				e.durable.recoverErr = err
+			}
+		} else {
+			// The rollback state holds every journaled update, including any
+			// spill replica whose fold failed above.
+			spillErr = nil
+			var zero T
+			e.spill = zero
+			e.spillSet = false
+		}
+	}
+	e.result = e.slots[0].replica
+	for s := 1; s < len(e.slots); s++ {
+		if err := e.mergeInto(e.result, e.slots[s].replica); err != nil {
 			e.err = err
 			break
 		}
 	}
 	if e.err == nil {
-		e.err = e.flushSpill()
+		e.err = spillErr
+	}
+	if e.err == nil && e.anyTainted() {
+		e.err = e.partialError()
 	}
 	return e.result, e.err
 }
 
 // Close abandons ingestion without merging: pending batches and any spill
 // replica are dropped, workers are joined, and the engine becomes terminal.
-// Results after Close reports an error. Close is idempotent and safe after
-// Results.
+// Results after Close reports an error wrapping ErrEngineClosed. Close is
+// idempotent and safe after Results.
 func (e *Engine[T]) Close() {
 	if e.done {
 		return
 	}
-	for s := range e.pending {
-		e.pending[s] = e.pending[s][:0]
+	for _, slot := range e.slots {
+		slot.pending = slot.pending[:0]
 	}
 	var zero T
 	e.spill = zero
 	e.spillSet = false
 	e.shutdown()
-	e.err = errors.New("engine: closed without results")
+	e.err = fmt.Errorf("engine: closed without results: %w", ErrEngineClosed)
 }
 
 func (e *Engine[T]) shutdown() {
-	for s, ch := range e.chans {
-		if len(e.pending[s]) > 0 {
-			e.send(s, e.pending[s])
+	for _, slot := range e.slots {
+		if len(slot.pending) > 0 {
+			e.send(slot.idx, slot.pending)
 		}
-		close(ch)
+		close(slot.ch)
 	}
 	e.wg.Wait()
 	e.done = true
@@ -546,16 +711,33 @@ func (e *Engine[T]) shutdown() {
 // all in-flight batches have been consumed, and folds any spill replica
 // into shard 0. Afterwards the workers idle on their channels and the
 // replicas are safe to read, replace or fold from the producer goroutine;
-// ingestion may continue.
+// ingestion may continue. Quiesce is also the supervision barrier: if any
+// worker quarantined a panicked replica since the last barrier and a
+// checkpoint store is bound, the engine rolls back to the store's last
+// durable state here, re-establishing exactness before the caller looks at
+// the replicas.
 func (e *Engine[T]) quiesce() error {
-	for s := range e.pending {
-		if len(e.pending[s]) > 0 {
-			e.send(s, e.pending[s])
-			e.pending[s] = e.batchBuf()
+	for _, slot := range e.slots {
+		if len(slot.pending) > 0 {
+			e.send(slot.idx, slot.pending)
+			slot.pending = e.batchBuf()
 		}
 	}
 	e.inflight.Wait()
-	return e.flushSpill()
+	if err := e.flushSpill(); err != nil {
+		return err
+	}
+	if e.anyTainted() && e.durable.store != nil {
+		if err := e.rollback(); err != nil {
+			// Exactness could not be re-established; remember why, keep
+			// running degraded. Results surfaces the taint as a typed
+			// *PartialResultError carrying this cause.
+			if e.durable.recoverErr == nil {
+				e.durable.recoverErr = err
+			}
+		}
+	}
+	return nil
 }
 
 // Snapshot checkpoints the engine mid-ingest: it quiesces the workers and
@@ -565,16 +747,23 @@ func (e *Engine[T]) quiesce() error {
 // engine with the same shard count at snapshot time (shard routing is
 // deterministic by coordinate and shard count) Restores the blobs and
 // replays only the updates that came after the snapshot.
+//
+// A tainted engine (quarantined replicas, no store to roll back from)
+// refuses to snapshot: the blobs would encode the hole. The error is the
+// same typed *PartialResultError Results would return.
 func (e *Engine[T]) Snapshot(marshal func(replica T) ([]byte, error)) ([][]byte, error) {
 	if e.done {
-		return nil, errors.New("engine: Snapshot after Results/Close")
+		return nil, fmt.Errorf("engine: Snapshot: %w", ErrEngineClosed)
 	}
 	if err := e.quiesce(); err != nil {
 		return nil, err
 	}
-	out := make([][]byte, len(e.replicas))
-	for s, r := range e.replicas {
-		b, err := marshal(r)
+	if e.anyTainted() {
+		return nil, e.partialError()
+	}
+	out := make([][]byte, len(e.slots))
+	for s, slot := range e.slots {
+		b, err := marshal(slot.replica)
 		if err != nil {
 			return nil, fmt.Errorf("engine: snapshot of shard %d: %w", s, err)
 		}
@@ -590,21 +779,46 @@ func (e *Engine[T]) Snapshot(marshal func(replica T) ([]byte, error)) ([][]byte,
 // typically enforces via the sketches' UnmarshalBinary. Safe before any
 // update or mid-stream (the workers are quiesced first); updates processed
 // before a Restore are discarded with the replaced state.
+//
+// Restore is all-or-nothing: every blob is decoded into a staged fresh
+// replica first, and only when all of them succeed is the live set swapped.
+// A failed Restore therefore leaves the engine's state exactly as it was —
+// still ingesting, still restorable from a good snapshot — rather than
+// half-replaced.
 func (e *Engine[T]) Restore(states [][]byte, restore func(replica T, state []byte) error) error {
 	if e.done {
-		return errors.New("engine: Restore after Results/Close")
+		return fmt.Errorf("engine: Restore: %w", ErrEngineClosed)
 	}
-	if len(states) != len(e.replicas) {
+	if len(states) != len(e.slots) {
 		return fmt.Errorf("engine: restoring %d shard states into %d shards: %w",
-			len(states), len(e.replicas), codec.ErrConfigMismatch)
+			len(states), len(e.slots), codec.ErrConfigMismatch)
 	}
 	if err := e.quiesce(); err != nil {
 		return err
 	}
-	for s, r := range e.replicas {
-		if err := restore(r, states[s]); err != nil {
+	staged := make([]T, len(states))
+	for s := range states {
+		staged[s] = e.factory(s)
+		if err := restore(staged[s], states[s]); err != nil {
 			return fmt.Errorf("engine: restore of shard %d: %w", s, err)
 		}
 	}
+	e.installReplicas(staged)
 	return nil
+}
+
+// installReplicas swaps a fully-built replica set into the slots and clears
+// all supervision state — the old replicas (including any taint they
+// carried) are discarded wholesale. Producer-only, workers quiesced.
+func (e *Engine[T]) installReplicas(replicas []T) {
+	for s, slot := range e.slots {
+		if slot.tainted {
+			e.recoveries++
+		}
+		slot.replica = replicas[s]
+		slot.tainted = false
+		slot.lost = 0
+		slot.absorbed = 0
+	}
+	e.durable.recoverErr = nil
 }

@@ -84,8 +84,8 @@ func TestHotKeyRoutingSpreadsLoad(t *testing.T) {
 			t.Fatal(err)
 		}
 		touched := 0
-		for _, r := range eng.replicas {
-			if r.QueryMedian(3) > 0 {
+		for _, slot := range eng.slots {
+			if slot.replica.QueryMedian(3) > 0 {
 				touched++
 			}
 		}

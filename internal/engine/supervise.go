@@ -1,0 +1,51 @@
+package engine
+
+import "fmt"
+
+// PartialResultError is the typed error Results (and Snapshot, and
+// CheckpointNow) return when shard workers quarantined panicking replicas
+// and exactness could not be re-established — either no checkpoint store is
+// bound, or the rollback itself failed (RecoveryErr says why). The merged
+// sketch returned alongside it is the exact sum of the surviving replicas:
+// a degraded answer missing the quarantined shards' updates, clearly
+// labeled, instead of a crash or a silent hole.
+type PartialResultError struct {
+	// Shards lists the quarantined shard indices, ascending.
+	Shards []int
+	// Lost counts the updates discarded with quarantined replicas: every
+	// update a replica had absorbed when it panicked, plus the batch it
+	// panicked inside.
+	Lost int64
+	// Panics is the engine's total caught-panic count.
+	Panics int64
+	// RecoveryErr is why a checkpoint rollback could not re-establish
+	// exactness; nil when no store was bound.
+	RecoveryErr error
+}
+
+func (e *PartialResultError) Error() string {
+	msg := fmt.Sprintf("engine: partial result: %d shard(s) quarantined after %d panic(s), %d update(s) missing",
+		len(e.Shards), e.Panics, e.Lost)
+	if e.RecoveryErr != nil {
+		msg += fmt.Sprintf("; checkpoint rollback failed: %v", e.RecoveryErr)
+	}
+	return msg
+}
+
+func (e *PartialResultError) Unwrap() error { return e.RecoveryErr }
+
+// partialError builds the typed taint report from the slots. Producer-only,
+// workers quiesced or joined.
+func (e *Engine[T]) partialError() *PartialResultError {
+	pe := &PartialResultError{
+		Panics:      e.panics.Load(),
+		RecoveryErr: e.durable.recoverErr,
+	}
+	for _, slot := range e.slots {
+		if slot.tainted {
+			pe.Shards = append(pe.Shards, slot.idx)
+			pe.Lost += slot.lost
+		}
+	}
+	return pe
+}

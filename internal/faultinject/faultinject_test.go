@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Fire(WorkerPanic) || in.Err(JournalAppend) != nil || in.Fired() != 0 {
+		t.Fatal("nil injector must be a no-op")
+	}
+	in.MaybePanic(WorkerPanic) // must not panic
+	buf := []byte{0xAA}
+	if in.FlipBit(CodecDecode, buf) || buf[0] != 0xAA {
+		t.Fatal("nil injector must not corrupt")
+	}
+	if n := in.ShortLen(CheckpointWrite, 7); n != 7 {
+		t.Fatalf("nil ShortLen = %d, want 7", n)
+	}
+}
+
+func TestZeroRateNeverFires(t *testing.T) {
+	in := New(1, 0)
+	for i := 0; i < 10000; i++ {
+		if in.Fire(WorkerPanic) {
+			t.Fatal("rate 0 fired")
+		}
+	}
+}
+
+func TestFullRateAlwaysFires(t *testing.T) {
+	in := New(1, 1)
+	for i := 0; i < 100; i++ {
+		if !in.Fire(WorkerPanic) {
+			t.Fatal("rate 1 missed")
+		}
+	}
+}
+
+// TestDeterministicSchedule: the set of firing draws for a point is a pure
+// function of the seed, whatever order points interleave in.
+func TestDeterministicSchedule(t *testing.T) {
+	record := func() []bool {
+		in := New(99, 0.25)
+		out := make([]bool, 200)
+		for i := range out {
+			in.Fire(CheckpointSync) // interleaved other-point traffic
+			out[i] = in.Fire(WorkerPanic)
+		}
+		return out
+	}
+	a, b := record(), record()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically seeded runs", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("rate 0.25 fired %d/%d draws — schedule degenerate", fires, len(a))
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a, b := New(1, 0.5), New(2, 0.5)
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Fire(WorkerPanic) != b.Fire(WorkerPanic) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-draw schedules")
+	}
+}
+
+func TestOnlyRestrictsPoints(t *testing.T) {
+	in := New(7, 1).Only(JournalAppend)
+	if in.Fire(WorkerPanic) {
+		t.Fatal("point outside Only fired")
+	}
+	if !in.Fire(JournalAppend) {
+		t.Fatal("point inside Only did not fire at rate 1")
+	}
+}
+
+func TestErrIsTyped(t *testing.T) {
+	in := New(3, 1)
+	err := in.Err(CheckpointSync)
+	var ie *InjectedErr
+	if !errors.As(err, &ie) || ie.Point != CheckpointSync {
+		t.Fatalf("Err = %v, want typed *InjectedErr for %s", err, CheckpointSync)
+	}
+}
+
+func TestMaybePanicValue(t *testing.T) {
+	in := New(3, 1)
+	defer func() {
+		r := recover()
+		ip, ok := r.(InjectedPanic)
+		if !ok || ip.Point != WorkerPanic {
+			t.Fatalf("recovered %v, want InjectedPanic at %s", r, WorkerPanic)
+		}
+	}()
+	in.MaybePanic(WorkerPanic)
+	t.Fatal("MaybePanic at rate 1 did not panic")
+}
+
+func TestFlipBitCorruptsExactlyOneBit(t *testing.T) {
+	in := New(5, 1)
+	data := make([]byte, 64)
+	if !in.FlipBit(CodecDecode, data) {
+		t.Fatal("FlipBit at rate 1 did not fire")
+	}
+	bits := 0
+	for _, b := range data {
+		for ; b != 0; b &= b - 1 {
+			bits++
+		}
+	}
+	if bits != 1 {
+		t.Fatalf("FlipBit changed %d bits, want exactly 1", bits)
+	}
+}
+
+func TestShortLenIsStrictPrefix(t *testing.T) {
+	in := New(5, 1)
+	for i := 0; i < 100; i++ {
+		if n := in.ShortLen(CheckpointWrite, 1000); n < 0 || n >= 1000 {
+			t.Fatalf("ShortLen = %d, want a strict prefix of 1000", n)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if in, err := FromEnv(); in != nil || err != nil {
+		t.Fatalf("empty env: got (%v, %v), want disabled", in, err)
+	}
+	t.Setenv(EnvVar, "42:0.5")
+	in, err := FromEnv()
+	if err != nil || in == nil {
+		t.Fatalf("valid env rejected: %v", err)
+	}
+	if in.seed != 42 {
+		t.Fatalf("seed = %d, want 42", in.seed)
+	}
+	for _, bad := range []string{"42", "x:0.5", "42:nope", "42:1.5", "42:-1"} {
+		t.Setenv(EnvVar, bad)
+		if _, err := FromEnv(); err == nil {
+			t.Fatalf("malformed %q accepted", bad)
+		}
+	}
+}

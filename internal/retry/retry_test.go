@@ -1,0 +1,115 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fast is a policy that never actually sleeps and jitters deterministically.
+func fast(slept *[]time.Duration) Policy {
+	return Policy{
+		Rand: func() float64 { return 0.5 }, // jitter factor exactly 1.0
+		Sleep: func(_ context.Context, d time.Duration) error {
+			if slept != nil {
+				*slept = append(*slept, d)
+			}
+			return nil
+		},
+	}
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	if err := Do(context.Background(), fast(nil), func() error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	err := Do(context.Background(), fast(&slept), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	// Defaults with unit jitter factor: 1ms then 2ms.
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff schedule %v, want %v", slept, want)
+	}
+}
+
+func TestDoExhaustsAttemptsAndWrapsLastError(t *testing.T) {
+	sentinel := errors.New("still broken")
+	calls := 0
+	err := Do(context.Background(), fast(nil), func() error { calls++; return sentinel })
+	if calls != 4 {
+		t.Fatalf("calls = %d, want default 4 attempts", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the last failure", err)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	sentinel := errors.New("corrupt")
+	calls := 0
+	err := Do(context.Background(), fast(nil), func() error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (permanent errors must not retry)", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v lost the permanent cause", err)
+	}
+	var perm *permanentError
+	if errors.As(err, &perm) {
+		t.Fatal("the permanent marker must be unwrapped before returning")
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must stay nil")
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("transient")
+	calls := 0
+	err := Do(ctx, Policy{Sleep: sleepCtx}, func() error {
+		calls++
+		cancel()
+		return sentinel
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (cancel must stop the loop)", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error %v does not wrap the last failure", err)
+	}
+}
+
+func TestDelayCapped(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Cap: 4 * time.Millisecond, Jitter: -1}.withDefaults()
+	if d := p.delay(10); d != 4*time.Millisecond {
+		t.Fatalf("delay(10) = %v, want the 4ms cap", d)
+	}
+}
