@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-kernels chaos bench microbench bench-codec bench-l0 bench-query bench-gate bench-baseline fuzz-codec profile lint lint-vet lint-fmt fmt
+.PHONY: build test race race-kernels chaos bench microbench bench-codec bench-l0 bench-query bench-serve bench-gate bench-baseline fuzz-codec serve-e2e profile lint lint-vet lint-fmt fmt
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,8 @@ chaos:
 		-count 1 ./internal/engine
 	$(GO) test -race -run 'TestKillRestartExactness|TestInjected' \
 		-count 1 ./internal/checkpoint
+	$(GO) test -race -run 'TestChaosServerFaultSeeds' \
+		-count 1 ./internal/sketchd
 
 # One iteration of every benchmark — a smoke test that the bench harness and
 # the serial-vs-engine ingestion comparison still run, not a measurement.
@@ -53,7 +55,7 @@ bench:
 # BENCH_PR2.json / BENCH_PR3.json / BENCH_PR4.json hold the committed
 # baseline-vs-after snapshots. bench-query (the PR-4 query-side suite) is
 # part of the umbrella.
-microbench: bench-query bench-codec
+microbench: bench-query bench-codec bench-serve
 	$(GO) test -run '^$$' -bench 'Mul$$|Pow|Eval|Scalar|Batch|Block' -benchtime 1000x \
 		./internal/field ./internal/hash ./internal/countsketch \
 		./internal/prng ./internal/sparse
@@ -66,12 +68,30 @@ bench-codec:
 	$(GO) test -run '^$$' -bench 'Codec' -benchtime 2000x ./internal/codec
 	$(GO) test -run '^$$' -bench 'MarshalSketch|UnmarshalSketch|ShardedExportMerge' -benchtime 20x .
 
+# Serving-tier benchmarks: both sketchd ingest paths end-to-end through
+# real HTTP — raw frames into the sharded engine, and pre-folded sketch
+# uploads through the hierarchical merge tree. Also in the bench-gate set.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'ServeIngest' -benchtime 20x .
+
 # Short-budget fuzz smoke for the wire format: the codec decoder surface and
 # the public Load (header validation, config sanity bounds, payload framing).
 # CI runs this; locally raise -fuzztime for a real hunt.
 fuzz-codec:
 	$(GO) test -run '^$$' -fuzz FuzzDecoder -fuzztime 15s ./internal/codec
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 15s .
+	$(GO) test -run '^$$' -fuzz FuzzIngestFrame -fuzztime 15s ./internal/sketchd
+	$(GO) test -run '^$$' -fuzz FuzzNegotiate -fuzztime 10s ./internal/sketchd
+
+# Serving-tier end-to-end (the CI serve-e2e job): builds the real sketchd,
+# sketchload and workload binaries, then (1) drives 10k concurrent
+# simulated exporters against a live server and requires the merged sketch
+# to be byte-identical to serial ingestion, (2) SIGKILLs the server
+# mid-ingest and requires the restart to serve exactly the last sealed
+# generation plus the journal tail, (3) exercises cmd/workload -push.
+# SERVE_E2E_SMOKE=1 runs the same paths under a lighter load.
+serve-e2e:
+	$(GO) test -count 1 -run 'TestSketchd|TestWorkloadPushBinary' ./integration
 
 # The L0 fast-path benchmarks (the PR-3 headline): the 1M-update serial and
 # engine ingest through the Theorem 2 sampler, plus the prng/sparse kernels

@@ -36,7 +36,8 @@ import (
 // never drift into the gate set unrefreshed.
 const defaultBench = "^(BenchmarkIngestSerial|BenchmarkIngestSerialBatched|BenchmarkIngestEngine|" +
 	"BenchmarkIngestL0Serial|BenchmarkIngestL0Engine|BenchmarkQueryL0Sample|" +
-	"BenchmarkQueryGraphConnectivity|BenchmarkQueryDuplicatesFind)$"
+	"BenchmarkQueryGraphConnectivity|BenchmarkQueryDuplicatesFind|" +
+	"BenchmarkServeIngestRaw|BenchmarkServeIngestSketch)$"
 
 func main() {
 	var (

@@ -33,6 +33,16 @@
 //	workload -len 100000 -sketch l0 -shard 2/3 -export shard2.sketch
 //	workload -import shard0.sketch,shard1.sketch,shard2.sketch
 //
+// -push replaces the file with a running sketchd: the same shard sketch is
+// POSTed to the serving tier (created on the fly under -tenant/-name if not
+// yet registered), so the N-exporters-one-merger pattern exercises the real
+// network path end to end:
+//
+//	workload -len 100000 -sketch l0 -shard 0/3 -push http://127.0.0.1:7931
+//	workload -len 100000 -sketch l0 -shard 1/3 -push http://127.0.0.1:7931
+//	workload -len 100000 -sketch l0 -shard 2/3 -push http://127.0.0.1:7931
+//	curl http://127.0.0.1:7931/v1/tenants/workload/sketches/stream/sample
+//
 // All exporters must share -seed (it seeds both the generated stream and
 // the sketch randomness); -shard i/N takes every N-th update starting at i,
 // so the N slices partition the stream. -import is self-describing: the
@@ -65,6 +75,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/heavyhitters"
 	"repro/internal/retry"
+	"repro/internal/sketchd"
 	"repro/internal/stream"
 )
 
@@ -82,8 +93,11 @@ func main() {
 	export := flag.String("export", "", "ingest the stream into a -sketch sketch and write its serialized bytes to this file")
 	importList := flag.String("import", "", "comma-separated sketch files: load, merge and query them (no stream is generated)")
 	sketchKind := flag.String("sketch", "l0", "public sketch kind for -export: l0 | lp | hh")
-	shardSpec := flag.String("shard", "0/1", "with -export, ingest only the i-th of N disjoint stream slices, as \"i/N\"")
+	shardSpec := flag.String("shard", "0/1", "with -export or -push, ingest only the i-th of N disjoint stream slices, as \"i/N\"")
 	strict := flag.Bool("strict", false, "with -import, fail on the first unusable file instead of skipping it with a report")
+	push := flag.String("push", "", "like -export, but POST the sketch bytes to a running sketchd at this base URL instead of a file")
+	tenant := flag.String("tenant", "workload", "with -push, the target tenant")
+	sketchName := flag.String("name", "stream", "with -push, the target sketch name")
 	flag.Parse()
 
 	if *importList != "" {
@@ -102,7 +116,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "workload: unknown -ingest sink %q (want countsketch, countmin, l0, lp or hh)\n", *ingest)
 		os.Exit(2)
 	}
-	if *export != "" {
+	if *export != "" || *push != "" {
 		switch *sketchKind {
 		case "l0", "lp", "hh":
 		default:
@@ -145,6 +159,14 @@ func main() {
 
 	if *export != "" {
 		if err := runExport(*export, *sketchKind, *shardSpec, st, *n, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *push != "" {
+		if err := runPush(*push, *tenant, *sketchName, *sketchKind, *shardSpec, st, *n, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "workload: %v\n", err)
 			os.Exit(2)
 		}
@@ -239,9 +261,53 @@ func drive(sink string, st stream.Stream, n int, seed uint64, shards, batch int)
 // the same flags and -shard 0/N .. N-1/N ingest disjoint slices whose union
 // is the whole stream.
 func runExport(path, kind, shardSpec string, st stream.Stream, n int, seed uint64) error {
-	idx, cnt, err := parseShard(shardSpec)
+	data, idx, cnt, updates, err := buildShardSketch(kind, shardSpec, st, n, seed)
 	if err != nil {
 		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "exported shard %d/%d: %d updates, %d sketch bytes -> %s\n",
+		idx, cnt, updates, len(data), path)
+	return nil
+}
+
+// runPush is -export over the network: the same shard sketch, POSTed to a
+// running sketchd instead of written to a file. A sketch that is not yet
+// registered is created on the fly from the flag-derived spec — the spec's
+// defaults match the sketches buildShardSketch constructs, so every -push
+// exporter sharing -seed produces mergeable same-seed replicas.
+func runPush(addr, tenant, name, kind, shardSpec string, st stream.Stream, n int, seed uint64) error {
+	data, idx, cnt, updates, err := buildShardSketch(kind, shardSpec, st, n, seed)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	client := sketchd.NewClient(addr)
+	push := func() error { return client.PushSketch(ctx, tenant, name, data, false) }
+	err = push()
+	if errors.Is(err, sketchd.ErrNotFound) {
+		spec := sketchd.Spec{Kind: kind, N: n, Seed: seed}
+		if cerr := client.Create(ctx, tenant, name, spec); cerr != nil && !errors.Is(cerr, sketchd.ErrExists) {
+			return fmt.Errorf("creating %s/%s: %w", tenant, name, cerr)
+		}
+		err = push()
+	}
+	if err != nil {
+		return fmt.Errorf("pushing shard %d/%d to %s: %w", idx, cnt, addr, err)
+	}
+	fmt.Fprintf(os.Stderr, "pushed shard %d/%d: %d updates, %d sketch bytes -> %s (%s/%s)\n",
+		idx, cnt, updates, len(data), addr, tenant, name)
+	return nil
+}
+
+// buildShardSketch ingests the shard slice of the stream into a fresh
+// same-seed public sketch and returns its wire bytes.
+func buildShardSketch(kind, shardSpec string, st stream.Stream, n int, seed uint64) (data []byte, idx, cnt, updates int, err error) {
+	idx, cnt, err = parseShard(shardSpec)
+	if err != nil {
+		return nil, 0, 0, 0, err
 	}
 	var sk streamsample.Sketch
 	switch kind {
@@ -252,23 +318,18 @@ func runExport(path, kind, shardSpec string, st stream.Stream, n int, seed uint6
 	case "hh":
 		sk = streamsample.NewHeavyHitters(1, 0.1, n, streamsample.WithSeed(seed))
 	default:
-		return fmt.Errorf("unknown -sketch kind %q (want l0, lp or hh)", kind)
+		return nil, 0, 0, 0, fmt.Errorf("unknown -sketch kind %q (want l0, lp or hh)", kind)
 	}
 	shard := make(stream.Stream, 0, len(st)/cnt+1)
 	for j := idx; j < len(st); j += cnt {
 		shard = append(shard, st[j])
 	}
 	sk.ProcessBatch(shard)
-	data, err := sk.MarshalBinary()
+	data, err = sk.MarshalBinary()
 	if err != nil {
-		return fmt.Errorf("marshal: %w", err)
+		return nil, 0, 0, 0, fmt.Errorf("marshal: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "exported shard %d/%d: %d updates, %d sketch bytes -> %s\n",
-		idx, cnt, len(shard), len(data), path)
-	return nil
+	return data, idx, cnt, len(shard), nil
 }
 
 // parseShard parses the "i/N" disjoint-slice selector of -shard.

@@ -1,0 +1,108 @@
+package sketchd
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/stream"
+)
+
+// FuzzIngestFrame throws arbitrary bytes at the raw-update frame reader —
+// the server-side parser of hostile network input. The contract: never
+// panic, never return an update with an out-of-range index, and terminate
+// every stream with io.EOF or a typed error. Valid re-encoded frames must
+// round-trip.
+func FuzzIngestFrame(f *testing.F) {
+	f.Add([]byte{}, 100)
+	f.Add(AppendFrame(nil, []stream.Update{{Index: 1, Delta: -3}}), 100)
+	f.Add(AppendFrame(nil, []stream.Update{{Index: 0, Delta: 1}, {Index: 99, Delta: 1 << 40}}), 100)
+	two := AppendFrame(nil, []stream.Update{{Index: 5, Delta: 7}})
+	f.Add(AppendFrame(two, []stream.Update{{Index: 6, Delta: 8}}), 100)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0, 0, 0, 0, 0}, 100)
+
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 {
+			n = -n
+		}
+		fr := NewFrameReader(bytes.NewReader(data), n)
+		var decoded [][]stream.Update
+		for i := 0; i < 1000; i++ {
+			batch, err := fr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				// Every failure must be one of the typed sentinels.
+				if !errors.Is(err, ErrBadFrame) && !errors.Is(err, codec.ErrTruncated) &&
+					!errors.Is(err, codec.ErrBadRecord) {
+					t.Fatalf("untyped frame error: %v", err)
+				}
+				return
+			}
+			for _, u := range batch {
+				if u.Index < 0 || (n > 0 && u.Index >= n) {
+					t.Fatalf("out-of-range index %d escaped the bound %d", u.Index, n)
+				}
+			}
+			decoded = append(decoded, batch)
+		}
+		// Whatever decoded must re-encode and decode identically.
+		var wire []byte
+		for _, b := range decoded {
+			wire = AppendFrame(wire, b)
+		}
+		fr2 := NewFrameReader(bytes.NewReader(wire), n)
+		for i, want := range decoded {
+			got, err := fr2.Next()
+			if err != nil {
+				t.Fatalf("re-decode frame %d: %v", i, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("re-decode frame %d: %d updates, want %d", i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("re-decode frame %d update %d: %+v != %+v", i, j, got[j], want[j])
+				}
+			}
+		}
+	})
+}
+
+// FuzzNegotiate throws arbitrary header strings at the version negotiator.
+// The contract: never panic, fail only with the typed sentinel, and any
+// success must name a version the server actually supports.
+func FuzzNegotiate(f *testing.F) {
+	f.Add("")
+	f.Add("1")
+	f.Add("1,2,3")
+	f.Add("0")
+	f.Add("-1")
+	f.Add("65536")
+	f.Add("999999999999999999999")
+	f.Add(",,,")
+	f.Add("1;2")
+	f.Add("\x001")
+
+	f.Fuzz(func(t *testing.T, offer string) {
+		v, err := Negotiate(offer)
+		if err != nil {
+			if !errors.Is(err, ErrVersionNegotiation) {
+				t.Fatalf("Negotiate(%q): untyped error %v", offer, err)
+			}
+			return
+		}
+		supported := false
+		for _, s := range SupportedWireVersions {
+			if v == s {
+				supported = true
+			}
+		}
+		if !supported {
+			t.Fatalf("Negotiate(%q) picked unsupported version %d", offer, v)
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package sketchd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	streamsample "repro"
+)
+
+// MergeTree is the hierarchical fan-in stage between thousands of edge
+// uploads and one authoritative sketch. Sketch merging is exact and
+// associative (the structures are linear), so the fold ORDER is purely a
+// concurrency decision — and a flat design, every upload merging into one
+// accumulator under one mutex, would serialize the whole ingest tier on
+// that lock for the full O(sketch size) merge.
+//
+// The tree instead splits the fold:
+//
+//	upload ──▶ leaf i (own lock): acc += upload          O(size), per-leaf lock
+//	leaf full (fan-in reached) ──▶ detach, root: acc += leaf    one merge per FanIn uploads
+//	Flush ──▶ fold remaining leaves + root into the authoritative sketch
+//
+// With L leaves, concurrent uploads contend 1/L as often, each leaf lock is
+// held for exactly one merge, and the root lock is taken once per FanIn
+// uploads — lock hold times and merge latency are bounded by design, not by
+// luck. Every accumulator starts as a zero-state clone built by the
+// factory, so a mismatched upload (wrong seed, wrong config) fails the
+// leaf-level Merge with the typed sentinels and never poisons an
+// accumulator.
+//
+// Add is safe for concurrent use; Flush and Stats may run concurrently
+// with Adds.
+type MergeTree struct {
+	factory func() (streamsample.Sketch, error)
+	fanIn   int
+	rr      atomic.Uint64
+	leaves  []*mergeLeaf
+
+	root struct {
+		mu    sync.Mutex
+		acc   streamsample.Sketch
+		count int64 // uploads represented in acc
+	}
+
+	uploads   atomic.Int64
+	leafFolds atomic.Int64
+	rejected  atomic.Int64
+}
+
+type mergeLeaf struct {
+	mu    sync.Mutex
+	acc   streamsample.Sketch
+	count int
+}
+
+// MergeTreeStats is the observability snapshot surfaced per sketch by
+// /statsz.
+type MergeTreeStats struct {
+	// Uploads counts sketches accepted into the tree since creation.
+	Uploads int64 `json:"uploads"`
+	// Rejected counts uploads refused by a leaf-level merge (seed or config
+	// mismatch).
+	Rejected int64 `json:"rejected"`
+	// LeafFolds counts full leaves detached and folded into the root.
+	LeafFolds int64 `json:"leaf_folds"`
+	// Pending counts uploads absorbed into a leaf or the root but not yet
+	// flushed into the authoritative sketch.
+	Pending int64 `json:"pending"`
+	// Leaves and FanIn echo the topology.
+	Leaves int `json:"leaves"`
+	FanIn  int `json:"fan_in"`
+}
+
+// NewMergeTree builds a tree of `leaves` leaf aggregators with the given
+// fan-in. factory must return a fresh zero-state sketch that is same-seed
+// mergeable with every legitimate upload (the registry passes a
+// Load-from-spec closure). leaves and fanIn below 1 are clamped to 1.
+func NewMergeTree(leaves, fanIn int, factory func() (streamsample.Sketch, error)) *MergeTree {
+	leaves = max(leaves, 1)
+	fanIn = max(fanIn, 1)
+	t := &MergeTree{factory: factory, fanIn: fanIn, leaves: make([]*mergeLeaf, leaves)}
+	for i := range t.leaves {
+		t.leaves[i] = &mergeLeaf{}
+	}
+	return t
+}
+
+// Add folds one uploaded sketch into the tree. The leaf-level Merge is the
+// compatibility gate: a foreign seed or config fails with the typed
+// sentinels before the upload reaches anything shared, and the leaf
+// accumulator is left exactly as it was.
+func (t *MergeTree) Add(s streamsample.Sketch) error {
+	leaf := t.leaves[t.rr.Add(1)%uint64(len(t.leaves))]
+	var full streamsample.Sketch
+	var fullCount int
+	leaf.mu.Lock()
+	if leaf.acc == nil {
+		acc, err := t.factory()
+		if err != nil {
+			leaf.mu.Unlock()
+			return fmt.Errorf("sketchd: building leaf accumulator: %w", err)
+		}
+		leaf.acc = acc
+	}
+	if err := leaf.acc.Merge(s); err != nil {
+		leaf.mu.Unlock()
+		t.rejected.Add(1)
+		return err
+	}
+	leaf.count++
+	if leaf.count >= t.fanIn {
+		full, fullCount = leaf.acc, leaf.count
+		leaf.acc, leaf.count = nil, 0
+	}
+	leaf.mu.Unlock()
+	t.uploads.Add(1)
+	if full != nil {
+		t.leafFolds.Add(1)
+		return t.foldRoot(full, fullCount)
+	}
+	return nil
+}
+
+// foldRoot merges one detached, pre-folded leaf accumulator into the root.
+// The root lock is held for a single merge — the fan-in already amortized
+// the per-upload cost away from it.
+func (t *MergeTree) foldRoot(s streamsample.Sketch, count int) error {
+	t.root.mu.Lock()
+	defer t.root.mu.Unlock()
+	if t.root.acc == nil {
+		t.root.acc = s
+		t.root.count = int64(count)
+		return nil
+	}
+	if err := t.root.acc.Merge(s); err != nil {
+		return err
+	}
+	t.root.count += int64(count)
+	return nil
+}
+
+// FlushInto detaches every partial leaf and the root accumulator, folds
+// them into dst (the authoritative sketch), and leaves the tree empty.
+// Concurrent Adds continue against fresh accumulators. It reports exactly
+// how many uploads the flush moved into dst — counted under the same locks
+// that detach the accumulators, so the number is exact even mid-traffic.
+func (t *MergeTree) FlushInto(dst streamsample.Sketch) (int64, error) {
+	var parts []streamsample.Sketch
+	var flushed int64
+	for _, leaf := range t.leaves {
+		leaf.mu.Lock()
+		if leaf.acc != nil && leaf.count > 0 {
+			parts = append(parts, leaf.acc)
+			flushed += int64(leaf.count)
+		}
+		leaf.acc, leaf.count = nil, 0
+		leaf.mu.Unlock()
+	}
+	t.root.mu.Lock()
+	if t.root.acc != nil {
+		parts = append(parts, t.root.acc)
+		flushed += t.root.count
+		t.root.acc, t.root.count = nil, 0
+	}
+	t.root.mu.Unlock()
+	for _, p := range parts {
+		if err := dst.Merge(p); err != nil {
+			return flushed, fmt.Errorf("sketchd: flushing merge tree: %w", err)
+		}
+	}
+	return flushed, nil
+}
+
+// Pending reports uploads buffered in the tree (not yet flushed).
+func (t *MergeTree) Pending() int64 {
+	var pending int64
+	for _, leaf := range t.leaves {
+		leaf.mu.Lock()
+		pending += int64(leaf.count)
+		leaf.mu.Unlock()
+	}
+	t.root.mu.Lock()
+	pending += t.root.count
+	t.root.mu.Unlock()
+	return pending
+}
+
+// Stats snapshots the tree's counters.
+func (t *MergeTree) Stats() MergeTreeStats {
+	return MergeTreeStats{
+		Uploads:   t.uploads.Load(),
+		Rejected:  t.rejected.Load(),
+		LeafFolds: t.leafFolds.Load(),
+		Pending:   t.Pending(),
+		Leaves:    len(t.leaves),
+		FanIn:     t.fanIn,
+	}
+}

@@ -1,0 +1,149 @@
+package sketchd
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	streamsample "repro"
+	"repro/internal/codec"
+	"repro/internal/stream"
+)
+
+func l0Factory(n int, seed uint64) func() (streamsample.Sketch, error) {
+	return func() (streamsample.Sketch, error) {
+		return streamsample.NewL0Sampler(n, streamsample.WithSeed(seed)), nil
+	}
+}
+
+// TestMergeTreeExact is the core linearity property: any number of uploads
+// through any tree topology folds to exactly the serial sketch.
+func TestMergeTreeExact(t *testing.T) {
+	const n, seed, uploads = 512, 9, 100
+	r := rand.New(rand.NewPCG(seed, seed))
+	st := stream.RandomTurnstile(n, 20000, 50, r)
+
+	for _, topo := range []struct{ leaves, fanIn int }{
+		{1, 1}, {1, 1000}, {4, 8}, {8, 3}, {16, 1},
+	} {
+		serial := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+		serial.ProcessBatch(st)
+		want, err := serial.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tree := NewMergeTree(topo.leaves, topo.fanIn, l0Factory(n, seed))
+		var wg sync.WaitGroup
+		per := (len(st) + uploads - 1) / uploads
+		for u := 0; u < uploads; u++ {
+			lo := u * per
+			hi := min(lo+per, len(st))
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(slice stream.Stream) {
+				defer wg.Done()
+				local := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+				local.ProcessBatch(slice)
+				if err := tree.Add(local); err != nil {
+					t.Errorf("Add: %v", err)
+				}
+			}(st[lo:hi])
+		}
+		wg.Wait()
+
+		dst := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+		flushed, err := tree.FlushInto(dst)
+		if err != nil {
+			t.Fatalf("FlushInto: %v", err)
+		}
+		if flushed != tree.Stats().Uploads {
+			t.Fatalf("flushed %d != uploads %d", flushed, tree.Stats().Uploads)
+		}
+		got, err := dst.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("leaves=%d fanIn=%d: tree fold differs from serial sketch", topo.leaves, topo.fanIn)
+		}
+		if p := tree.Pending(); p != 0 {
+			t.Fatalf("pending after flush = %d, want 0", p)
+		}
+	}
+}
+
+// TestMergeTreeMismatchRejected: a wrong-seed upload fails with the typed
+// sentinel and poisons nothing — subsequent good uploads still fold exactly.
+func TestMergeTreeMismatchRejected(t *testing.T) {
+	const n, seed = 128, 3
+	tree := NewMergeTree(2, 4, l0Factory(n, seed))
+
+	good := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+	good.Update(7, 1)
+	if err := tree.Add(good); err != nil {
+		t.Fatalf("good upload rejected: %v", err)
+	}
+
+	foreign := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed+1))
+	foreign.Update(9, 1)
+	err := tree.Add(foreign)
+	if !errors.Is(err, codec.ErrSeedMismatch) {
+		t.Fatalf("foreign-seed upload err = %v, want ErrSeedMismatch", err)
+	}
+
+	misconfigured := streamsample.NewL0Sampler(n*2, streamsample.WithSeed(seed))
+	misconfigured.Update(9, 1)
+	if err := tree.Add(misconfigured); !errors.Is(err, codec.ErrConfigMismatch) {
+		t.Fatalf("misconfigured upload err = %v, want ErrConfigMismatch", err)
+	}
+
+	good2 := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+	good2.Update(11, 2)
+	if err := tree.Add(good2); err != nil {
+		t.Fatalf("good upload after rejections: %v", err)
+	}
+
+	st := tree.Stats()
+	if st.Uploads != 2 || st.Rejected != 2 {
+		t.Fatalf("stats = %+v, want 2 uploads, 2 rejected", st)
+	}
+
+	// The fold must equal exactly the two accepted uploads.
+	serial := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+	serial.Update(7, 1)
+	serial.Update(11, 2)
+	want, _ := serial.MarshalBinary()
+	dst := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+	if _, err := tree.FlushInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.MarshalBinary()
+	if string(got) != string(want) {
+		t.Fatal("rejected uploads leaked into the fold")
+	}
+}
+
+// TestMergeTreeFanInDetaches: crossing the fan-in threshold moves the leaf
+// accumulator to the root, bounding what any later leaf lock holds.
+func TestMergeTreeFanInDetaches(t *testing.T) {
+	const n, seed, fanIn = 64, 5, 3
+	tree := NewMergeTree(1, fanIn, l0Factory(n, seed))
+	for i := 0; i < fanIn; i++ {
+		s := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+		s.Update(i, 1)
+		if err := tree.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tree.Stats()
+	if st.LeafFolds != 1 {
+		t.Fatalf("leaf folds = %d, want 1 after %d uploads at fan-in %d", st.LeafFolds, fanIn, fanIn)
+	}
+	if st.Pending != fanIn {
+		t.Fatalf("pending = %d, want %d (uploads moved to root, not lost)", st.Pending, fanIn)
+	}
+}

@@ -1,0 +1,726 @@
+package sketchd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	streamsample "repro"
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/stream"
+)
+
+// Spec declares a registered sketch: the kind, its construction parameters
+// and the shared seed. The spec is the whole distributed contract for one
+// sketch — every edge exporter that builds a local sketch from the same
+// spec produces a same-seed replica the tier can fold exactly.
+//
+// Spec is both the create-request JSON body and the on-disk meta.json, so a
+// restarted server rebuilds byte-identical zero-state replicas from it
+// (sketch construction is a deterministic function of the spec).
+type Spec struct {
+	// Kind is "l0", "lp" or "hh".
+	Kind string `json:"kind"`
+	// N is the vector dimension.
+	N int `json:"n"`
+	// P is the norm exponent (lp, hh).
+	P float64 `json:"p,omitempty"`
+	// Phi is the heavy-hitter threshold (hh).
+	Phi float64 `json:"phi,omitempty"`
+	// Eps, Delta tune accuracy/failure probability; zero picks the package
+	// defaults.
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	// Seed is the shared construction seed; all exporters for this sketch
+	// must use the same one.
+	Seed uint64 `json:"seed"`
+}
+
+// Build constructs the zero-state sketch the spec describes.
+func (sp Spec) Build() (streamsample.Sketch, error) {
+	if sp.N < 1 {
+		return nil, fmt.Errorf("%w: dimension n must be positive, got %d", errBadSpec, sp.N)
+	}
+	opts := []streamsample.Option{streamsample.WithSeed(sp.Seed)}
+	if sp.Eps > 0 {
+		opts = append(opts, streamsample.WithEps(sp.Eps))
+	}
+	if sp.Delta > 0 {
+		opts = append(opts, streamsample.WithDelta(sp.Delta))
+	}
+	switch sp.Kind {
+	case "l0":
+		return streamsample.NewL0Sampler(sp.N, opts...), nil
+	case "lp":
+		p := sp.P
+		if p == 0 {
+			p = 1
+		}
+		if !(p > 0 && p < 2) {
+			return nil, fmt.Errorf("%w: lp needs p in (0,2), got %g", errBadSpec, p)
+		}
+		return streamsample.NewLpSampler(p, sp.N, opts...), nil
+	case "hh":
+		p := sp.P
+		if p == 0 {
+			p = 1
+		}
+		phi := sp.Phi
+		if phi == 0 {
+			phi = 0.1
+		}
+		if !(p > 0 && p <= 2) || !(phi > 0 && phi < 1) {
+			return nil, fmt.Errorf("%w: hh needs p in (0,2] and phi in (0,1), got p=%g phi=%g", errBadSpec, p, phi)
+		}
+		return streamsample.NewHeavyHitters(p, phi, sp.N, opts...), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q (want l0, lp or hh)", errBadSpec, sp.Kind)
+	}
+}
+
+// errBadSpec marks an unconstructible spec; it surfaces as CodeBadRequest.
+var errBadSpec = errors.New("sketchd: invalid sketch spec")
+
+// nameRe bounds tenant and sketch names to one path-safe segment.
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+func validName(s string) bool {
+	return nameRe.MatchString(s) && s != "." && s != ".."
+}
+
+// RegistryConfig tunes the registry and the per-sketch engines under it.
+// The zero value selects production defaults.
+type RegistryConfig struct {
+	// Dir is the durable root; "" disables persistence entirely (tests,
+	// ephemeral tiers): engines run without a checkpoint store and restarts
+	// start empty.
+	Dir string
+	// Shards / BatchSize / QueueDepth configure every sketch's ingestion
+	// engine (defaults 4 / 2048 / 8 — a serving tier hosts many sketches, so
+	// per-sketch engines stay narrow by default; raise Shards for a
+	// single-hot-sketch deployment).
+	Shards     int
+	BatchSize  int
+	QueueDepth int
+	// CheckpointEvery is the engine's periodic durable-generation interval
+	// in accepted raw updates (default 1<<16).
+	CheckpointEvery int
+	// UploadCheckpointEvery seals the authoritative fold of pre-sketched
+	// uploads into a durable generation every this many uploads (default
+	// 64). Uploads between seals survive in memory but not a SIGKILL; the
+	// ?durable=1 ingest form forces a seal before acknowledging.
+	UploadCheckpointEvery int
+	// Leaves / FanIn shape every sketch's hierarchical merge tree (defaults
+	// 8 leaves, fan-in 64).
+	Leaves int
+	FanIn  int
+	// Injector drives deterministic fault injection through the engines and
+	// checkpoint stores (chaos tests). Nil disables.
+	Injector *faultinject.Injector
+}
+
+func (c RegistryConfig) withDefaults() RegistryConfig {
+	if c.Shards < 1 {
+		c.Shards = 4
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 2048
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 8
+	}
+	if c.CheckpointEvery < 1 {
+		c.CheckpointEvery = 1 << 16
+	}
+	if c.UploadCheckpointEvery < 1 {
+		c.UploadCheckpointEvery = 64
+	}
+	if c.Leaves < 1 {
+		c.Leaves = 8
+	}
+	if c.FanIn < 1 {
+		c.FanIn = 64
+	}
+	return c
+}
+
+type key struct{ tenant, name string }
+
+// Registry is the multi-tenant sketch registry: the serving tier's state.
+// All methods are safe for concurrent use.
+type Registry struct {
+	cfg     RegistryConfig
+	mu      sync.RWMutex
+	entries map[key]*entry
+
+	created       atomic.Int64
+	deleted       atomic.Int64
+	rawUpdates    atomic.Int64
+	sketchUploads atomic.Int64
+	queries       atomic.Int64
+	recovered     atomic.Int64
+}
+
+// entry is one registered sketch: a sharded ingestion engine for raw
+// updates (durably checkpointed), a hierarchical merge tree plus
+// authoritative accumulator for pre-sketched uploads (sealed into its own
+// generation store), and the spec that reconstructs zero-state replicas.
+//
+// Engine producer calls are serialized by mu (the engine's contract); the
+// merge tree locks internally, so sketch uploads bypass mu entirely except
+// at checkpoint seals.
+type entry struct {
+	tenant, name string
+	spec         Spec
+	specBytes    []byte // marshaled zero-state sketch: the same-seed replica template
+
+	mu      sync.Mutex
+	deleted bool
+	eng     *engine.Engine[streamsample.Sketch]
+	engSt   *checkpoint.Store
+	folded  streamsample.Sketch // authoritative fold of sketch uploads
+	foldSt  *checkpoint.Store
+	// foldedUploads counts uploads folded into `folded` over its lifetime;
+	// foldedSealed is the count covered by the newest foldSt generation.
+	foldedUploads int64
+	foldedSealed  int64
+
+	tree *MergeTree
+
+	rawUpdates atomic.Int64
+	queries    atomic.Int64
+}
+
+// OpenRegistry opens (and, when cfg.Dir is set, recovers) the registry.
+// Recovery walks the data directory: every tenant/name with a readable
+// meta.json is rebuilt — the engine adopts its checkpoint store's last good
+// generation plus journal tail (exact, by linearity), and the authoritative
+// upload fold reloads from its newest sealed generation.
+func OpenRegistry(cfg RegistryConfig) (*Registry, error) {
+	r := &Registry{cfg: cfg.withDefaults(), entries: make(map[key]*entry)}
+	if r.cfg.Dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(r.tenantsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("sketchd: opening registry dir: %w", err)
+	}
+	tenants, err := os.ReadDir(r.tenantsDir())
+	if err != nil {
+		return nil, fmt.Errorf("sketchd: scanning registry dir: %w", err)
+	}
+	for _, t := range tenants {
+		if !t.IsDir() || !validName(t.Name()) {
+			continue
+		}
+		names, err := os.ReadDir(filepath.Join(r.tenantsDir(), t.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("sketchd: scanning tenant %s: %w", t.Name(), err)
+		}
+		for _, n := range names {
+			if !n.IsDir() || !validName(n.Name()) {
+				continue
+			}
+			e, err := r.recoverEntry(t.Name(), n.Name())
+			if err != nil {
+				return nil, fmt.Errorf("sketchd: recovering %s/%s: %w", t.Name(), n.Name(), err)
+			}
+			r.entries[key{t.Name(), n.Name()}] = e
+			r.recovered.Add(1)
+		}
+	}
+	return r, nil
+}
+
+func (r *Registry) tenantsDir() string { return filepath.Join(r.cfg.Dir, "tenants") }
+
+func (r *Registry) entryDir(tenant, name string) string {
+	return filepath.Join(r.tenantsDir(), tenant, name)
+}
+
+// newEntry wires one sketch's engine, merge tree and (when durable) stores.
+// The spec must already be validated; adopt=true lets the engine take over
+// pre-existing store state.
+func (r *Registry) newEntry(tenant, name string, spec Spec) (*entry, error) {
+	zero, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	specBytes, err := zero.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("sketchd: marshaling spec template: %w", err)
+	}
+	// The factory reconstructs a zero-state same-seed replica from the spec
+	// bytes alone. Load is pure, so it is safe for the engine's concurrent
+	// respawn path; failure is impossible for bytes we produced ourselves,
+	// and a panic here would be quarantined by the engine's supervisor.
+	factory := func(int) streamsample.Sketch {
+		s, err := streamsample.Load(specBytes)
+		if err != nil {
+			panic(fmt.Errorf("sketchd: spec template no longer loads: %w", err))
+		}
+		return s
+	}
+	e := &entry{
+		tenant:    tenant,
+		name:      name,
+		spec:      spec,
+		specBytes: specBytes,
+		eng: engine.New(engine.Config{
+			Shards:          r.cfg.Shards,
+			BatchSize:       r.cfg.BatchSize,
+			QueueDepth:      r.cfg.QueueDepth,
+			CheckpointEvery: r.cfg.CheckpointEvery,
+			Injector:        r.cfg.Injector,
+		}, factory, mergeSketch),
+	}
+	e.tree = NewMergeTree(r.cfg.Leaves, r.cfg.FanIn, func() (streamsample.Sketch, error) {
+		return streamsample.Load(specBytes)
+	})
+	if r.cfg.Dir == "" {
+		e.folded = factory(0)
+		return e, nil
+	}
+	dir := r.entryDir(tenant, name)
+	engSt, err := checkpoint.Open(filepath.Join(dir, "engine"), checkpoint.Options{Injector: r.cfg.Injector})
+	if err != nil {
+		e.eng.Close()
+		return nil, err
+	}
+	// CheckpointTo adopts any pre-existing store state (last good generation
+	// + journal tail) before sealing a fresh generation — this is the whole
+	// crash-recovery path for raw updates.
+	if err := e.eng.CheckpointTo(engSt, marshalSketch, restoreSketch); err != nil {
+		e.eng.Close()
+		engSt.Close()
+		return nil, err
+	}
+	foldSt, err := checkpoint.Open(filepath.Join(dir, "merged"), checkpoint.Options{Injector: r.cfg.Injector})
+	if err != nil {
+		e.eng.Close()
+		engSt.Close()
+		return nil, err
+	}
+	e.engSt, e.foldSt = engSt, foldSt
+	rec, err := foldSt.Latest()
+	switch {
+	case err == nil && len(rec.States) >= 1:
+		folded, lerr := streamsample.Load(rec.States[0])
+		if lerr != nil {
+			e.eng.Close()
+			engSt.Close()
+			foldSt.Close()
+			return nil, fmt.Errorf("sketchd: reloading sealed upload fold: %w", lerr)
+		}
+		e.folded = folded
+		if len(rec.States) >= 2 && len(rec.States[1]) == 8 {
+			e.foldedUploads = int64(leU64(rec.States[1]))
+			e.foldedSealed = e.foldedUploads
+		}
+	case err == nil, errors.Is(err, checkpoint.ErrNoCheckpoint):
+		e.folded = factory(0)
+	default:
+		e.eng.Close()
+		engSt.Close()
+		foldSt.Close()
+		return nil, fmt.Errorf("sketchd: recovering sealed upload fold: %w", err)
+	}
+	return e, nil
+}
+
+func (r *Registry) recoverEntry(tenant, name string) (*entry, error) {
+	metaPath := filepath.Join(r.entryDir(tenant, name), "meta.json")
+	data, err := os.ReadFile(metaPath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("sketchd: %s has no meta.json (half-created sketch?): %w", r.entryDir(tenant, name), err)
+		}
+		return nil, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("sketchd: parsing %s: %w", metaPath, err)
+	}
+	return r.newEntry(tenant, name, spec)
+}
+
+// Create registers a new sketch. The spec is validated by actually building
+// the zero-state template; the meta.json lands via write-temp + rename so a
+// crash mid-create never leaves a readable-but-wrong spec.
+func (r *Registry) Create(tenant, name string, spec Spec) error {
+	if !validName(tenant) || !validName(name) {
+		return fmt.Errorf("%w: tenant and name must match %s", errBadSpec, nameRe)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key{tenant, name}
+	if _, ok := r.entries[k]; ok {
+		return fmt.Errorf("%w: %s/%s", ErrExists, tenant, name)
+	}
+	if r.cfg.Dir != "" {
+		dir := r.entryDir(tenant, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("sketchd: creating %s: %w", dir, err)
+		}
+		meta, err := json.Marshal(spec)
+		if err != nil {
+			return err
+		}
+		tmp := filepath.Join(dir, "meta.json.tmp")
+		if err := os.WriteFile(tmp, meta, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, "meta.json")); err != nil {
+			return err
+		}
+	}
+	e, err := r.newEntry(tenant, name, spec)
+	if err != nil {
+		return err
+	}
+	r.entries[k] = e
+	r.created.Add(1)
+	return nil
+}
+
+// Get resolves a registered sketch.
+func (r *Registry) Get(tenant, name string) (*entry, error) {
+	r.mu.RLock()
+	e, ok := r.entries[key{tenant, name}]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, tenant, name)
+	}
+	return e, nil
+}
+
+// Delete unregisters a sketch, closes its engine and stores and removes its
+// durable directory.
+func (r *Registry) Delete(tenant, name string) error {
+	r.mu.Lock()
+	k := key{tenant, name}
+	e, ok := r.entries[k]
+	if ok {
+		delete(r.entries, k)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, tenant, name)
+	}
+	e.mu.Lock()
+	e.deleted = true
+	e.eng.Close()
+	if e.engSt != nil {
+		e.engSt.Close()
+	}
+	if e.foldSt != nil {
+		e.foldSt.Close()
+	}
+	e.mu.Unlock()
+	r.deleted.Add(1)
+	if r.cfg.Dir != "" {
+		if err := os.RemoveAll(r.entryDir(tenant, name)); err != nil {
+			return fmt.Errorf("sketchd: removing %s/%s state: %w", tenant, name, err)
+		}
+	}
+	return nil
+}
+
+// Drain checkpoints and closes every entry — the SIGTERM path. After a
+// clean Drain, a restart recovers every sketch byte-identically.
+func (r *Registry) Drain() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var firstErr error
+	for _, e := range r.entries {
+		if err := e.drain(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// List snapshots the registered keys in stable order.
+func (r *Registry) List() []SketchInfo {
+	r.mu.RLock()
+	infos := make([]SketchInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		infos = append(infos, e.info())
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Tenant != infos[j].Tenant {
+			return infos[i].Tenant < infos[j].Tenant
+		}
+		return infos[i].Name < infos[j].Name
+	})
+	return infos
+}
+
+// ---------------------------------------------------------------------------
+// entry operations
+// ---------------------------------------------------------------------------
+
+func mergeSketch(dst, src streamsample.Sketch) error { return dst.Merge(src) }
+func marshalSketch(s streamsample.Sketch) ([]byte, error) {
+	return s.MarshalBinary()
+}
+func restoreSketch(s streamsample.Sketch, b []byte) error { return s.UnmarshalBinary(b) }
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func appendLeU64(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+// IngestRaw feeds one validated update batch through the sketch's sharded
+// engine (journaled write-ahead when durable). If journaling broke, the
+// entry tries to heal itself with an immediate checkpoint — a fresh sealed
+// generation re-establishes durability — and reports ErrNotDurable only
+// when that fails; the in-memory state is exact either way.
+func (e *entry) IngestRaw(batch []stream.Update) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, e.tenant, e.name)
+	}
+	e.eng.ProcessBatch(batch)
+	e.rawUpdates.Add(int64(len(batch)))
+	if e.engSt == nil {
+		return nil
+	}
+	if derr := e.eng.DurabilityErr(); derr != nil {
+		if ckErr := e.eng.CheckpointNow(); ckErr != nil {
+			return fmt.Errorf("%w: %v (heal attempt: %v)", ErrNotDurable, derr, ckErr)
+		}
+	}
+	return nil
+}
+
+// IngestSketch folds one uploaded serialized sketch through the merge tree.
+// durable forces an immediate checkpoint seal before returning, so the
+// acknowledgement implies the upload survives SIGKILL; otherwise uploads
+// become durable at the next periodic seal (every UploadCheckpointEvery
+// uploads, on /checkpoint, on drain).
+func (e *entry) IngestSketch(data []byte, durable bool, every int) error {
+	s, err := streamsample.Load(data)
+	if err != nil {
+		return err
+	}
+	if err := e.tree.Add(s); err != nil {
+		return err
+	}
+	if durable {
+		return e.Checkpoint()
+	}
+	if e.tree.Pending() >= int64(every) {
+		return e.Checkpoint()
+	}
+	return nil
+}
+
+// Checkpoint seals everything the entry has accepted: the merge tree
+// flushes into the authoritative fold, the fold is sealed into its
+// generation store, and the engine writes a durable generation (rotating
+// its journal).
+func (e *entry) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, e.tenant, e.name)
+	}
+	return e.checkpointLocked()
+}
+
+func (e *entry) checkpointLocked() error {
+	flushed, err := e.tree.FlushInto(e.folded)
+	if err != nil {
+		return err
+	}
+	e.foldedUploads += flushed
+	if e.foldSt != nil && e.foldedUploads != e.foldedSealed {
+		blob, err := e.folded.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("sketchd: marshaling upload fold: %w", err)
+		}
+		if _, err := e.foldSt.Save([][]byte{blob, appendLeU64(uint64(e.foldedUploads))}); err != nil {
+			return fmt.Errorf("%w: sealing upload fold: %v", ErrNotDurable, err)
+		}
+		e.foldedSealed = e.foldedUploads
+	}
+	if e.engSt != nil {
+		if err := e.eng.CheckpointNow(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drain checkpoints and closes the entry (registry shutdown).
+func (e *entry) drain() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return nil
+	}
+	err := e.checkpointLocked()
+	e.deleted = true
+	e.eng.Close()
+	if e.engSt != nil {
+		e.engSt.Close()
+	}
+	if e.foldSt != nil {
+		e.foldSt.Close()
+	}
+	return err
+}
+
+// Merged materializes the sketch of everything ingested so far: the
+// engine's replicas are snapshotted (a quiesce barrier, ingestion
+// continues afterwards), loaded and folded together with the authoritative
+// upload fold. The result is a detached sketch the caller owns.
+func (e *entry) Merged() (streamsample.Sketch, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, e.tenant, e.name)
+	}
+	blobs, err := e.eng.Snapshot(marshalSketch)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := streamsample.Load(blobs[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, blob := range blobs[1:] {
+		s, err := streamsample.Load(blob)
+		if err != nil {
+			return nil, err
+		}
+		if err := merged.Merge(s); err != nil {
+			return nil, err
+		}
+	}
+	flushed, err := e.tree.FlushInto(e.folded)
+	if err != nil {
+		return nil, err
+	}
+	e.foldedUploads += flushed
+	if err := merged.Merge(e.folded); err != nil {
+		return nil, err
+	}
+	e.queries.Add(1)
+	return merged, nil
+}
+
+// SketchInfo is the public description of one registered sketch.
+type SketchInfo struct {
+	Tenant    string `json:"tenant"`
+	Name      string `json:"name"`
+	Spec      Spec   `json:"spec"`
+	SpecBytes int    `json:"spec_bytes"`
+}
+
+func (e *entry) info() SketchInfo {
+	return SketchInfo{Tenant: e.tenant, Name: e.name, Spec: e.spec, SpecBytes: len(e.specBytes)}
+}
+
+// SketchStats is the per-sketch /statsz block: the engine's operational
+// counters (routed/spilled/steals/panics/recoveries/checkpoints/generation),
+// the merge tree's fold counters, and the durable-upload frontier.
+type SketchStats struct {
+	Tenant        string         `json:"tenant"`
+	Name          string         `json:"name"`
+	Kind          string         `json:"kind"`
+	N             int            `json:"n"`
+	Engine        engine.Stats   `json:"engine"`
+	MergeTree     MergeTreeStats `json:"merge_tree"`
+	RawUpdates    int64          `json:"raw_updates"`
+	Queries       int64          `json:"queries"`
+	SealedUploads int64          `json:"sealed_uploads"`
+	FoldedUploads int64          `json:"folded_uploads"`
+	Durability    string         `json:"durability_error,omitempty"`
+}
+
+func (e *entry) stats() SketchStats {
+	st := SketchStats{
+		Tenant:     e.tenant,
+		Name:       e.name,
+		Kind:       e.spec.Kind,
+		N:          e.spec.N,
+		MergeTree:  e.tree.Stats(),
+		RawUpdates: e.rawUpdates.Load(),
+		Queries:    e.queries.Load(),
+	}
+	e.mu.Lock()
+	if !e.deleted {
+		st.Engine = e.eng.Stats()
+		if derr := e.eng.DurabilityErr(); derr != nil {
+			st.Durability = derr.Error()
+		}
+	}
+	st.SealedUploads = e.foldedSealed
+	st.FoldedUploads = e.foldedUploads
+	e.mu.Unlock()
+	return st
+}
+
+// RegistryStats is the registry-level /statsz block.
+type RegistryStats struct {
+	Sketches      int   `json:"sketches"`
+	Created       int64 `json:"created"`
+	Deleted       int64 `json:"deleted"`
+	Recovered     int64 `json:"recovered"`
+	RawUpdates    int64 `json:"raw_updates"`
+	SketchUploads int64 `json:"sketch_uploads"`
+	Queries       int64 `json:"queries"`
+}
+
+// Statsz snapshots the whole observability surface.
+func (r *Registry) Statsz() (RegistryStats, []SketchStats) {
+	r.mu.RLock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	n := len(r.entries)
+	r.mu.RUnlock()
+	per := make([]SketchStats, 0, len(entries))
+	for _, e := range entries {
+		per = append(per, e.stats())
+	}
+	sort.Slice(per, func(i, j int) bool {
+		if per[i].Tenant != per[j].Tenant {
+			return per[i].Tenant < per[j].Tenant
+		}
+		return per[i].Name < per[j].Name
+	})
+	return RegistryStats{
+		Sketches:      n,
+		Created:       r.created.Load(),
+		Deleted:       r.deleted.Load(),
+		Recovered:     r.recovered.Load(),
+		RawUpdates:    r.rawUpdates.Load(),
+		SketchUploads: r.sketchUploads.Load(),
+		Queries:       r.queries.Load(),
+	}, per
+}

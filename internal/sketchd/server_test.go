@@ -1,0 +1,373 @@
+package sketchd
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	streamsample "repro"
+	"repro/internal/codec"
+	"repro/internal/stream"
+)
+
+func newTestServer(t *testing.T, cfg RegistryConfig) (*httptest.Server, *Client) {
+	t.Helper()
+	reg, err := OpenRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(reg))
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Drain() //nolint:errcheck // teardown
+	})
+	return ts, NewClient(ts.URL)
+}
+
+func testStream(n, length int, seed uint64) stream.Stream {
+	r := rand.New(rand.NewPCG(seed, seed^0xD1B54A32D192ED03))
+	return stream.RandomTurnstile(n, length, 100, r)
+}
+
+func TestServerCRUD(t *testing.T) {
+	_, c := newTestServer(t, RegistryConfig{})
+	ctx := context.Background()
+	spec := Spec{Kind: "l0", N: 256, Seed: 4}
+
+	if err := c.Create(ctx, "acme", "clicks", spec); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := c.Create(ctx, "acme", "clicks", spec); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create err = %v, want ErrExists", err)
+	}
+	info, err := c.Info(ctx, "acme", "clicks")
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if info.Spec != spec {
+		t.Fatalf("info spec = %+v, want %+v", info.Spec, spec)
+	}
+	if err := c.Delete(ctx, "acme", "clicks"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.Info(ctx, "acme", "clicks"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("info after delete err = %v, want ErrNotFound", err)
+	}
+	if err := c.Delete(ctx, "acme", "clicks"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestServerCreateValidation(t *testing.T) {
+	_, c := newTestServer(t, RegistryConfig{})
+	ctx := context.Background()
+	for _, tc := range []struct {
+		tenant, name string
+		spec         Spec
+	}{
+		{"ok", "ok", Spec{Kind: "nope", N: 100}},
+		{"ok", "ok", Spec{Kind: "l0", N: 0}},
+		{"ok", "ok", Spec{Kind: "lp", N: 100, P: 2.5}},
+		{"../evil", "ok", Spec{Kind: "l0", N: 100}},
+		{"ok", "a b", Spec{Kind: "l0", N: 100}},
+	} {
+		err := c.Create(ctx, tc.tenant, tc.name, tc.spec)
+		if err == nil {
+			t.Errorf("create %q/%q %+v accepted, want rejection", tc.tenant, tc.name, tc.spec)
+			continue
+		}
+		var se *Error
+		if !errors.As(err, &se) || se.Code != CodeBadRequest {
+			t.Errorf("create %q/%q err = %v, want bad_request envelope", tc.tenant, tc.name, err)
+		}
+	}
+}
+
+// TestServerIngestAgreement is the heart of the tier: raw frames, sketch
+// uploads, and a mix of both must all merge to exactly the serial sketch.
+func TestServerIngestAgreement(t *testing.T) {
+	const n, seed, length = 1024, 11, 30000
+	st := testStream(n, length, seed)
+	serial := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+	serial.ProcessBatch(st)
+	want, err := serial.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []string{"raw", "sketch", "mixed"} {
+		t.Run(mode, func(t *testing.T) {
+			_, c := newTestServer(t, RegistryConfig{Shards: 3, Leaves: 2, FanIn: 4})
+			ctx := context.Background()
+			if err := c.Create(ctx, "t", "s", Spec{Kind: "l0", N: n, Seed: seed}); err != nil {
+				t.Fatal(err)
+			}
+			const parts = 10
+			for i := 0; i < parts; i++ {
+				var slice stream.Stream
+				for j := i; j < len(st); j += parts {
+					slice = append(slice, st[j])
+				}
+				useRaw := mode == "raw" || (mode == "mixed" && i%2 == 0)
+				if useRaw {
+					res, err := c.PushUpdates(ctx, "t", "s", slice)
+					if err != nil {
+						t.Fatalf("part %d raw: %v", i, err)
+					}
+					if res.Updates != int64(len(slice)) {
+						t.Fatalf("part %d: server accepted %d updates, sent %d", i, res.Updates, len(slice))
+					}
+				} else {
+					local := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+					local.ProcessBatch(slice)
+					blob, err := local.MarshalBinary()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := c.PushSketch(ctx, "t", "s", blob, false); err != nil {
+						t.Fatalf("part %d sketch: %v", i, err)
+					}
+				}
+			}
+			got, err := c.Bytes(ctx, "t", "s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mode %s: merged sketch differs from serial ingestion", mode)
+			}
+			// Sample determinism: same state, same seed, same draw.
+			res, err := c.Sample(ctx, "t", "s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			wi, wv, wok := serial.Sample()
+			if res.Ok != wok || res.Index != wi || res.Value != wv {
+				t.Fatalf("mode %s: server sample %+v, serial (%d,%d,%v)", mode, res, wi, wv, wok)
+			}
+		})
+	}
+}
+
+func TestServerMismatchTypedOverWire(t *testing.T) {
+	_, c := newTestServer(t, RegistryConfig{})
+	ctx := context.Background()
+	const n = 128
+	if err := c.Create(ctx, "t", "s", Spec{Kind: "l0", N: n, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	foreign := streamsample.NewL0Sampler(n, streamsample.WithSeed(2))
+	foreign.Update(3, 1)
+	blob, _ := foreign.MarshalBinary()
+	err := c.PushSketch(ctx, "t", "s", blob, false)
+	if !errors.Is(err, codec.ErrSeedMismatch) {
+		t.Fatalf("foreign-seed upload err = %v, want ErrSeedMismatch across the wire", err)
+	}
+	var se *Error
+	if !errors.As(err, &se) || se.HTTPStatus() != http.StatusConflict {
+		t.Fatalf("foreign-seed upload = %v, want 409 envelope", err)
+	}
+
+	misconfigured := streamsample.NewL0Sampler(n*2, streamsample.WithSeed(1))
+	blob2, _ := misconfigured.MarshalBinary()
+	if err := c.PushSketch(ctx, "t", "s", blob2, false); !errors.Is(err, codec.ErrConfigMismatch) {
+		t.Fatalf("misconfigured upload err = %v, want ErrConfigMismatch across the wire", err)
+	}
+
+	if err := c.PushSketch(ctx, "t", "s", []byte("not a sketch"), false); err == nil {
+		t.Fatal("garbage upload accepted")
+	} else if se = nil; !errors.As(err, &se) || se.Code != CodeBadSketchBytes {
+		t.Fatalf("garbage upload err = %v, want bad_sketch_bytes envelope", err)
+	}
+}
+
+func TestServerNegotiationOverWire(t *testing.T) {
+	ts, _ := newTestServer(t, RegistryConfig{})
+	ctx := context.Background()
+
+	// Green: a v1 client resolves 1 and the response echoes it.
+	green := NewClient(ts.URL)
+	v, err := green.Negotiate(ctx)
+	if err != nil || v != codec.Version {
+		t.Fatalf("green negotiate = (%d, %v), want (%d, nil)", v, err, codec.Version)
+	}
+
+	// Red: a future-only client is refused with the typed 426 envelope, on
+	// the probe AND on every negotiated endpoint.
+	red := NewClient(ts.URL, WithWireVersions(99))
+	if _, err := red.Negotiate(ctx); !errors.Is(err, ErrVersionNegotiation) {
+		t.Fatalf("red negotiate err = %v, want ErrVersionNegotiation", err)
+	}
+	if err := green.Create(ctx, "t", "s", Spec{Kind: "l0", N: 64, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err = red.PushSketch(ctx, "t", "s", []byte("x"), false)
+	if !errors.Is(err, ErrVersionNegotiation) {
+		t.Fatalf("red ingest err = %v, want ErrVersionNegotiation", err)
+	}
+	var se *Error
+	if !errors.As(err, &se) || se.HTTPStatus() != http.StatusUpgradeRequired {
+		t.Fatalf("red ingest = %v, want 426 envelope", err)
+	}
+	// The negotiation failure must also be errors.Is-able as the codec
+	// sentinel, keeping one taxonomy on both sides of the wire.
+	if !errors.Is(err, codec.ErrBadVersion) {
+		t.Fatalf("red ingest err %v does not wrap codec.ErrBadVersion", err)
+	}
+	// The query side of the data plane refuses the same offer: a rejected
+	// client must not half-work by sampling what it cannot push.
+	if _, err := red.Sample(ctx, "t", "s"); !errors.Is(err, ErrVersionNegotiation) {
+		t.Fatalf("red sample err = %v, want ErrVersionNegotiation", err)
+	}
+	// And a bare HTTP client (no SDK) offering only a future version gets
+	// the raw 426 + envelope.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/tenants/t/sketches/s/sample", nil)
+	req.Header.Set(HeaderWireVersions, "99")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUpgradeRequired {
+		t.Fatalf("bare red GET sample status = %d, want 426", resp.StatusCode)
+	}
+}
+
+func TestServerRejectsHostileFrames(t *testing.T) {
+	ts, c := newTestServer(t, RegistryConfig{})
+	ctx := context.Background()
+	const n = 64
+	if err := c.Create(ctx, "t", "s", Spec{Kind: "l0", N: n, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(body []byte) error {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/tenants/t/sketches/s/updates", bytes.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		return decodeError(resp.StatusCode, resp.Body)
+	}
+
+	// An out-of-dimension index must be rejected before it reaches the
+	// engine (and before it is journaled).
+	hostile := AppendFrame(nil, []stream.Update{{Index: n + 5, Delta: 1}})
+	if err := post(hostile); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("hostile index err = %v, want ErrBadFrame", err)
+	}
+	// A truncated stream dies typed.
+	good := AppendFrame(nil, []stream.Update{{Index: 1, Delta: 1}})
+	if err := post(good[:len(good)-2]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// The sketch must still be usable and exactly empty-plus-nothing: the
+	// hostile frames contributed zero updates.
+	res, err := c.PushUpdates(ctx, "t", "s", stream.Stream{{Index: 1, Delta: 1}})
+	if err != nil || res.Updates != 1 {
+		t.Fatalf("ingest after hostile frames = (%+v, %v)", res, err)
+	}
+}
+
+func TestServerStatsz(t *testing.T) {
+	_, c := newTestServer(t, RegistryConfig{Shards: 2})
+	ctx := context.Background()
+	if err := c.Create(ctx, "t", "s", Spec{Kind: "l0", N: 64, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushUpdates(ctx, "t", "s", stream.Stream{{Index: 1, Delta: 1}, {Index: 2, Delta: -1}}); err != nil {
+		t.Fatal(err)
+	}
+	local := streamsample.NewL0Sampler(64, streamsample.WithSeed(1))
+	local.Update(5, 3)
+	blob, _ := local.MarshalBinary()
+	if err := c.PushSketch(ctx, "t", "s", blob, false); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Registry.Sketches != 1 || st.Registry.RawUpdates != 2 || st.Registry.SketchUploads != 1 {
+		t.Fatalf("registry stats = %+v", st.Registry)
+	}
+	if len(st.Sketches) != 1 {
+		t.Fatalf("per-sketch stats count = %d", len(st.Sketches))
+	}
+	s := st.Sketches[0]
+	if s.Engine.Routed != 2 || s.Engine.Shards != 2 || s.MergeTree.Uploads != 1 {
+		t.Fatalf("sketch stats = %+v", s)
+	}
+}
+
+// TestServerDurableRecovery: drain, reopen from the same directory, and the
+// recovered registry must answer byte-identically — for raw updates (engine
+// store) and sketch uploads (fold store) both.
+func TestServerDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	const n, seed = 512, 6
+	st := testStream(n, 5000, seed)
+	ctx := context.Background()
+	cfg := RegistryConfig{Dir: dir, Shards: 2, UploadCheckpointEvery: 1 << 30}
+
+	reg1, err := OpenRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(NewServer(reg1))
+	c := NewClient(ts1.URL)
+	if err := c.Create(ctx, "t", "s", Spec{Kind: "l0", N: n, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PushUpdates(ctx, "t", "s", st[:4000]); err != nil {
+		t.Fatal(err)
+	}
+	local := streamsample.NewL0Sampler(n, streamsample.WithSeed(seed))
+	local.ProcessBatch(st[4000:])
+	blob, _ := local.MarshalBinary()
+	if err := c.PushSketch(ctx, "t", "s", blob, false); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Bytes(ctx, "t", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain seals everything — the SIGTERM path — then a brand-new registry
+	// recovers from disk alone.
+	ts1.Close()
+	if err := reg1.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	reg2, err := OpenRegistry(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	ts2 := httptest.NewServer(NewServer(reg2))
+	defer ts2.Close()
+	c2 := NewClient(ts2.URL)
+	got, err := c2.Bytes(ctx, "t", "s")
+	if err != nil {
+		t.Fatalf("recovered bytes: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovered registry differs from pre-restart state")
+	}
+	st2, err := c2.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Registry.Recovered != 1 {
+		t.Fatalf("recovered counter = %d, want 1", st2.Registry.Recovered)
+	}
+	reg2.Drain() //nolint:errcheck // teardown
+}

@@ -1,0 +1,141 @@
+package sketchd
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/stream"
+)
+
+func TestNegotiateGreen(t *testing.T) {
+	cases := []struct {
+		offer string
+		want  uint16
+	}{
+		{"1", 1},
+		{"", 1},      // bare v1 client, no header
+		{"  1  ", 1}, // whitespace tolerated
+		{"1,2,3", 1}, // picks the highest COMMON, which is 1
+		{"3, 1", 1},  // order irrelevant
+		{"1,1,1", 1}, // duplicates tolerated
+		{"65535,1", 1},
+	}
+	for _, c := range cases {
+		got, err := Negotiate(c.offer)
+		if err != nil {
+			t.Errorf("Negotiate(%q) failed: %v", c.offer, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Negotiate(%q) = %d, want %d", c.offer, got, c.want)
+		}
+	}
+}
+
+func TestNegotiateRed(t *testing.T) {
+	for _, offer := range []string{"2", "3,4", "0", "-1", "abc", "1x", "99999999", ","} {
+		_, err := Negotiate(offer)
+		if err == nil {
+			t.Errorf("Negotiate(%q) succeeded, want rejection", offer)
+			continue
+		}
+		if !errors.Is(err, ErrVersionNegotiation) {
+			t.Errorf("Negotiate(%q) error %v is not ErrVersionNegotiation", offer, err)
+		}
+		// The typed chain must reach the codec taxonomy too.
+		if !errors.Is(err, codec.ErrBadVersion) {
+			t.Errorf("Negotiate(%q) error %v does not wrap codec.ErrBadVersion", offer, err)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 7))
+	var wire []byte
+	var want [][]stream.Update
+	for f := 0; f < 20; f++ {
+		batch := make([]stream.Update, r.IntN(100)+1)
+		for i := range batch {
+			batch[i] = stream.Update{Index: r.IntN(1 << 20), Delta: r.Int64N(2001) - 1000}
+		}
+		want = append(want, batch)
+		wire = AppendFrame(wire, batch)
+	}
+	fr := NewFrameReader(bytes.NewReader(wire), 0)
+	for f := 0; ; f++ {
+		batch, err := fr.Next()
+		if err == io.EOF {
+			if f != len(want) {
+				t.Fatalf("stream ended after %d frames, want %d", f, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if len(batch) != len(want[f]) {
+			t.Fatalf("frame %d: %d updates, want %d", f, len(batch), len(want[f]))
+		}
+		for i := range batch {
+			if batch[i] != want[f][i] {
+				t.Fatalf("frame %d update %d: %+v != %+v", f, i, batch[i], want[f][i])
+			}
+		}
+	}
+}
+
+func TestFrameReaderTruncation(t *testing.T) {
+	wire := AppendFrame(nil, []stream.Update{{Index: 1, Delta: 2}, {Index: 3, Delta: -4}})
+	// Cutting the stream at every possible byte offset inside the frame must
+	// yield a typed truncation error, never a panic or silent success.
+	for cut := 1; cut < len(wire); cut++ {
+		fr := NewFrameReader(bytes.NewReader(wire[:cut]), 0)
+		_, err := fr.Next()
+		if err == nil {
+			t.Fatalf("cut at %d/%d accepted", cut, len(wire))
+		}
+		if !errors.Is(err, codec.ErrTruncated) {
+			t.Fatalf("cut at %d: err %v is not codec.ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestFrameReaderCorruption(t *testing.T) {
+	wire := AppendFrame(nil, []stream.Update{{Index: 1, Delta: 2}, {Index: 3, Delta: -4}})
+	// Flip one payload byte: the fingerprint must catch it.
+	corrupt := bytes.Clone(wire)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	if _, err := NewFrameReader(bytes.NewReader(corrupt), 0).Next(); !errors.Is(err, codec.ErrBadRecord) {
+		t.Fatalf("payload corruption err = %v, want codec.ErrBadRecord", err)
+	}
+	// An oversized length prefix must be refused before any allocation.
+	huge := bytes.Clone(wire)
+	huge[0], huge[1], huge[2], huge[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := NewFrameReader(bytes.NewReader(huge), 0).Next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized frame err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestFrameIndexBound(t *testing.T) {
+	wire := AppendFrame(nil, []stream.Update{{Index: 100, Delta: 1}})
+	if _, err := NewFrameReader(bytes.NewReader(wire), 101).Next(); err != nil {
+		t.Fatalf("in-bound index rejected: %v", err)
+	}
+	if _, err := NewFrameReader(bytes.NewReader(wire), 100).Next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("out-of-bound index err = %v, want ErrBadFrame", err)
+	}
+	neg := AppendFrame(nil, []stream.Update{{Index: -1, Delta: 1}})
+	if _, err := NewFrameReader(bytes.NewReader(neg), 0).Next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("negative index err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeFramePayloadRagged(t *testing.T) {
+	if _, err := DecodeFramePayload(make([]byte, 17), 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("ragged payload err = %v, want ErrBadFrame", err)
+	}
+}
