@@ -168,6 +168,7 @@ type Registry struct {
 	sketchUploads atomic.Int64
 	queries       atomic.Int64
 	recovered     atomic.Int64
+	quarantined   atomic.Int64
 }
 
 // entry is one registered sketch: a sharded ingestion engine for raw
@@ -183,12 +184,19 @@ type entry struct {
 	spec         Spec
 	specBytes    []byte // marshaled zero-state sketch: the same-seed replica template
 
-	mu      sync.Mutex
-	deleted bool
-	eng     *engine.Engine[streamsample.Sketch]
-	engSt   *checkpoint.Store
-	folded  streamsample.Sketch // authoritative fold of sketch uploads
-	foldSt  *checkpoint.Store
+	// delMu orders sketch uploads against deletion: IngestSketch holds it
+	// shared across the deleted check, the tree fold and any durable seal,
+	// while Delete and drain hold it exclusively to flip deleted — so an
+	// upload that was ACKed is guaranteed to have landed before the tree
+	// was discarded. Lock order is always delMu before mu.
+	delMu   sync.RWMutex
+	deleted atomic.Bool
+
+	mu     sync.Mutex
+	eng    *engine.Engine[streamsample.Sketch]
+	engSt  *checkpoint.Store
+	folded streamsample.Sketch // authoritative fold of sketch uploads
+	foldSt *checkpoint.Store
 	// foldedUploads counts uploads folded into `folded` over its lifetime;
 	// foldedSealed is the count covered by the newest foldSt generation.
 	foldedUploads int64
@@ -200,11 +208,19 @@ type entry struct {
 	queries    atomic.Int64
 }
 
+// tombstoneFile marks an entry directory whose delete was acknowledged but
+// whose removal did not finish (crash or RemoveAll failure mid-delete).
+// Recovery finishes the removal instead of resurrecting the sketch.
+const tombstoneFile = "tombstone"
+
 // OpenRegistry opens (and, when cfg.Dir is set, recovers) the registry.
 // Recovery walks the data directory: every tenant/name with a readable
 // meta.json is rebuilt — the engine adopts its checkpoint store's last good
 // generation plus journal tail (exact, by linearity), and the authoritative
-// upload fold reloads from its newest sealed generation.
+// upload fold reloads from its newest sealed generation. Tombstoned
+// directories (interrupted deletes) are removed; an entry that fails to
+// rebuild is quarantined under <Dir>/quarantine rather than allowed to keep
+// the whole registry — every other tenant's sketches — from opening.
 func OpenRegistry(cfg RegistryConfig) (*Registry, error) {
 	r := &Registry{cfg: cfg.withDefaults(), entries: make(map[key]*entry)}
 	if r.cfg.Dir == "" {
@@ -229,9 +245,20 @@ func OpenRegistry(cfg RegistryConfig) (*Registry, error) {
 			if !n.IsDir() || !validName(n.Name()) {
 				continue
 			}
+			dir := r.entryDir(t.Name(), n.Name())
+			if _, serr := os.Stat(filepath.Join(dir, tombstoneFile)); serr == nil {
+				if err := os.RemoveAll(dir); err != nil {
+					return nil, fmt.Errorf("sketchd: finishing interrupted delete of %s/%s: %w", t.Name(), n.Name(), err)
+				}
+				continue
+			}
 			e, err := r.recoverEntry(t.Name(), n.Name())
 			if err != nil {
-				return nil, fmt.Errorf("sketchd: recovering %s/%s: %w", t.Name(), n.Name(), err)
+				if qerr := r.quarantine(t.Name(), n.Name(), err); qerr != nil {
+					return nil, fmt.Errorf("sketchd: recovering %s/%s: %v (quarantine also failed: %w)", t.Name(), n.Name(), err, qerr)
+				}
+				r.quarantined.Add(1)
+				continue
 			}
 			r.entries[key{t.Name(), n.Name()}] = e
 			r.recovered.Add(1)
@@ -244,6 +271,30 @@ func (r *Registry) tenantsDir() string { return filepath.Join(r.cfg.Dir, "tenant
 
 func (r *Registry) entryDir(tenant, name string) string {
 	return filepath.Join(r.tenantsDir(), tenant, name)
+}
+
+// quarantine moves an unrecoverable entry directory out of the tenants tree
+// (to <Dir>/quarantine/<tenant>/<name>, suffixed if occupied) so the rest
+// of the registry still opens. The cause lands in a QUARANTINE file next to
+// the moved state for the operator; nothing is deleted.
+func (r *Registry) quarantine(tenant, name string, cause error) error {
+	dst := filepath.Join(r.cfg.Dir, "quarantine", tenant)
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	target := filepath.Join(dst, name)
+	for i := 1; ; i++ {
+		if _, err := os.Stat(target); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		target = filepath.Join(dst, fmt.Sprintf("%s.%d", name, i))
+	}
+	if err := os.Rename(r.entryDir(tenant, name), target); err != nil {
+		return err
+	}
+	//nolint:errcheck // the reason file is best-effort operator breadcrumb
+	_ = os.WriteFile(filepath.Join(target, "QUARANTINE"), []byte(cause.Error()+"\n"), 0o644)
+	return nil
 }
 
 // newEntry wires one sketch's engine, merge tree and (when durable) stores.
@@ -353,11 +404,17 @@ func (r *Registry) recoverEntry(tenant, name string) (*entry, error) {
 }
 
 // Create registers a new sketch. The spec is validated by actually building
-// the zero-state template; the meta.json lands via write-temp + rename so a
-// crash mid-create never leaves a readable-but-wrong spec.
+// the zero-state template BEFORE anything durable happens — a rejected
+// create must leave zero trace on disk, or the dangling meta.json would
+// poison every future recovery. The meta.json then lands via write-temp +
+// rename so a crash mid-create never leaves a readable-but-wrong spec, and
+// any later wiring failure removes the half-created directory again.
 func (r *Registry) Create(tenant, name string, spec Spec) error {
 	if !validName(tenant) || !validName(name) {
 		return fmt.Errorf("%w: tenant and name must match %s", errBadSpec, nameRe)
+	}
+	if _, err := spec.Build(); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -365,8 +422,9 @@ func (r *Registry) Create(tenant, name string, spec Spec) error {
 	if _, ok := r.entries[k]; ok {
 		return fmt.Errorf("%w: %s/%s", ErrExists, tenant, name)
 	}
+	dir := ""
 	if r.cfg.Dir != "" {
-		dir := r.entryDir(tenant, name)
+		dir = r.entryDir(tenant, name)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("sketchd: creating %s: %w", dir, err)
 		}
@@ -384,6 +442,10 @@ func (r *Registry) Create(tenant, name string, spec Spec) error {
 	}
 	e, err := r.newEntry(tenant, name, spec)
 	if err != nil {
+		if dir != "" {
+			//nolint:errcheck // best-effort cleanup; recovery quarantines leftovers
+			_ = os.RemoveAll(dir)
+		}
 		return err
 	}
 	r.entries[k] = e
@@ -391,46 +453,65 @@ func (r *Registry) Create(tenant, name string, spec Spec) error {
 	return nil
 }
 
-// Get resolves a registered sketch.
+// Get resolves a registered sketch. An entry mid-delete (or stuck because
+// its durable removal failed) is already unreachable: not found.
 func (r *Registry) Get(tenant, name string) (*entry, error) {
 	r.mu.RLock()
 	e, ok := r.entries[key{tenant, name}]
 	r.mu.RUnlock()
-	if !ok {
+	if !ok || e.deleted.Load() {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, tenant, name)
 	}
 	return e, nil
 }
 
 // Delete unregisters a sketch, closes its engine and stores and removes its
-// durable directory.
+// durable directory. Ordering matters: the durable state is tombstoned and
+// removed BEFORE the key is unregistered, so a failed removal leaves the
+// entry registered-but-dead (operations 404, Create refuses, a client retry
+// reaches the removal again) instead of silently resurrecting the sketch
+// from the orphaned directory at the next restart; a crash in between is
+// finished by recovery via the tombstone.
 func (r *Registry) Delete(tenant, name string) error {
-	r.mu.Lock()
+	r.mu.RLock()
 	k := key{tenant, name}
 	e, ok := r.entries[k]
-	if ok {
-		delete(r.entries, k)
-	}
-	r.mu.Unlock()
-	if !ok {
+	r.mu.RUnlock()
+	if !ok || e.deleted.Load() {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, tenant, name)
 	}
-	e.mu.Lock()
-	e.deleted = true
-	e.eng.Close()
-	if e.engSt != nil {
-		e.engSt.Close()
+	// Flip the flag under delMu held exclusively: every in-flight upload
+	// (holding it shared) lands or fails first, and every later one sees
+	// deleted. Then close the engine and stores under mu.
+	e.delMu.Lock()
+	already := e.deleted.Swap(true)
+	e.delMu.Unlock()
+	if !already {
+		e.mu.Lock()
+		e.eng.Close()
+		if e.engSt != nil {
+			e.engSt.Close()
+		}
+		if e.foldSt != nil {
+			e.foldSt.Close()
+		}
+		e.mu.Unlock()
 	}
-	if e.foldSt != nil {
-		e.foldSt.Close()
-	}
-	e.mu.Unlock()
-	r.deleted.Add(1)
 	if r.cfg.Dir != "" {
-		if err := os.RemoveAll(r.entryDir(tenant, name)); err != nil {
+		dir := r.entryDir(tenant, name)
+		if err := os.WriteFile(filepath.Join(dir, tombstoneFile), nil, 0o644); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("sketchd: tombstoning %s/%s: %w", tenant, name, err)
+		}
+		if err := os.RemoveAll(dir); err != nil {
 			return fmt.Errorf("sketchd: removing %s/%s state: %w", tenant, name, err)
 		}
 	}
+	r.mu.Lock()
+	if cur, ok := r.entries[k]; ok && cur == e {
+		delete(r.entries, k)
+		r.deleted.Add(1)
+	}
+	r.mu.Unlock()
 	return nil
 }
 
@@ -453,6 +534,9 @@ func (r *Registry) List() []SketchInfo {
 	r.mu.RLock()
 	infos := make([]SketchInfo, 0, len(r.entries))
 	for _, e := range r.entries {
+		if e.deleted.Load() {
+			continue
+		}
 		infos = append(infos, e.info())
 	}
 	r.mu.RUnlock()
@@ -499,7 +583,7 @@ func appendLeU64(v uint64) []byte {
 func (e *entry) IngestRaw(batch []stream.Update) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.deleted {
+	if e.deleted.Load() {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, e.tenant, e.name)
 	}
 	e.eng.ProcessBatch(batch)
@@ -516,26 +600,43 @@ func (e *entry) IngestRaw(batch []stream.Update) error {
 }
 
 // IngestSketch folds one uploaded serialized sketch through the merge tree.
-// durable forces an immediate checkpoint seal before returning, so the
-// acknowledgement implies the upload survives SIGKILL; otherwise uploads
-// become durable at the next periodic seal (every UploadCheckpointEvery
-// uploads, on /checkpoint, on drain).
-func (e *entry) IngestSketch(data []byte, durable bool, every int) error {
+// durable forces an immediate checkpoint seal before returning; otherwise
+// uploads become durable at the next periodic seal (every
+// UploadCheckpointEvery uploads, on /checkpoint, on drain). The returned
+// sealed flag reports whether a DURABLE seal actually happened — false on a
+// registry without a durable dir even when durable was requested, so the
+// acknowledgement never falsely implies the upload survives SIGKILL.
+//
+// The whole call holds delMu shared: the deleted check, the tree fold and
+// the seal form one unit that either completes before a concurrent Delete
+// flips the flag, or observes it and refuses — an ACKed upload can never
+// land in a discarded tree, and a durable upload can never be accepted and
+// then 404 on its own seal.
+func (e *entry) IngestSketch(data []byte, durable bool, every int) (sealed bool, err error) {
 	s, err := streamsample.Load(data)
 	if err != nil {
-		return err
+		return false, err
+	}
+	e.delMu.RLock()
+	defer e.delMu.RUnlock()
+	if e.deleted.Load() {
+		return false, fmt.Errorf("%w: %s/%s", ErrNotFound, e.tenant, e.name)
 	}
 	if err := e.tree.Add(s); err != nil {
-		return err
+		return false, err
 	}
-	if durable {
-		return e.Checkpoint()
+	if durable || e.tree.Pending() >= int64(every) {
+		if err := e.Checkpoint(); err != nil {
+			return false, err
+		}
+		return e.durableBacked(), nil
 	}
-	if e.tree.Pending() >= int64(every) {
-		return e.Checkpoint()
-	}
-	return nil
+	return false, nil
 }
+
+// durableBacked reports whether the entry has durable stores behind it
+// (set once at construction, so reading without e.mu is safe).
+func (e *entry) durableBacked() bool { return e.foldSt != nil }
 
 // Checkpoint seals everything the entry has accepted: the merge tree
 // flushes into the authoritative fold, the fold is sealed into its
@@ -544,7 +645,7 @@ func (e *entry) IngestSketch(data []byte, durable bool, every int) error {
 func (e *entry) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.deleted {
+	if e.deleted.Load() {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, e.tenant, e.name)
 	}
 	return e.checkpointLocked()
@@ -574,15 +675,19 @@ func (e *entry) checkpointLocked() error {
 	return nil
 }
 
-// drain checkpoints and closes the entry (registry shutdown).
+// drain checkpoints and closes the entry (registry shutdown). The flag
+// flips under delMu like Delete, so in-flight uploads either make the final
+// checkpoint or were refused.
 func (e *entry) drain() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.deleted {
+	e.delMu.Lock()
+	already := e.deleted.Swap(true)
+	e.delMu.Unlock()
+	if already {
 		return nil
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	err := e.checkpointLocked()
-	e.deleted = true
 	e.eng.Close()
 	if e.engSt != nil {
 		e.engSt.Close()
@@ -600,7 +705,7 @@ func (e *entry) drain() error {
 func (e *entry) Merged() (streamsample.Sketch, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.deleted {
+	if e.deleted.Load() {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, e.tenant, e.name)
 	}
 	blobs, err := e.eng.Snapshot(marshalSketch)
@@ -672,7 +777,7 @@ func (e *entry) stats() SketchStats {
 		Queries:    e.queries.Load(),
 	}
 	e.mu.Lock()
-	if !e.deleted {
+	if !e.deleted.Load() {
 		st.Engine = e.eng.Stats()
 		if derr := e.eng.DurabilityErr(); derr != nil {
 			st.Durability = derr.Error()
@@ -690,6 +795,7 @@ type RegistryStats struct {
 	Created       int64 `json:"created"`
 	Deleted       int64 `json:"deleted"`
 	Recovered     int64 `json:"recovered"`
+	Quarantined   int64 `json:"quarantined"`
 	RawUpdates    int64 `json:"raw_updates"`
 	SketchUploads int64 `json:"sketch_uploads"`
 	Queries       int64 `json:"queries"`
@@ -719,6 +825,7 @@ func (r *Registry) Statsz() (RegistryStats, []SketchStats) {
 		Created:       r.created.Load(),
 		Deleted:       r.deleted.Load(),
 		Recovered:     r.recovered.Load(),
+		Quarantined:   r.quarantined.Load(),
 		RawUpdates:    r.rawUpdates.Load(),
 		SketchUploads: r.sketchUploads.Load(),
 		Queries:       r.queries.Load(),

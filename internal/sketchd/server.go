@@ -159,14 +159,19 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		}
 		frames++
 		updates += int64(len(batch))
+		// Per accepted batch, alongside the per-entry counter — a stream
+		// that dies mid-request must leave registry and per-sketch
+		// raw_updates in agreement on /statsz.
+		s.reg.rawUpdates.Add(int64(len(batch)))
 	}
-	s.reg.rawUpdates.Add(updates)
 	writeJSON(w, http.StatusOK, map[string]int64{"frames": frames, "updates": updates})
 }
 
 // handleSketchUpload folds one serialized sketch through the merge tree.
-// ?durable=1 forces a checkpoint seal before the 200, so the ACK implies
-// the upload survives SIGKILL.
+// ?durable=1 forces a checkpoint seal before the 200. The response's
+// "sealed" field reports whether a durable seal actually happened: on a
+// registry without a durable dir the seal is a no-op, and the ACK must not
+// imply the upload survives SIGKILL when it doesn't.
 func (s *Server) handleSketchUpload(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.negotiate(w, r); !ok {
 		return
@@ -181,12 +186,13 @@ func (s *Server) handleSketchUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	durable := r.URL.Query().Get("durable") == "1"
-	if err := e.IngestSketch(data, durable, s.reg.cfg.UploadCheckpointEvery); err != nil {
+	sealed, err := e.IngestSketch(data, durable, s.reg.cfg.UploadCheckpointEvery)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
 	s.reg.sketchUploads.Add(1)
-	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "sealed": durable})
+	writeJSON(w, http.StatusOK, map[string]bool{"accepted": true, "sealed": sealed})
 }
 
 // SampleResult is the /sample response: the kind-appropriate projection of
@@ -273,7 +279,8 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"sealed": true})
+	// sealed is honest: a non-durable registry's checkpoint is a no-op.
+	writeJSON(w, http.StatusOK, map[string]bool{"sealed": e.durableBacked()})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
